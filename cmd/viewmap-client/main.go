@@ -1,0 +1,144 @@
+// Command viewmap-client drives one simulated ViewMap-enabled dashcam
+// against a running viewmap-server: it records synthetic minutes while
+// driving a synthetic city, uploads actual and guard VPs anonymously,
+// answers video solicitations, and collects rewards.
+//
+// Usage:
+//
+//	viewmap-client -server http://127.0.0.1:8440 [-name car-A]
+//	               [-minutes 3] [-trusted-token TOKEN] [-seed 1]
+//
+// With -trusted-token the client behaves as an authority vehicle
+// (police car): its VPs upload as trusted and it fabricates no guards.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"viewmap/internal/client"
+	"viewmap/internal/mobility"
+	"viewmap/internal/roadnet"
+	"viewmap/internal/vd"
+)
+
+func main() {
+	serverURL := flag.String("server", "http://127.0.0.1:8440", "system service base URL")
+	name := flag.String("name", "car-A", "vehicle name (seeds its camera stream)")
+	minutes := flag.Int("minutes", 3, "minutes to record")
+	trustedToken := flag.String("trusted-token", "", "authority token; when set, uploads are trusted VPs")
+	seed := flag.Int64("seed", 1, "trajectory seed")
+	flag.Parse()
+
+	if err := run(*serverURL, *name, *minutes, *trustedToken, *seed); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(serverURL, name string, minutes int, trustedToken string, seed int64) error {
+	if minutes <= 0 {
+		return fmt.Errorf("minutes must be positive, got %d", minutes)
+	}
+	api, err := client.NewAPI(serverURL, nil)
+	if err != nil {
+		return err
+	}
+	city, err := roadnet.BuildGrid(roadnet.GridConfig{Cols: 12, Rows: 12, Spacing: 200, BuildingFill: 0.7})
+	if err != nil {
+		return err
+	}
+	trace, err := mobility.Generate(city, mobility.Config{
+		Vehicles: 1, Seconds: minutes * 60, MeanSpeedKmh: 50, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	vehicle, err := client.NewVehicle(client.VehicleConfig{Name: name, Seed: seed})
+	if err != nil {
+		return err
+	}
+
+	guardNet := city.Net
+	if trustedToken != "" {
+		guardNet = nil // authority vehicles do not fabricate guards
+	}
+	for m := 0; m < minutes; m++ {
+		start := int64(m) * 60
+		if err := vehicle.BeginMinute(start); err != nil {
+			return err
+		}
+		for s := 1; s <= 60; s++ {
+			loc := trace.At(0, m*60+s-1)
+			if _, err := vehicle.Tick(loc); err != nil {
+				return err
+			}
+		}
+		actual, guards, err := vehicle.EndMinute(guardNet)
+		if err != nil {
+			return err
+		}
+		id := actual.ID()
+		fmt.Printf("minute %d: VP %x… + %d guards\n", m, id[:4], len(guards))
+		for _, p := range vehicle.PendingUploads() {
+			if trustedToken != "" {
+				err = api.UploadTrustedVP(trustedToken, p)
+			} else {
+				err = api.UploadVP(p)
+			}
+			if err != nil {
+				return fmt.Errorf("uploading VP: %w", err)
+			}
+		}
+	}
+	fmt.Printf("uploaded %d minutes of VPs; storage holds %d segments\n",
+		minutes, vehicle.StoredSegments())
+
+	// Answer any posted solicitations.
+	ids, err := api.Solicitations()
+	if err != nil {
+		return err
+	}
+	matched := vehicle.MatchSolicitations(ids)
+	for id, chunks := range matched {
+		if err := api.SubmitVideo(id, chunks); err != nil {
+			fmt.Fprintf(os.Stderr, "video for %x rejected: %v\n", id[:4], err)
+			continue
+		}
+		fmt.Printf("uploaded solicited video for VP %x…\n", id[:4])
+	}
+
+	// Collect any posted rewards.
+	offers, err := api.Rewards()
+	if err != nil {
+		return err
+	}
+	for _, id := range offers {
+		q, ok := vehicle.Secret(id)
+		if !ok {
+			continue
+		}
+		if err := collect(api, id, q); err != nil {
+			fmt.Fprintf(os.Stderr, "collecting reward for %x: %v\n", id[:4], err)
+		}
+	}
+	return nil
+}
+
+func collect(api *client.API, id vd.VPID, q vd.Secret) error {
+	units, err := api.ClaimReward(id, q)
+	if err != nil {
+		return err
+	}
+	pub, err := api.BankKey()
+	if err != nil {
+		return err
+	}
+	cash, err := api.WithdrawCash(id, q, units, pub)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("collected %d units of untraceable cash for VP %x…\n", len(cash), id[:4])
+	return nil
+}

@@ -1,0 +1,80 @@
+// Command viewmap-server runs the ViewMap system service: the VP
+// database, investigation/verification engine, video solicitation and
+// validation, and the blind-signature reward bank, exposed over the
+// HTTP API of internal/server.
+//
+// Usage:
+//
+//	viewmap-server [-addr :8440] [-authority-token TOKEN] [-bank-bits 2048]
+//
+// If no authority token is supplied a random one is generated and
+// printed at startup; authorities pass it in the X-Viewmap-Authority
+// header for trusted uploads, investigations and reviews.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"viewmap/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8440", "listen address")
+	token := flag.String("authority-token", "", "authority token (random if empty)")
+	bankBits := flag.Int("bank-bits", 2048, "RSA key size for the reward bank")
+	dbPath := flag.String("db", "", "VP database file: loaded at startup, saved on SIGINT/SIGTERM")
+	flag.Parse()
+
+	sys, err := server.NewSystem(server.Config{
+		AuthorityToken: *token,
+		BankBits:       *bankBits,
+	})
+	if err != nil {
+		log.Fatalf("starting system: %v", err)
+	}
+	if *dbPath != "" {
+		if _, err := os.Stat(*dbPath); err == nil {
+			n, err := sys.Store().LoadFile(*dbPath)
+			if err != nil {
+				log.Fatalf("loading VP database: %v", err)
+			}
+			log.Printf("loaded %d VPs from %s", n, *dbPath)
+		}
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sig
+			if err := sys.Store().SaveFile(*dbPath); err != nil {
+				log.Printf("saving VP database: %v", err)
+			} else {
+				log.Printf("saved %d VPs to %s", sys.Store().Len(), *dbPath)
+			}
+			os.Exit(0)
+		}()
+	}
+	log.Printf("ViewMap system service listening on %s", *addr)
+	log.Printf("authority token: %s", sys.AuthorityToken())
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           logRequests(server.Handler(sys)),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Fatal(srv.ListenAndServe())
+}
+
+// logRequests is a minimal access log. Session ids rotate per request
+// by protocol, so the log carries no stable user identifiers.
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		log.Printf("%s %s (%v)", r.Method, r.URL.Path, time.Since(start).Round(time.Millisecond))
+	})
+}

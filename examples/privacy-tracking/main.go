@@ -1,0 +1,68 @@
+// Privacy tracking: what the VP database reveals about drivers, with
+// and without guard VPs.
+//
+// The system (or anyone who obtains the VP database) plays the
+// Section 6.2.2 adversary: starting from perfect knowledge of a
+// target's first VP, it links VPs minute over minute by spatial
+// continuity. Guard VPs — plausible fabricated trajectories that
+// branch off at every encounter — make the belief diverge; this
+// example prints the tracker's per-minute entropy and success with
+// and without them.
+//
+// Run with: go run ./examples/privacy-tracking
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"viewmap/internal/sim"
+	"viewmap/internal/tracker"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("simulating 12 minutes of 100 vehicles on a 4x4 km grid...")
+	run, err := sim.NewCityRun(sim.CityConfig{
+		Vehicles: 100, Minutes: 12, MixSpeeds: true, Seed: 99,
+	})
+	if err != nil {
+		return err
+	}
+
+	guarded, err := run.TrackingDataset(true)
+	if err != nil {
+		return err
+	}
+	bare, err := run.TrackingDataset(false)
+	if err != nil {
+		return err
+	}
+
+	entG, sucG, err := guarded.AverageOverTargets(tracker.Config{})
+	if err != nil {
+		return err
+	}
+	entB, sucB, err := bare.AverageOverTargets(tracker.Config{})
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("\n            with guard VPs        raw VP database")
+	fmt.Println("minute   entropy   success      entropy   success")
+	for m := range sucG {
+		fmt.Printf("  %2d     %5.2f b   %6.3f       %5.2f b   %6.3f\n",
+			m, entG[m], sucG[m], entB[m], sucB[m])
+	}
+	last := len(sucG) - 1
+	fmt.Printf("\nafter %d minutes the tracker still follows %.0f%% of drivers in the raw\n",
+		last, sucB[last]*100)
+	fmt.Printf("database, but only %.1f%% once guard VPs obfuscate the trajectories —\n", sucG[last]*100)
+	fmt.Println("the path-confusion effect of Section 5.1.2 / Figs. 10-11.")
+	return nil
+}

@@ -1,0 +1,165 @@
+// Reward flow: the full untraceable-cash protocol of Section 5.3 and
+// Appendix A, across the HTTP API.
+//
+// A vehicle's video is solicited and reviewed; the owner proves
+// ownership with the secret Q behind its VP identifier R = H(Q),
+// withdraws blind-signed cash, and spends it. The example then shows
+// the two guarantees: a double spend bounces, and the bank cannot link
+// the cash it sees at redemption to the blinded messages it signed.
+//
+// Run with: go run ./examples/reward-flow
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http/httptest"
+
+	"viewmap/internal/client"
+	"viewmap/internal/geo"
+	"viewmap/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	sys, err := server.NewSystem(server.Config{AuthorityToken: "tok", BankBits: 1024})
+	if err != nil {
+		return err
+	}
+	ts := httptest.NewServer(server.Handler(sys))
+	defer ts.Close()
+	api, err := client.NewAPI(ts.URL, ts.Client())
+	if err != nil {
+		return err
+	}
+
+	// A witness and a police car drive the same road, exchanging VDs,
+	// so their VPs share a viewlink and the witness VP verifies.
+	civilian, err := driveConvoy(api, sys)
+	if err != nil {
+		return err
+	}
+
+	// Investigation -> solicitation -> video upload -> review.
+	if _, err := api.Investigate("tok", 0, -50, 900, 50, 0); err != nil {
+		return err
+	}
+	ids, err := api.Solicitations()
+	if err != nil {
+		return err
+	}
+	matches := civilian.MatchSolicitations(ids)
+	if len(matches) == 0 {
+		return fmt.Errorf("witness VP was not solicited")
+	}
+	var rewardID [16]byte
+	for id, chunks := range matches {
+		if err := api.SubmitVideo(id, chunks); err != nil {
+			return err
+		}
+		rewardID = id
+		fmt.Printf("video for VP %x… uploaded and validated\n", id[:4])
+	}
+	if _, err := sys.Review("tok", func(*server.Submission) bool { return true }, 3); err != nil {
+		return err
+	}
+	fmt.Println("human review approved the video; reward posted for 3 units")
+
+	// The anonymous owner claims: prove ownership, blind, sign, unblind.
+	q, ok := civilian.Secret(rewardID)
+	if !ok {
+		return fmt.Errorf("secret missing")
+	}
+	units, err := api.ClaimReward(rewardID, q)
+	if err != nil {
+		return err
+	}
+	pub, err := api.BankKey()
+	if err != nil {
+		return err
+	}
+	cash, err := api.WithdrawCash(rewardID, q, units, pub)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("withdrew %d units of blind-signed virtual cash\n", len(cash))
+
+	// Spend them; anyone can verify authenticity against the bank key.
+	for i, c := range cash {
+		if !c.Verify(pub) {
+			return fmt.Errorf("unit %d failed public verification", i)
+		}
+		if err := api.Redeem(c); err != nil {
+			return err
+		}
+	}
+	fmt.Println("all units verified and redeemed")
+
+	// Double spending is caught by the ledger...
+	if err := api.Redeem(cash[0]); err != nil {
+		fmt.Println("double spend rejected:", err)
+	} else {
+		return fmt.Errorf("double spend was not caught")
+	}
+	// ...and unlinkability holds: the messages the bank signed were
+	// blinded, so the redeemed units cannot be matched to the video.
+	fmt.Println("the bank signed only blinded messages: the cash it redeemed cannot be")
+	fmt.Println("linked to the video, its VP, or the uploader (Chaum blind signatures)")
+	return nil
+}
+
+// driveConvoy records one minute for a witness and a police car
+// driving in convoy with full VD exchange, uploads both profiles, and
+// returns the witness.
+func driveConvoy(api *client.API, sys *server.System) (*client.Vehicle, error) {
+	witness, err := client.NewVehicle(client.VehicleConfig{Name: "witness", BytesPerSecond: 4000})
+	if err != nil {
+		return nil, err
+	}
+	police, err := client.NewVehicle(client.VehicleConfig{Name: "police", BytesPerSecond: 4000})
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range []*client.Vehicle{witness, police} {
+		if err := v.BeginMinute(0); err != nil {
+			return nil, err
+		}
+	}
+	for s := 1; s <= 60; s++ {
+		dw, err := witness.Tick(geo.Pt(float64(s)*12, 0))
+		if err != nil {
+			return nil, err
+		}
+		dp, err := police.Tick(geo.Pt(float64(s)*12+40, 0))
+		if err != nil {
+			return nil, err
+		}
+		if err := witness.Hear(dp, int64(s)); err != nil {
+			return nil, err
+		}
+		if err := police.Hear(dw, int64(s)); err != nil {
+			return nil, err
+		}
+	}
+	for _, v := range []*client.Vehicle{witness, police} {
+		if _, _, err := v.EndMinute(nil); err != nil {
+			return nil, err
+		}
+	}
+	for _, p := range witness.PendingUploads() {
+		if err := api.UploadVP(p); err != nil {
+			return nil, err
+		}
+	}
+	for _, p := range police.PendingUploads() {
+		if err := api.UploadTrustedVP(sys.AuthorityToken(), p); err != nil {
+			return nil, err
+		}
+	}
+	return witness, nil
+}

@@ -1,0 +1,247 @@
+// Package anon models the anonymous upload channel that ViewMap
+// vehicles use to submit VPs ("We use Tor for this purpose... we make
+// users constantly change sessions with the system, preventing the
+// system from distinguishing among users by session ids", Section
+// 5.1.2).
+//
+// It substitutes an in-process onion-routing simulation for the real
+// Tor network: a circuit of relays with pre-established symmetric
+// keys, layered AEAD encryption so each relay learns only the next
+// hop, and single-use session identifiers for every exchange with the
+// system. What the rest of the reproduction depends on is only the
+// property the paper uses: the server observes uploads stripped of
+// any stable user identifier.
+package anon
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"sync"
+)
+
+func bigInt(n int) *big.Int { return big.NewInt(int64(n)) }
+
+// KeySize is the per-relay symmetric key size (AES-256).
+const KeySize = 32
+
+// RelayID identifies a relay in a directory.
+type RelayID uint32
+
+// Relay is one onion hop. In real Tor the key would be negotiated per
+// circuit; the simulation provisions it at relay creation.
+type Relay struct {
+	ID  RelayID
+	key [KeySize]byte
+}
+
+// NewRelay creates a relay with a fresh random key.
+func NewRelay(id RelayID) (*Relay, error) {
+	r := &Relay{ID: id}
+	if _, err := io.ReadFull(rand.Reader, r.key[:]); err != nil {
+		return nil, fmt.Errorf("anon: provisioning relay key: %w", err)
+	}
+	return r, nil
+}
+
+func (r *Relay) aead() (cipher.AEAD, error) {
+	block, err := aes.NewCipher(r.key[:])
+	if err != nil {
+		return nil, err
+	}
+	return cipher.NewGCM(block)
+}
+
+// header precedes each onion layer: the id of the relay expected to
+// peel it. The exit layer carries the sentinel ExitHop.
+const ExitHop = RelayID(0xFFFFFFFF)
+
+// Peel removes this relay's layer: it authenticates and decrypts the
+// ciphertext, returning the next-hop relay id and the inner message.
+// A relay handed a layer not addressed to it fails authentication.
+func (r *Relay) Peel(layer []byte) (next RelayID, inner []byte, err error) {
+	aead, err := r.aead()
+	if err != nil {
+		return 0, nil, err
+	}
+	ns := aead.NonceSize()
+	if len(layer) < ns+4 {
+		return 0, nil, errors.New("anon: layer too short")
+	}
+	nonce, ct := layer[:ns], layer[ns:]
+	pt, err := aead.Open(nil, nonce, ct, nil)
+	if err != nil {
+		return 0, nil, fmt.Errorf("anon: peeling layer: %w", err)
+	}
+	if len(pt) < 4 {
+		return 0, nil, errors.New("anon: malformed layer")
+	}
+	return RelayID(binary.BigEndian.Uint32(pt[:4])), pt[4:], nil
+}
+
+// wrap adds one encryption layer addressed so that the relay will
+// forward to next.
+func (r *Relay) wrap(next RelayID, inner []byte) ([]byte, error) {
+	aead, err := r.aead()
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, aead.NonceSize())
+	if _, err := io.ReadFull(rand.Reader, nonce); err != nil {
+		return nil, fmt.Errorf("anon: drawing nonce: %w", err)
+	}
+	pt := make([]byte, 4+len(inner))
+	binary.BigEndian.PutUint32(pt[:4], uint32(next))
+	copy(pt[4:], inner)
+	return append(nonce, aead.Seal(nil, nonce, pt, nil)...), nil
+}
+
+// Circuit is an ordered relay path; index 0 is the entry hop.
+type Circuit struct {
+	relays []*Relay
+}
+
+// NewCircuit builds a circuit over the given relays (at least one).
+func NewCircuit(relays ...*Relay) (*Circuit, error) {
+	if len(relays) == 0 {
+		return nil, errors.New("anon: circuit needs at least one relay")
+	}
+	return &Circuit{relays: relays}, nil
+}
+
+// Len returns the number of hops.
+func (c *Circuit) Len() int { return len(c.relays) }
+
+// Wrap onion-encrypts a payload for the circuit: the innermost layer
+// is addressed to the exit sentinel, and each preceding relay's layer
+// names its successor.
+func (c *Circuit) Wrap(payload []byte) ([]byte, error) {
+	msg := append([]byte(nil), payload...)
+	var err error
+	for i := len(c.relays) - 1; i >= 0; i-- {
+		next := ExitHop
+		if i+1 < len(c.relays) {
+			next = c.relays[i+1].ID
+		}
+		msg, err = c.relays[i].wrap(next, msg)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return msg, nil
+}
+
+// Traverse simulates the message passing through every hop in order,
+// verifying the forwarding chain, and returns the exit payload.
+func (c *Circuit) Traverse(wrapped []byte) ([]byte, error) {
+	msg := wrapped
+	for i, r := range c.relays {
+		next, inner, err := r.Peel(msg)
+		if err != nil {
+			return nil, fmt.Errorf("anon: hop %d: %w", i, err)
+		}
+		wantNext := ExitHop
+		if i+1 < len(c.relays) {
+			wantNext = c.relays[i+1].ID
+		}
+		if next != wantNext {
+			return nil, fmt.Errorf("anon: hop %d forwards to %d, want %d", i, next, wantNext)
+		}
+		msg = inner
+	}
+	return msg, nil
+}
+
+// Directory is a pool of relays to draw circuits from.
+type Directory struct {
+	mu     sync.Mutex
+	relays []*Relay
+}
+
+// NewDirectory provisions n relays.
+func NewDirectory(n int) (*Directory, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("anon: directory needs at least one relay, got %d", n)
+	}
+	d := &Directory{}
+	for i := 0; i < n; i++ {
+		r, err := NewRelay(RelayID(i))
+		if err != nil {
+			return nil, err
+		}
+		d.relays = append(d.relays, r)
+	}
+	return d, nil
+}
+
+// PickCircuit selects hops distinct relays uniformly at random using
+// crypto/rand (circuit choice must be unpredictable).
+func (d *Directory) PickCircuit(hops int) (*Circuit, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if hops <= 0 || hops > len(d.relays) {
+		return nil, fmt.Errorf("anon: cannot pick %d hops from %d relays", hops, len(d.relays))
+	}
+	idx := make([]int, len(d.relays))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Fisher-Yates with crypto randomness over the prefix we need.
+	for i := 0; i < hops; i++ {
+		jBig, err := rand.Int(rand.Reader, bigInt(len(idx)-i))
+		if err != nil {
+			return nil, err
+		}
+		j := i + int(jBig.Int64())
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	picked := make([]*Relay, hops)
+	for i := 0; i < hops; i++ {
+		picked[i] = d.relays[idx[i]]
+	}
+	return NewCircuit(picked...)
+}
+
+// Sessions issues single-use anonymous session identifiers. Vehicles
+// take a fresh one per server exchange, so the server cannot group
+// uploads by session.
+type Sessions struct {
+	mu     sync.Mutex
+	issued map[string]bool
+}
+
+// NewSessions creates an empty issuer.
+func NewSessions() *Sessions {
+	return &Sessions{issued: make(map[string]bool)}
+}
+
+// New returns a fresh 128-bit hex session id, guaranteed distinct from
+// every id previously issued by this issuer.
+func (s *Sessions) New() (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		var b [16]byte
+		if _, err := io.ReadFull(rand.Reader, b[:]); err != nil {
+			return "", fmt.Errorf("anon: drawing session id: %w", err)
+		}
+		id := hex.EncodeToString(b[:])
+		if !s.issued[id] {
+			s.issued[id] = true
+			return id, nil
+		}
+	}
+}
+
+// Count returns how many session ids have been issued.
+func (s *Sessions) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.issued)
+}

@@ -1,0 +1,232 @@
+package anon
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestWrapTraverseRoundTrip(t *testing.T) {
+	dir, err := NewDirectory(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	circuit, err := dir.PickCircuit(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("anonymous view profile upload")
+	wrapped, err := circuit.Wrap(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(wrapped, payload) {
+		t.Error("wrapped message must not contain the plaintext payload")
+	}
+	out, err := circuit.Traverse(wrapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, payload) {
+		t.Errorf("traversal output = %q, want %q", out, payload)
+	}
+}
+
+func TestSingleHopCircuit(t *testing.T) {
+	r, err := NewRelay(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCircuit(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped, err := c.Wrap([]byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Traverse(wrapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "x" {
+		t.Errorf("got %q", out)
+	}
+}
+
+func TestEmptyCircuitRejected(t *testing.T) {
+	if _, err := NewCircuit(); err == nil {
+		t.Error("empty circuit should fail")
+	}
+}
+
+func TestWrongRelayCannotPeel(t *testing.T) {
+	a, _ := NewRelay(1)
+	b, _ := NewRelay(2)
+	c, err := NewCircuit(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped, err := c.Wrap([]byte("secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := b.Peel(wrapped); err == nil {
+		t.Error("a relay without the right key must not peel the layer")
+	}
+}
+
+func TestRelayLearnsOnlyNextHop(t *testing.T) {
+	a, _ := NewRelay(1)
+	b, _ := NewRelay(2)
+	c, _ := NewRelay(3)
+	circuit, err := NewCircuit(a, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("upload body")
+	wrapped, err := circuit.Wrap(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Entry relay peels one layer: sees next hop id, not the payload.
+	next, inner, err := a.Peel(wrapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != b.ID {
+		t.Errorf("entry relay forwards to %d, want %d", next, b.ID)
+	}
+	if bytes.Contains(inner, payload) {
+		t.Error("payload must still be encrypted after the first peel")
+	}
+	// Middle relay.
+	next, inner, err = b.Peel(inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != c.ID {
+		t.Errorf("middle relay forwards to %d, want %d", next, c.ID)
+	}
+	// Exit relay sees the payload and the exit sentinel.
+	next, inner, err = c.Peel(inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != ExitHop {
+		t.Errorf("exit relay sees hop %d, want sentinel", next)
+	}
+	if !bytes.Equal(inner, payload) {
+		t.Error("exit relay should recover the payload")
+	}
+}
+
+func TestPeelTamperDetected(t *testing.T) {
+	a, _ := NewRelay(1)
+	c, _ := NewCircuit(a)
+	wrapped, err := c.Wrap([]byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped[len(wrapped)-1] ^= 0xFF
+	if _, _, err := a.Peel(wrapped); err == nil {
+		t.Error("tampered layer must fail authentication")
+	}
+	if _, _, err := a.Peel([]byte{1, 2}); err == nil {
+		t.Error("truncated layer must fail")
+	}
+}
+
+func TestDirectoryValidation(t *testing.T) {
+	if _, err := NewDirectory(0); err == nil {
+		t.Error("empty directory should fail")
+	}
+	dir, err := NewDirectory(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dir.PickCircuit(0); err == nil {
+		t.Error("zero hops should fail")
+	}
+	if _, err := dir.PickCircuit(4); err == nil {
+		t.Error("more hops than relays should fail")
+	}
+}
+
+func TestPickCircuitDistinctRelays(t *testing.T) {
+	dir, err := NewDirectory(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 20; trial++ {
+		c, err := dir.PickCircuit(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make(map[RelayID]bool)
+		for _, r := range c.relays {
+			if seen[r.ID] {
+				t.Fatal("circuit reuses a relay")
+			}
+			seen[r.ID] = true
+		}
+	}
+}
+
+func TestSessionsUnique(t *testing.T) {
+	s := NewSessions()
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		id, err := s.New()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[id] {
+			t.Fatal("session id repeated")
+		}
+		seen[id] = true
+	}
+	if s.Count() != 1000 {
+		t.Errorf("Count = %d, want 1000", s.Count())
+	}
+}
+
+func TestWrapProducesFreshCiphertexts(t *testing.T) {
+	// Random nonces: wrapping the same payload twice yields different
+	// ciphertexts, so uploads are not linkable by content.
+	a, _ := NewRelay(1)
+	c, _ := NewCircuit(a)
+	w1, err := c.Wrap([]byte("same payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := c.Wrap([]byte("same payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(w1, w2) {
+		t.Error("two wraps of the same payload must differ")
+	}
+}
+
+func BenchmarkWrapTraverse3Hops(b *testing.B) {
+	dir, err := NewDirectory(3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	circuit, err := dir.PickCircuit(3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 4840) // one VP upload
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wrapped, err := circuit.Wrap(payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := circuit.Traverse(wrapped); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,373 @@
+// Package attack implements the adversary models of Sections 6.3 and 8:
+// colluding attackers who hold legitimate VPs on a viewmap and inject
+// large numbers of fake VPs cheating locations and times, hoping the
+// system solicits (and pays for) fabricated evidence.
+//
+// The structural constraints the paper identifies shape everything
+// here. Two-way linkage validation means a fake VP cannot obtain an
+// edge to an honest user's VP — only to other attacker-controlled VPs.
+// The time-aligned proximity check precludes long-distance edges, so
+// an attacker whose legitimate VP sits away from the investigation
+// site must build a *chain* of fake VPs marching toward the site.
+// Colluding attackers additionally cross-link their fake clusters to
+// pool trust mass (Lemma 2).
+package attack
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"viewmap/internal/core"
+	"viewmap/internal/geo"
+	"viewmap/internal/vd"
+	"viewmap/internal/vp"
+)
+
+// Campaign is one prepared attack: the attacker-owned legitimate VPs
+// plus the fake VPs to inject into the VP database.
+type Campaign struct {
+	// Owned are the attackers' legitimate profiles (already part of the
+	// honest population and properly linked).
+	Owned []*vp.Profile
+	// Fakes are the injected profiles, in creation order.
+	Fakes []*vp.Profile
+	// fakeIDs indexes the fakes for verdict scoring.
+	fakeIDs map[vd.VPID]bool
+}
+
+// IsFake reports whether the identifier belongs to an injected VP.
+func (c *Campaign) IsFake(id vd.VPID) bool { return c.fakeIDs[id] }
+
+// Config parameterizes an attack campaign.
+type Config struct {
+	// Site is the investigation site the fakes must reach (publicly
+	// unknown to real attackers; the experiments grant it to model the
+	// worst case, as the paper does).
+	Site geo.Rect
+	// FakeCount is the total number of fake VPs to inject.
+	FakeCount int
+	// ChainSpacing is the distance between consecutive chain VPs;
+	// zero selects 300 m (inside the 400 m proximity limit).
+	ChainSpacing float64
+	// Colluding links the attackers' fake clusters to each other,
+	// modelling attackers who "share their fake VPs to increase their
+	// trust scores".
+	Colluding bool
+	// Minute is the unit-time window under attack.
+	Minute int64
+	// Seed drives fake placement.
+	Seed int64
+}
+
+// Launch fabricates the fake VPs for a set of attacker-owned
+// legitimate profiles. Each owned profile anchors a chain of fakes
+// stepping from the attacker's true position to the site; remaining
+// budget is spent on in-site fakes linked into the chains. Fake VPs
+// within one attacker's cluster are mutually linked (the attacker
+// controls both filters); across attackers only when Colluding.
+func Launch(owned []*vp.Profile, cfg Config) (*Campaign, error) {
+	if len(owned) == 0 {
+		return nil, errors.New("attack: need at least one attacker-owned legitimate VP")
+	}
+	if cfg.FakeCount <= 0 {
+		return nil, fmt.Errorf("attack: fake count must be positive, got %d", cfg.FakeCount)
+	}
+	if cfg.ChainSpacing <= 0 {
+		cfg.ChainSpacing = 300
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	camp := &Campaign{Owned: owned, fakeIDs: make(map[vd.VPID]bool)}
+
+	target := cfg.Site.Center()
+	// Fake budget split evenly across attackers.
+	per := cfg.FakeCount / len(owned)
+	extra := cfg.FakeCount % len(owned)
+	var siteEntry []*vp.Profile // last chain node per attacker (in site), for collusion links
+	for ai, own := range owned {
+		budget := per
+		if ai < extra {
+			budget++
+		}
+		if budget == 0 {
+			continue
+		}
+		chain, err := buildChain(own, target, cfg.ChainSpacing, cfg.Minute, budget, rng)
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range chain {
+			camp.fakeIDs[f.ID()] = true
+		}
+		camp.Fakes = append(camp.Fakes, chain...)
+		if len(chain) > 0 {
+			siteEntry = append(siteEntry, chain[len(chain)-1])
+		}
+	}
+	if cfg.Colluding && len(siteEntry) > 1 {
+		// Cross-link the attackers' site clusters: all of them claim
+		// positions in/near the site, so claimed proximity holds.
+		for i := 0; i < len(siteEntry); i++ {
+			for j := i + 1; j < len(siteEntry); j++ {
+				if err := vp.LinkMutually(siteEntry[i], siteEntry[j]); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return camp, nil
+}
+
+// buildChain fabricates `budget` fakes for one attacker: a chain from
+// the owned VP's real position toward the target, then a cluster
+// saturating the site. Consecutive profiles are mutually linked; every
+// in-site fake links to the chain head reaching the site.
+func buildChain(own *vp.Profile, target geo.Point, spacing float64, minute int64, budget int, rng *rand.Rand) ([]*vp.Profile, error) {
+	start := own.FinalLocation()
+	dir := target.Sub(start)
+	dist := dir.Norm()
+	hops := 0
+	if dist > 0 {
+		hops = int(dist / spacing)
+	}
+	out := make([]*vp.Profile, 0, budget)
+	prev := own
+	for i := 0; i < budget; i++ {
+		var pos geo.Point
+		if i < hops {
+			// Chain link stepping toward the site.
+			t := float64(i+1) * spacing / dist
+			if t > 1 {
+				t = 1
+			}
+			pos = start.Lerp(target, t)
+		} else {
+			// In-site cluster with mild scatter.
+			pos = target.Add(geo.Pt(rng.Float64()*100-50, rng.Float64()*100-50))
+		}
+		track := make([]geo.Point, vd.SegmentSeconds)
+		for s := range track {
+			track[s] = pos
+		}
+		f, err := core.FabricateProfile(track, minute, 0, rng)
+		if err != nil {
+			return nil, err
+		}
+		if err := vp.LinkMutually(prev, f); err != nil {
+			return nil, err
+		}
+		// Fakes inside the cluster also link back to the first in-site
+		// node, maximizing internal connectivity (the attacker's best
+		// strategy per Corollary 1 is dense linking).
+		if i > hops && len(out) > hops {
+			if err := vp.LinkMutually(out[hops], f); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, f)
+		prev = f
+	}
+	return out, nil
+}
+
+// Outcome scores one verification run against the campaign.
+type Outcome struct {
+	// FakeAccepted counts injected VPs the verdict marked legitimate.
+	FakeAccepted int
+	// LegitAccepted counts genuine VPs marked legitimate.
+	LegitAccepted int
+	// InSiteFakes counts injected VPs that made it into the viewmap and
+	// claimed the site.
+	InSiteFakes int
+	// InSiteLegit counts genuine in-site VPs.
+	InSiteLegit int
+}
+
+// Success reports whether the verification run counts as accurate in
+// the paper's sense: the legitimate set contains no fake VP.
+func (o Outcome) Success() bool { return o.FakeAccepted == 0 }
+
+// Evaluate builds the viewmap over the honest population plus the
+// campaign's fakes, runs Algorithm 1, and scores the verdict.
+func Evaluate(population []*vp.Profile, camp *Campaign, site geo.Rect, minute int64) (Outcome, error) {
+	all := make([]*vp.Profile, 0, len(population)+len(camp.Fakes))
+	all = append(all, population...)
+	all = append(all, camp.Fakes...)
+	vm, err := core.Build(all, core.BuildConfig{Site: site, Minute: minute})
+	if err != nil {
+		return Outcome{}, err
+	}
+	inSite := vm.InSite(site)
+	verdict, err := vm.VerifySite(inSite, core.TrustRankConfig{})
+	if err != nil {
+		return Outcome{}, err
+	}
+	var o Outcome
+	for _, i := range inSite {
+		if camp.IsFake(vm.Profiles[i].ID()) {
+			o.InSiteFakes++
+		} else {
+			o.InSiteLegit++
+		}
+	}
+	for _, i := range verdict.Legitimate {
+		if camp.IsFake(vm.Profiles[i].ID()) {
+			o.FakeAccepted++
+		} else {
+			o.LegitAccepted++
+		}
+	}
+	return o, nil
+}
+
+// PickOwnedByHops selects attacker-owned profiles whose hop distance
+// from the trusted VP falls inside [minHops, maxHops] — the x-axis of
+// Fig. 12. It builds a throwaway viewmap over the population to measure
+// hop distances.
+func PickOwnedByHops(population []*vp.Profile, site geo.Rect, minute int64, minHops, maxHops, count int) ([]*vp.Profile, error) {
+	vm, err := core.Build(population, core.BuildConfig{Site: site, Minute: minute})
+	if err != nil {
+		return nil, err
+	}
+	hops := vm.HopsFromTrusted()
+	var out []*vp.Profile
+	for i, h := range hops {
+		if h >= minHops && h <= maxHops && !vm.Profiles[i].Trusted {
+			out = append(out, vm.Profiles[i])
+			if len(out) == count {
+				break
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("attack: no profiles at hop distance %d..%d", minHops, maxHops)
+	}
+	return out, nil
+}
+
+// HopQuantiles computes, once per population, the viewmap hop distance
+// of every reachable non-trusted profile, sorted ascending. The
+// attacker-position sweeps slice this into quantile bands so every
+// band is populated regardless of the graph's diameter.
+//
+// Profiles whose trajectories enter the investigation site are
+// excluded: an attacker who was physically at the incident holds an
+// in-site legitimate VP and trivially gets its fakes accepted — the
+// rare special case the paper acknowledges separately ("attackers
+// cannot predict the future") — and would otherwise contaminate the
+// position sweep, since hop distance from the trusted VP correlates
+// with proximity to the site.
+func HopQuantiles(population []*vp.Profile, site geo.Rect, minute int64) ([]*vp.Profile, []int, error) {
+	vm, err := core.Build(population, core.BuildConfig{Site: site, Minute: minute})
+	if err != nil {
+		return nil, nil, err
+	}
+	hops := vm.HopsFromTrusted()
+	type entry struct {
+		p *vp.Profile
+		h int
+	}
+	var entries []entry
+	for i, h := range hops {
+		if h > 0 && !vm.Profiles[i].Trusted && !vm.Profiles[i].EntersArea(site) {
+			entries = append(entries, entry{vm.Profiles[i], h})
+		}
+	}
+	if len(entries) == 0 {
+		return nil, nil, errors.New("attack: no reachable non-trusted profiles")
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].h < entries[j].h })
+	profiles := make([]*vp.Profile, len(entries))
+	hopsOut := make([]int, len(entries))
+	for i, e := range entries {
+		profiles[i] = e.p
+		hopsOut[i] = e.h
+	}
+	return profiles, hopsOut, nil
+}
+
+// CloneDummies models the Fig. 13 concentration attacker: one vehicle
+// carrying many dummy recorders, so all its dummy VPs share (nearly)
+// one trajectory. It fabricates n-1 profiles jittered around base's
+// track, honestly linked to each other, to base, and to every
+// population profile the trajectory actually neighbored — these VPs
+// are legitimately created at real positions and pass every check.
+// The returned clones must be added to the VP population before
+// evaluation.
+func CloneDummies(base *vp.Profile, population []*vp.Profile, n int, rangeM float64, rng *rand.Rand) ([]*vp.Profile, error) {
+	if n <= 1 {
+		return nil, nil
+	}
+	track := make([]geo.Point, len(base.VDs))
+	clones := make([]*vp.Profile, 0, n-1)
+	for c := 0; c < n-1; c++ {
+		for i := range base.VDs {
+			// A few metres of jitter: recorders in the same car.
+			track[i] = base.VDs[i].L.Add(geo.Pt(rng.Float64()*6-3, rng.Float64()*6-3))
+		}
+		p, err := core.FabricateProfile(track, base.Minute(), 0, rng)
+		if err != nil {
+			return nil, err
+		}
+		clones = append(clones, p)
+	}
+	// Honest linkage: clones with base, with each other, and with the
+	// population profiles base's trajectory neighbors.
+	for i, c := range clones {
+		if err := vp.LinkMutually(base, c); err != nil {
+			return nil, err
+		}
+		for _, d := range clones[i+1:] {
+			if err := vp.LinkMutually(c, d); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, pop := range population {
+		if pop == base || pop.Minute() != base.Minute() {
+			continue
+		}
+		near := false
+		for s := range base.VDs {
+			if s < len(pop.VDs) && base.VDs[s].L.Dist(pop.VDs[s].L) <= rangeM {
+				near = true
+				break
+			}
+		}
+		if !near {
+			continue
+		}
+		for _, c := range clones {
+			if err := vp.LinkMutually(pop, c); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return clones, nil
+}
+
+// PickQuantileBand selects `count` profiles at random from the
+// [loQ, hiQ) quantile band of a HopQuantiles ordering.
+func PickQuantileBand(ordered []*vp.Profile, loQ, hiQ float64, count int, rng *rand.Rand) []*vp.Profile {
+	n := len(ordered)
+	lo := int(loQ * float64(n))
+	hi := int(hiQ * float64(n))
+	if hi > n {
+		hi = n
+	}
+	if lo >= hi {
+		return nil
+	}
+	band := ordered[lo:hi]
+	if count >= len(band) {
+		out := make([]*vp.Profile, len(band))
+		copy(out, band)
+		return out
+	}
+	out := make([]*vp.Profile, 0, count)
+	for _, idx := range rng.Perm(len(band))[:count] {
+		out = append(out, band[idx])
+	}
+	return out
+}

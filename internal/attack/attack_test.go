@@ -1,0 +1,209 @@
+package attack
+
+import (
+	"testing"
+
+	"viewmap/internal/core"
+	"viewmap/internal/geo"
+	"viewmap/internal/vp"
+)
+
+// population builds an honestly linked population of n VPs in a
+// 3x3 km area with the trusted VP near the given point.
+func population(t testing.TB, n int, seed int64, trustedNear geo.Point) []*vp.Profile {
+	t.Helper()
+	area := geo.NewRect(geo.Pt(0, 0), geo.Pt(3000, 3000))
+	profiles, err := core.SynthesizeLegitimate(core.SynthConfig{N: n, Area: area, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.MarkTrustedNearest(profiles, trustedNear)
+	return profiles
+}
+
+func TestLaunchValidation(t *testing.T) {
+	site := geo.RectAround(geo.Pt(1500, 1500), 150)
+	if _, err := Launch(nil, Config{Site: site, FakeCount: 10}); err == nil {
+		t.Error("no owned VPs should fail")
+	}
+	pop := population(t, 10, 1, geo.Pt(0, 0))
+	if _, err := Launch(pop[:1], Config{Site: site, FakeCount: 0}); err == nil {
+		t.Error("zero fakes should fail")
+	}
+}
+
+func TestCampaignStructure(t *testing.T) {
+	pop := population(t, 50, 2, geo.Pt(100, 100))
+	site := geo.RectAround(geo.Pt(2800, 2800), 150)
+	// Owner far from the site: chain needed.
+	var owned *vp.Profile
+	for _, p := range pop {
+		if !p.Trusted && p.FinalLocation().Dist(site.Center()) > 1500 {
+			owned = p
+			break
+		}
+	}
+	if owned == nil {
+		t.Skip("no suitable owned VP for this seed")
+	}
+	camp, err := Launch([]*vp.Profile{owned}, Config{Site: site, FakeCount: 30, Minute: 0, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(camp.Fakes) != 30 {
+		t.Fatalf("launched %d fakes, want 30", len(camp.Fakes))
+	}
+	for _, f := range camp.Fakes {
+		if !camp.IsFake(f.ID()) {
+			t.Error("campaign must index its own fakes")
+		}
+		if f.Trusted {
+			t.Error("fakes must not be trusted")
+		}
+	}
+	// The chain must reach the site: at least one fake claims the site.
+	reached := false
+	for _, f := range camp.Fakes {
+		if f.EntersArea(site) {
+			reached = true
+			break
+		}
+	}
+	if !reached {
+		t.Error("no fake VP reached the investigation site")
+	}
+	// Consecutive chain nodes must satisfy the claimed-proximity rule.
+	prev := owned
+	for _, f := range camp.Fakes {
+		if !vp.MutualNeighbors(prev, f, core.DefaultDSRCRange) {
+			// Cluster nodes link to the site-entry node instead of
+			// their predecessor; only require chain prefix continuity.
+			break
+		}
+		prev = f
+	}
+}
+
+func TestEvaluateRejectsChainAttack(t *testing.T) {
+	pop := population(t, 150, 4, geo.Pt(100, 100))
+	site := geo.RectAround(geo.Pt(1500, 1500), 200)
+	// Attacker owns a random non-trusted VP.
+	var owned *vp.Profile
+	for _, p := range pop {
+		if !p.Trusted {
+			owned = p
+			break
+		}
+	}
+	camp, err := Launch([]*vp.Profile{owned}, Config{Site: site, FakeCount: 100, Minute: 0, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Evaluate(pop, camp, site, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.InSiteFakes == 0 {
+		t.Fatal("attack should place fakes in the site")
+	}
+	if !out.Success() {
+		t.Errorf("verification should reject all fakes: %d accepted", out.FakeAccepted)
+	}
+	if out.LegitAccepted == 0 && out.InSiteLegit > 0 {
+		t.Error("verification should still accept legitimate in-site VPs")
+	}
+}
+
+func TestEvaluateColludingAttack(t *testing.T) {
+	pop := population(t, 150, 6, geo.Pt(100, 100))
+	site := geo.RectAround(geo.Pt(1500, 1500), 200)
+	var owned []*vp.Profile
+	for _, p := range pop {
+		if !p.Trusted {
+			owned = append(owned, p)
+			if len(owned) == 5 {
+				break
+			}
+		}
+	}
+	camp, err := Launch(owned, Config{Site: site, FakeCount: 200, Colluding: true, Minute: 0, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Evaluate(pop, camp, site, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Success() {
+		t.Errorf("colluding attack should still be rejected: %d fakes accepted", out.FakeAccepted)
+	}
+}
+
+func TestMoreFakesDoNotHelp(t *testing.T) {
+	// Corollary 1: injecting more fakes dilutes per-fake trust. The
+	// attack should fail at every injection volume.
+	pop := population(t, 120, 8, geo.Pt(100, 100))
+	site := geo.RectAround(geo.Pt(1500, 1500), 200)
+	var owned *vp.Profile
+	for _, p := range pop {
+		if !p.Trusted {
+			owned = p
+			break
+		}
+	}
+	for _, n := range []int{50, 150, 400} {
+		camp, err := Launch([]*vp.Profile{owned}, Config{Site: site, FakeCount: n, Minute: 0, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := Evaluate(pop, camp, site, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Success() {
+			t.Errorf("attack with %d fakes succeeded", n)
+		}
+	}
+}
+
+func TestPickOwnedByHops(t *testing.T) {
+	pop := population(t, 200, 10, geo.Pt(100, 100))
+	site := geo.RectAround(geo.Pt(1500, 1500), 200)
+	near, err := PickOwnedByHops(pop, site, 0, 1, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(near) == 0 || len(near) > 2 {
+		t.Fatalf("picked %d owned VPs", len(near))
+	}
+	for _, p := range near {
+		if p.Trusted {
+			t.Error("picked the trusted VP itself")
+		}
+	}
+	if _, err := PickOwnedByHops(pop, site, 0, 500, 600, 1); err == nil {
+		t.Error("unreachable hop range should fail")
+	}
+}
+
+func BenchmarkEvaluateAttack(b *testing.B) {
+	pop := population(b, 100, 11, geo.Pt(100, 100))
+	site := geo.RectAround(geo.Pt(1500, 1500), 200)
+	var owned *vp.Profile
+	for _, p := range pop {
+		if !p.Trusted {
+			owned = p
+			break
+		}
+	}
+	camp, err := Launch([]*vp.Profile{owned}, Config{Site: site, FakeCount: 100, Minute: 0, Seed: 12})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Evaluate(pop, camp, site, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package attack
+
+import (
+	"math/rand"
+	"testing"
+
+	"viewmap/internal/core"
+	"viewmap/internal/geo"
+	"viewmap/internal/vp"
+)
+
+func TestCloneDummiesStructure(t *testing.T) {
+	pop := population(t, 80, 21, geo.Pt(100, 100))
+	rng := rand.New(rand.NewSource(3))
+	var base *vp.Profile
+	for _, p := range pop {
+		if !p.Trusted {
+			base = p
+			break
+		}
+	}
+	clones, err := CloneDummies(base, pop, 10, core.DefaultDSRCRange, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clones) != 9 {
+		t.Fatalf("clones = %d, want 9", len(clones))
+	}
+	for i, c := range clones {
+		if !c.Complete() {
+			t.Fatalf("clone %d incomplete", i)
+		}
+		// Co-trajectory: every sample within metres of the base.
+		for s := range c.VDs {
+			if d := c.VDs[s].L.Dist(base.VDs[s].L); d > 10 {
+				t.Fatalf("clone %d strays %v m from the base trajectory", i, d)
+			}
+		}
+		// Honestly linked to the base.
+		if !vp.MutualNeighbors(base, c, core.DefaultDSRCRange) {
+			t.Fatalf("clone %d not linked to base", i)
+		}
+	}
+	// Clones are linked to each other.
+	if !vp.MutualNeighbors(clones[0], clones[1], core.DefaultDSRCRange) {
+		t.Error("clones should be mutually linked")
+	}
+}
+
+func TestCloneDummiesTrivial(t *testing.T) {
+	pop := population(t, 10, 22, geo.Pt(0, 0))
+	rng := rand.New(rand.NewSource(1))
+	clones, err := CloneDummies(pop[0], pop, 1, core.DefaultDSRCRange, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clones != nil {
+		t.Error("n=1 means the base alone; no clones")
+	}
+}
+
+func TestHopQuantilesOrdering(t *testing.T) {
+	pop := population(t, 150, 23, geo.Pt(100, 100))
+	site := geo.RectAround(geo.Pt(1500, 1500), 200)
+	ordered, hops, err := HopQuantiles(pop, site, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ordered) != len(hops) || len(ordered) == 0 {
+		t.Fatalf("ordering sizes wrong: %d/%d", len(ordered), len(hops))
+	}
+	for i := 1; i < len(hops); i++ {
+		if hops[i] < hops[i-1] {
+			t.Fatal("hops must be ascending")
+		}
+	}
+	for _, p := range ordered {
+		if p.Trusted {
+			t.Fatal("trusted VP must not appear in the ordering")
+		}
+	}
+}
+
+func TestPickQuantileBand(t *testing.T) {
+	pop := population(t, 150, 24, geo.Pt(100, 100))
+	site := geo.RectAround(geo.Pt(1500, 1500), 200)
+	ordered, hops, err := HopQuantiles(pop, site, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	low := PickQuantileBand(ordered, 0, 0.2, 3, rng)
+	high := PickQuantileBand(ordered, 0.8, 1, 3, rng)
+	if len(low) == 0 || len(high) == 0 {
+		t.Fatal("bands should be populated")
+	}
+	// Members of the low band sit at smaller hop distances than the
+	// high band's.
+	hopOf := func(p *vp.Profile) int {
+		for i, q := range ordered {
+			if q == p {
+				return hops[i]
+			}
+		}
+		t.Fatal("profile missing from ordering")
+		return -1
+	}
+	for _, lp := range low {
+		for _, hp := range high {
+			if hopOf(lp) > hopOf(hp) {
+				t.Fatal("band ordering violated")
+			}
+		}
+	}
+	// Degenerate band.
+	if got := PickQuantileBand(ordered, 0.5, 0.5, 3, rng); got != nil {
+		t.Error("empty band should return nil")
+	}
+	// Oversized count returns the whole band.
+	all := PickQuantileBand(ordered, 0, 1, len(ordered)+10, rng)
+	if len(all) != len(ordered) {
+		t.Errorf("oversized count should return the band, got %d", len(all))
+	}
+}

@@ -1,0 +1,275 @@
+package bloom
+
+import (
+	"crypto/rand"
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRoundsBitsUp(t *testing.T) {
+	f := New(10, 3)
+	if f.Bits() != 16 {
+		t.Errorf("Bits = %d, want 16", f.Bits())
+	}
+	if f.K() != 3 {
+		t.Errorf("K = %d, want 3", f.K())
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	for _, tc := range []struct{ m, k int }{{0, 1}, {1, 0}, {-8, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) should panic", tc.m, tc.k)
+				}
+			}()
+			New(tc.m, tc.k)
+		}()
+	}
+}
+
+func TestAddTest(t *testing.T) {
+	f := NewDefault(100)
+	elems := [][]byte{[]byte("vd-1"), []byte("vd-2"), []byte("vd-3")}
+	for _, e := range elems {
+		f.Add(e)
+	}
+	for _, e := range elems {
+		if !f.Test(e) {
+			t.Errorf("Test(%q) = false after Add; Bloom filters must not false-negative", e)
+		}
+	}
+	if f.Count() != 3 {
+		t.Errorf("Count = %d, want 3", f.Count())
+	}
+	if f.Test([]byte("never-inserted-by-anyone")) {
+		t.Error("unexpected false positive in nearly-empty 2048-bit filter")
+	}
+}
+
+func TestOptimalK(t *testing.T) {
+	if k := OptimalK(2048, 300); k != 5 {
+		t.Errorf("OptimalK(2048,300) = %d, want 5 (2048/300*ln2 ≈ 4.73)", k)
+	}
+	if k := OptimalK(2048, 0); k < 1 {
+		t.Errorf("OptimalK with n=0 must be at least 1, got %d", k)
+	}
+	if k := OptimalK(8, 10000); k != 1 {
+		t.Errorf("OptimalK must floor at 1, got %d", k)
+	}
+}
+
+func TestFromBytesRoundTrip(t *testing.T) {
+	f := NewDefault(50)
+	f.Add([]byte("alpha"))
+	f.Add([]byte("beta"))
+	g, err := FromBytes(f.Bytes(), f.K())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Bits() != f.Bits() {
+		t.Errorf("Bits mismatch: %d vs %d", g.Bits(), f.Bits())
+	}
+	if !g.Test([]byte("alpha")) || !g.Test([]byte("beta")) {
+		t.Error("reconstructed filter lost members")
+	}
+}
+
+func TestFromBytesErrors(t *testing.T) {
+	if _, err := FromBytes(nil, 3); err == nil {
+		t.Error("FromBytes(nil) should fail")
+	}
+	if _, err := FromBytes([]byte{1}, 0); err == nil {
+		t.Error("FromBytes with k=0 should fail")
+	}
+}
+
+func TestBytesIsACopy(t *testing.T) {
+	f := NewDefault(10)
+	f.Add([]byte("x"))
+	b := f.Bytes()
+	for i := range b {
+		b[i] = 0
+	}
+	if !f.Test([]byte("x")) {
+		t.Error("mutating Bytes() result must not affect the filter")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := New(2048, 5)
+	b := New(2048, 5)
+	a.Add([]byte("one"))
+	b.Add([]byte("two"))
+	if err := a.Union(b); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Test([]byte("one")) || !a.Test([]byte("two")) {
+		t.Error("union should contain members of both filters")
+	}
+	c := New(1024, 5)
+	if err := a.Union(c); err == nil {
+		t.Error("union of mismatched geometry should fail")
+	}
+}
+
+func TestSetAllAndFillRatio(t *testing.T) {
+	f := New(2048, 5)
+	if f.FillRatio() != 0 {
+		t.Error("fresh filter should have fill ratio 0")
+	}
+	f.SetAll()
+	if f.FillRatio() != 1 {
+		t.Error("SetAll should yield fill ratio 1")
+	}
+	if !f.Test([]byte("anything at all")) {
+		t.Error("all-ones filter must match everything")
+	}
+}
+
+func TestExpectedFillRatio(t *testing.T) {
+	// After many insertions the expected fill approaches 1.
+	if r := ExpectedFillRatio(2048, 5, 10000); r < 0.99 {
+		t.Errorf("expected fill for huge n = %v, want ~1", r)
+	}
+	if r := ExpectedFillRatio(2048, 5, 0); r != 0 {
+		t.Errorf("expected fill for n=0 = %v, want 0", r)
+	}
+	// Empirical fill should be near the analytic expectation.
+	f := New(2048, 5)
+	for i := 0; i < 200; i++ {
+		f.Add([]byte(fmt.Sprintf("neighbor-%d", i)))
+	}
+	want := ExpectedFillRatio(2048, 5, 200)
+	if math.Abs(f.FillRatio()-want) > 0.05 {
+		t.Errorf("empirical fill %v deviates from analytic %v", f.FillRatio(), want)
+	}
+}
+
+func TestFalseLinkageRateMatchesPaper(t *testing.T) {
+	// Paper Section 6.3.2 claims ~0.1% at m=2048, n=300; the printed
+	// closed form with integer optimal k evaluates to ~7%, an internal
+	// inconsistency in the paper (see EXPERIMENTS.md). We assert the
+	// properties the figure actually demonstrates: the rate is small and
+	// shrinks as m grows.
+	k := OptimalK(2048, 300)
+	p := FalseLinkageRate(2048, k, 300)
+	if p <= 0 || p > 0.1 {
+		t.Errorf("false linkage rate at m=2048,n=300 = %v, want a small positive value", p)
+	}
+	// Larger filters strictly reduce the rate.
+	if FalseLinkageRate(4096, OptimalK(4096, 300), 300) >= p {
+		t.Error("m=4096 should have lower false linkage rate than m=2048")
+	}
+}
+
+func TestFalsePositiveRateMonotonicInN(t *testing.T) {
+	prev := 0.0
+	for _, n := range []int{10, 50, 100, 200, 400} {
+		p := FalsePositiveRate(2048, 5, n)
+		if p < prev {
+			t.Errorf("false positive rate should grow with n: p(%d)=%v < %v", n, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestEmpiricalFalsePositiveRate(t *testing.T) {
+	// Insert n random elements, probe with fresh random elements, and
+	// compare the observed false positive rate with the analytic one.
+	const m, n, probes = 2048, 300, 20000
+	k := OptimalK(m, n)
+	f := New(m, k)
+	buf := make([]byte, 16)
+	for i := 0; i < n; i++ {
+		if _, err := rand.Read(buf); err != nil {
+			t.Fatal(err)
+		}
+		f.Add(buf)
+	}
+	hits := 0
+	for i := 0; i < probes; i++ {
+		if _, err := rand.Read(buf); err != nil {
+			t.Fatal(err)
+		}
+		if f.Test(buf) {
+			hits++
+		}
+	}
+	observed := float64(hits) / probes
+	analytic := FalsePositiveRate(m, k, n)
+	if observed > analytic*3+0.01 {
+		t.Errorf("observed FP rate %v far above analytic %v", observed, analytic)
+	}
+}
+
+// Property: no false negatives, ever.
+func TestNoFalseNegativesProperty(t *testing.T) {
+	f := NewDefault(250)
+	prop := func(elem []byte) bool {
+		f.Add(elem)
+		return f.Test(elem)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: union is a superset of both operands.
+func TestUnionSupersetProperty(t *testing.T) {
+	prop := func(as, bs [][]byte) bool {
+		a := New(2048, 5)
+		b := New(2048, 5)
+		for _, e := range as {
+			a.Add(e)
+		}
+		for _, e := range bs {
+			b.Add(e)
+		}
+		u := New(2048, 5)
+		if err := u.Union(a); err != nil {
+			return false
+		}
+		if err := u.Union(b); err != nil {
+			return false
+		}
+		for _, e := range as {
+			if !u.Test(e) {
+				return false
+			}
+		}
+		for _, e := range bs {
+			if !u.Test(e) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	f := NewDefault(250)
+	elem := []byte("benchmark-element-0123456789abcdef")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Add(elem)
+	}
+}
+
+func BenchmarkTest(b *testing.B) {
+	f := NewDefault(250)
+	for i := 0; i < 250; i++ {
+		f.Add([]byte(fmt.Sprintf("neighbor-%d", i)))
+	}
+	elem := []byte("neighbor-125")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Test(elem)
+	}
+}

@@ -1,0 +1,135 @@
+package blur
+
+import (
+	"fmt"
+	"image"
+	"time"
+)
+
+// StageTimes are the per-frame latencies of the three pipeline stages
+// that the paper's Table 1 reports, plus the achievable frame rate.
+type StageTimes struct {
+	BlurTime time.Duration // plate localization + blurring
+	IOTime   time.Duration // camera acquire + file write combined
+	FPS      float64       // frames per second the pipeline sustains
+}
+
+// String formats like a Table 1 row.
+func (s StageTimes) String() string {
+	return fmt.Sprintf("blur %.2f ms, I/O %.2f ms, %.0f fps",
+		float64(s.BlurTime.Microseconds())/1000,
+		float64(s.IOTime.Microseconds())/1000,
+		s.FPS)
+}
+
+// Pipeline is the realtime recording loop: acquire a frame, blur the
+// plates, write the result. The camera and the file sink are modelled
+// as frame-sized buffers; acquisition and write are memory copies, the
+// same role the I/O stages play on the paper's Raspberry Pi (camera
+// module read and SD write).
+type Pipeline struct {
+	params Params
+	w, h   int
+	camera []*Gray // pre-rendered synthetic camera feed, cycled
+	frame  *Gray   // working frame
+	sink   []uint8 // "file" the processed frame is written to
+	next   int
+}
+
+// NewPipeline builds a pipeline over a pre-rendered synthetic feed of
+// the given number of distinct frames, each w x h with the given plates.
+func NewPipeline(w, h, feedFrames int, plates []Plate, p Params) (*Pipeline, error) {
+	if feedFrames <= 0 {
+		return nil, fmt.Errorf("blur: feed must have at least one frame, got %d", feedFrames)
+	}
+	pl := &Pipeline{params: p, w: w, h: h, sink: make([]uint8, w*h)}
+	for i := 0; i < feedFrames; i++ {
+		f, err := Synthesize(w, h, plates, uint64(i)+1)
+		if err != nil {
+			return nil, err
+		}
+		pl.camera = append(pl.camera, f)
+	}
+	pl.frame = image.NewGray(image.Rect(0, 0, w, h))
+	return pl, nil
+}
+
+// Step processes one frame and returns the number of plates blurred and
+// the stage latencies measured for this frame.
+func (pl *Pipeline) Step() (plates int, times StageTimes) {
+	// Stage 1: acquire from camera (I/O in).
+	t0 := time.Now()
+	src := pl.camera[pl.next%len(pl.camera)]
+	pl.next++
+	copy(pl.frame.Pix, src.Pix)
+	ioIn := time.Since(t0)
+
+	// Stage 2: localize + blur.
+	t1 := time.Now()
+	regions := Process(pl.frame, pl.params)
+	blur := time.Since(t1)
+
+	// Stage 3: write to video file (I/O out).
+	t2 := time.Now()
+	copy(pl.sink, pl.frame.Pix)
+	ioOut := time.Since(t2)
+
+	total := ioIn + blur + ioOut
+	fps := 0.0
+	if total > 0 {
+		fps = float64(time.Second) / float64(total)
+	}
+	return len(regions), StageTimes{BlurTime: blur, IOTime: ioIn + ioOut, FPS: fps}
+}
+
+// Profile runs the pipeline for n frames and returns mean stage times.
+func (pl *Pipeline) Profile(n int) (StageTimes, error) {
+	if n <= 0 {
+		return StageTimes{}, fmt.Errorf("blur: profile needs at least one frame, got %d", n)
+	}
+	var blurSum, ioSum time.Duration
+	for i := 0; i < n; i++ {
+		_, st := pl.Step()
+		blurSum += st.BlurTime
+		ioSum += st.IOTime
+	}
+	mean := StageTimes{
+		BlurTime: blurSum / time.Duration(n),
+		IOTime:   ioSum / time.Duration(n),
+	}
+	if total := mean.BlurTime + mean.IOTime; total > 0 {
+		mean.FPS = float64(time.Second) / float64(total)
+	}
+	return mean, nil
+}
+
+// Platform expresses one of Table 1's hardware rows as a CPU speed
+// factor relative to the host this reproduction runs on. The paper
+// measured a 1.2 GHz Raspberry Pi 3 and two iMacs; absolute numbers are
+// hardware-specific, so the harness reports host-measured times plus
+// these scaled projections, documented in EXPERIMENTS.md.
+type Platform struct {
+	Name        string
+	SpeedFactor float64 // >1 means slower than the host by that factor
+}
+
+// Table1Platforms are the paper's three rows.
+func Table1Platforms() []Platform {
+	return []Platform{
+		{Name: "Rasp. Pi 3 (1.2 GHz)", SpeedFactor: 5.0},
+		{Name: "iMac 2008 (2.4 GHz)", SpeedFactor: 1.5},
+		{Name: "iMac 2014 (4.0 GHz)", SpeedFactor: 1.0},
+	}
+}
+
+// Scale projects host-measured stage times onto a platform.
+func (p Platform) Scale(host StageTimes) StageTimes {
+	out := StageTimes{
+		BlurTime: time.Duration(float64(host.BlurTime) * p.SpeedFactor),
+		IOTime:   time.Duration(float64(host.IOTime) * p.SpeedFactor),
+	}
+	if total := out.BlurTime + out.IOTime; total > 0 {
+		out.FPS = float64(time.Second) / float64(total)
+	}
+	return out
+}

@@ -1,0 +1,364 @@
+package client
+
+import (
+	"bytes"
+	"crypto/rand"
+	"crypto/rsa"
+	"encoding/base64"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"net/http"
+
+	"viewmap/internal/anon"
+	"viewmap/internal/reward"
+	"viewmap/internal/vd"
+	"viewmap/internal/vp"
+)
+
+// API is the vehicle's client to the system service. Every request
+// traverses a simulated onion circuit and carries a single-use session
+// identifier, reproducing the paper's "constantly change sessions"
+// uploading discipline over Tor.
+type API struct {
+	base     string
+	http     *http.Client
+	dir      *anon.Directory
+	hops     int
+	sessions *anon.Sessions
+}
+
+// NewAPI creates a client for the service at base (e.g.
+// "http://127.0.0.1:8440"). httpClient may be nil for the default.
+func NewAPI(base string, httpClient *http.Client) (*API, error) {
+	if base == "" {
+		return nil, errors.New("client: empty base URL")
+	}
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	dir, err := anon.NewDirectory(5)
+	if err != nil {
+		return nil, err
+	}
+	return &API{
+		base:     base,
+		http:     httpClient,
+		dir:      dir,
+		hops:     3,
+		sessions: anon.NewSessions(),
+	}, nil
+}
+
+// anonBody routes the payload through a fresh onion circuit and
+// returns the exit-side bytes. The simulation performs the traversal
+// in-process; what matters to the system is that the payload arrives
+// with no linkable origin.
+func (a *API) anonBody(payload []byte) ([]byte, error) {
+	circuit, err := a.dir.PickCircuit(a.hops)
+	if err != nil {
+		return nil, err
+	}
+	wrapped, err := circuit.Wrap(payload)
+	if err != nil {
+		return nil, err
+	}
+	return circuit.Traverse(wrapped)
+}
+
+// do issues one anonymous request with a fresh session id.
+func (a *API) do(method, path, contentType string, payload []byte, authority string) (*http.Response, error) {
+	body, err := a.anonBody(payload)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequest(method, a.base+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	sid, err := a.sessions.New()
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("X-Session", sid)
+	if authority != "" {
+		req.Header.Set("X-Viewmap-Authority", authority)
+	}
+	return a.http.Do(req)
+}
+
+// apiError extracts the service's error body.
+func apiError(resp *http.Response) error {
+	defer resp.Body.Close()
+	var e struct {
+		Error string `json:"error"`
+	}
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if json.Unmarshal(data, &e) == nil && e.Error != "" {
+		return fmt.Errorf("client: server says %q (HTTP %d)", e.Error, resp.StatusCode)
+	}
+	return fmt.Errorf("client: HTTP %d", resp.StatusCode)
+}
+
+// UploadVP submits one VP anonymously.
+func (a *API) UploadVP(p *vp.Profile) error {
+	resp, err := a.do("POST", "/v1/vp", "application/octet-stream", p.Marshal(), "")
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusCreated {
+		return apiError(resp)
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// UploadTrustedVP submits an authority VP with the authority token.
+func (a *API) UploadTrustedVP(token string, p *vp.Profile) error {
+	resp, err := a.do("POST", "/v1/vp/trusted", "application/octet-stream", p.Marshal(), token)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusCreated {
+		return apiError(resp)
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// Investigate asks the system to build and verify a viewmap (authority
+// only) and returns the number of newly posted solicitations.
+func (a *API) Investigate(token string, minX, minY, maxX, maxY float64, minute int64) (int, error) {
+	reqBody, err := json.Marshal(map[string]interface{}{
+		"site":   map[string]float64{"minX": minX, "minY": minY, "maxX": maxX, "maxY": maxY},
+		"minute": minute,
+	})
+	if err != nil {
+		return 0, err
+	}
+	resp, err := a.do("POST", "/v1/investigate", "application/json", reqBody, token)
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, apiError(resp)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		NewlySolicited int `json:"newlySolicited"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, err
+	}
+	return out.NewlySolicited, nil
+}
+
+// fetchIDs reads an {ids:[hex]} response.
+func (a *API) fetchIDs(path string) ([]vd.VPID, error) {
+	resp, err := a.do("GET", path, "", nil, "")
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		IDs []string `json:"ids"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	ids := make([]vd.VPID, 0, len(out.IDs))
+	for _, s := range out.IDs {
+		b, err := hex.DecodeString(s)
+		if err != nil || len(b) != len(vd.VPID{}) {
+			return nil, fmt.Errorf("client: bad id %q in response", s)
+		}
+		var id vd.VPID
+		copy(id[:], b)
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+// Solicitations fetches the current 'request for video' list.
+func (a *API) Solicitations() ([]vd.VPID, error) { return a.fetchIDs("/v1/solicitations") }
+
+// Rewards fetches the current 'request for reward' list.
+func (a *API) Rewards() ([]vd.VPID, error) { return a.fetchIDs("/v1/rewards") }
+
+// SubmitVideo uploads a solicited video's chunks.
+func (a *API) SubmitVideo(id vd.VPID, chunks [][]byte) error {
+	enc := make([]string, len(chunks))
+	for i, c := range chunks {
+		enc[i] = base64.StdEncoding.EncodeToString(c)
+	}
+	reqBody, err := json.Marshal(map[string]interface{}{
+		"id": hex.EncodeToString(id[:]), "chunks": enc,
+	})
+	if err != nil {
+		return err
+	}
+	resp, err := a.do("POST", "/v1/video", "application/json", reqBody, "")
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return apiError(resp)
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// BankKey fetches the system's blind-signature public key.
+func (a *API) BankKey() (*rsa.PublicKey, error) {
+	resp, err := a.do("GET", "/v1/bank", "", nil, "")
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		N string `json:"n"`
+		E int    `json:"e"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	n, ok := new(big.Int).SetString(out.N, 10)
+	if !ok {
+		return nil, errors.New("client: bad bank modulus")
+	}
+	return &rsa.PublicKey{N: n, E: out.E}, nil
+}
+
+// ClaimReward proves ownership and returns the granted unit count.
+func (a *API) ClaimReward(id vd.VPID, q vd.Secret) (int, error) {
+	reqBody, err := json.Marshal(map[string]string{
+		"id": hex.EncodeToString(id[:]), "secret": hex.EncodeToString(q[:]),
+	})
+	if err != nil {
+		return 0, err
+	}
+	resp, err := a.do("POST", "/v1/reward/claim", "application/json", reqBody, "")
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, apiError(resp)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Units int `json:"units"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, err
+	}
+	return out.Units, nil
+}
+
+// WithdrawCash runs the full blind-signature withdrawal for n units:
+// blind fresh notes, have the system sign them against the reward
+// offer, unblind, and return spendable cash.
+func (a *API) WithdrawCash(id vd.VPID, q vd.Secret, n int, pub *rsa.PublicKey) ([]*reward.Cash, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("client: unit count must be positive, got %d", n)
+	}
+	notes := make([]*reward.Note, n)
+	blinded := make([]string, n)
+	for i := 0; i < n; i++ {
+		note, err := reward.NewNote(pub, rand.Reader)
+		if err != nil {
+			return nil, err
+		}
+		notes[i] = note
+		blinded[i] = note.Blind(pub).String()
+	}
+	reqBody, err := json.Marshal(map[string]interface{}{
+		"id":      hex.EncodeToString(id[:]),
+		"secret":  hex.EncodeToString(q[:]),
+		"blinded": blinded,
+	})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := a.do("POST", "/v1/reward/blind", "application/json", reqBody, "")
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Signatures []string `json:"signatures"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	if len(out.Signatures) != n {
+		return nil, fmt.Errorf("client: got %d signatures, want %d", len(out.Signatures), n)
+	}
+	cash := make([]*reward.Cash, n)
+	for i, s := range out.Signatures {
+		sig, ok := new(big.Int).SetString(s, 10)
+		if !ok {
+			return nil, fmt.Errorf("client: signature %d not decimal", i)
+		}
+		c, err := notes[i].Unblind(pub, sig)
+		if err != nil {
+			return nil, fmt.Errorf("client: unblinding unit %d: %w", i, err)
+		}
+		cash[i] = c
+	}
+	return cash, nil
+}
+
+// Redeem spends one unit of cash at the system.
+func (a *API) Redeem(c *reward.Cash) error {
+	reqBody, err := json.Marshal(map[string]string{
+		"m": base64.StdEncoding.EncodeToString(c.M), "sig": c.Sig.String(),
+	})
+	if err != nil {
+		return err
+	}
+	resp, err := a.do("POST", "/v1/reward/redeem", "application/json", reqBody, "")
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// Stats fetches the service's database counters.
+func (a *API) Stats() (vps, trusted, reviewQueue int, err error) {
+	resp, err := a.do("GET", "/v1/stats", "", nil, "")
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0, 0, apiError(resp)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		VPs         int `json:"vps"`
+		Trusted     int `json:"trusted"`
+		ReviewQueue int `json:"reviewQueue"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, 0, 0, err
+	}
+	return out.VPs, out.Trusted, out.ReviewQueue, nil
+}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"viewmap/internal/bloom"
+	"viewmap/internal/geo"
+	"viewmap/internal/vd"
+	"viewmap/internal/vp"
+)
+
+// This file generates the synthetic geometric viewmaps the paper uses
+// for its verification experiments ("We run experiments on synthetic
+// geometric graphs, as viewmaps with 1000 legitimate VPs", Section
+// 6.3.1): random 1-minute trajectories in an area, with viewlinks
+// created between every pair that comes within DSRC range — modelling
+// vehicles that all ran the honest VD-exchange protocol.
+
+// FabricateProfile builds a complete profile along the given per-second
+// track (exactly 60 samples) for the given minute, with a fresh random
+// identifier, random hash fields and an empty neighbor filter. Both the
+// synthetic-viewmap generator and the attack models use it: from the
+// system's perspective a profile is just claims, and only the linkage
+// structure distinguishes honest from fake ones.
+func FabricateProfile(track []geo.Point, minute int64, bytesPerSecond int64, rng *rand.Rand) (*vp.Profile, error) {
+	if len(track) != vd.SegmentSeconds {
+		return nil, fmt.Errorf("core: track has %d samples, want %d", len(track), vd.SegmentSeconds)
+	}
+	if bytesPerSecond <= 0 {
+		bytesPerSecond = 800_000
+	}
+	var q vd.Secret
+	for i := range q {
+		q[i] = byte(rng.Intn(256))
+	}
+	r := vd.DeriveVPID(q)
+	start := minute * vd.SegmentSeconds
+	vds := make([]vd.VD, vd.SegmentSeconds)
+	var size int64
+	for i := 0; i < vd.SegmentSeconds; i++ {
+		size += bytesPerSecond
+		var h vd.Hash
+		for j := range h {
+			h[j] = byte(rng.Intn(256))
+		}
+		vds[i] = vd.VD{
+			T: start + int64(i+1), L: track[i], F: size,
+			L1: track[0], Seq: uint64(i + 1), R: r, H: h,
+		}
+	}
+	return &vp.Profile{
+		VDs:       vds,
+		Neighbors: bloom.New(vp.FilterBits, bloom.OptimalK(vp.FilterBits, 2*vp.MaxNeighbors)),
+	}, nil
+}
+
+// RandomTrack returns a 60-sample straight drive from a random point in
+// the area at the given speed in a random direction, reflecting off the
+// area boundary.
+func RandomTrack(area geo.Rect, speed float64, rng *rand.Rand) []geo.Point {
+	p := geo.Pt(
+		area.Min.X+rng.Float64()*area.Width(),
+		area.Min.Y+rng.Float64()*area.Height(),
+	)
+	theta := rng.Float64() * 2 * math.Pi
+	dx, dy := math.Cos(theta)*speed, math.Sin(theta)*speed
+	track := make([]geo.Point, vd.SegmentSeconds)
+	for i := 0; i < vd.SegmentSeconds; i++ {
+		track[i] = p
+		np := p.Add(geo.Pt(dx, dy))
+		if np.X < area.Min.X || np.X > area.Max.X {
+			dx = -dx
+			np = p.Add(geo.Pt(dx, dy))
+		}
+		if np.Y < area.Min.Y || np.Y > area.Max.Y {
+			dy = -dy
+			np = p.Add(geo.Pt(dx, dy))
+		}
+		p = np
+	}
+	return track
+}
+
+// LinkByProximity runs the honest linkage pass over a set of profiles:
+// every pair whose trajectories come within rangeM at some aligned
+// second exchanges VDs and records each other in their Bloom filters.
+// This models a population of vehicles all running the DSRC protocol
+// under open-sky (always-LOS) conditions, which is what the paper's
+// synthetic geometric graphs assume.
+func LinkByProximity(profiles []*vp.Profile, rangeM float64) error {
+	if rangeM <= 0 {
+		return fmt.Errorf("core: linkage range must be positive, got %v", rangeM)
+	}
+	// Grid-bucket trajectory bounding boxes so dense populations avoid
+	// the full O(n^2) pair scan.
+	type box struct{ min, max geo.Point }
+	boxes := make([]box, len(profiles))
+	for i, p := range profiles {
+		b := box{min: p.VDs[0].L, max: p.VDs[0].L}
+		for j := range p.VDs {
+			l := p.VDs[j].L
+			b.min.X = math.Min(b.min.X, l.X)
+			b.min.Y = math.Min(b.min.Y, l.Y)
+			b.max.X = math.Max(b.max.X, l.X)
+			b.max.Y = math.Max(b.max.Y, l.Y)
+		}
+		boxes[i] = b
+	}
+	grid := make(map[[2]int][]int)
+	cellOf := func(x, y float64) (int, int) {
+		return int(math.Floor(x / rangeM)), int(math.Floor(y / rangeM))
+	}
+	for i, b := range boxes {
+		x0, y0 := cellOf(b.min.X-rangeM, b.min.Y-rangeM)
+		x1, y1 := cellOf(b.max.X+rangeM, b.max.Y+rangeM)
+		for cx := x0; cx <= x1; cx++ {
+			for cy := y0; cy <= y1; cy++ {
+				grid[[2]int{cx, cy}] = append(grid[[2]int{cx, cy}], i)
+			}
+		}
+	}
+	seen := make(map[[2]int]bool)
+	for _, bucket := range grid {
+		for ai := 0; ai < len(bucket); ai++ {
+			for bi := ai + 1; bi < len(bucket); bi++ {
+				i, j := bucket[ai], bucket[bi]
+				if i > j {
+					i, j = j, i
+				}
+				k := [2]int{i, j}
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				a, b := profiles[i], profiles[j]
+				if a.Minute() != b.Minute() {
+					continue
+				}
+				n := len(a.VDs)
+				if len(b.VDs) < n {
+					n = len(b.VDs)
+				}
+				for s := 0; s < n; s++ {
+					if a.VDs[s].L.Dist(b.VDs[s].L) <= rangeM {
+						if err := vp.LinkMutually(a, b); err != nil {
+							return err
+						}
+						break
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// SynthConfig parameterizes synthetic viewmap generation.
+type SynthConfig struct {
+	// N is the number of legitimate VPs.
+	N int
+	// Area is the region trajectories roam.
+	Area geo.Rect
+	// Minute is the unit-time window.
+	Minute int64
+	// SpeedMS is the trajectory speed; zero selects 14 m/s (~50 km/h).
+	SpeedMS float64
+	// DSRCRange is the linkage radius; zero selects 400 m.
+	DSRCRange float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// SynthesizeLegitimate generates n honestly-linked profiles. The caller
+// chooses which to mark trusted (e.g. via MarkTrustedNearest).
+func SynthesizeLegitimate(cfg SynthConfig) ([]*vp.Profile, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("core: need at least one profile, got %d", cfg.N)
+	}
+	if cfg.Area.Width() <= 0 || cfg.Area.Height() <= 0 {
+		return nil, fmt.Errorf("core: degenerate area %+v", cfg.Area)
+	}
+	if cfg.SpeedMS == 0 {
+		cfg.SpeedMS = 14
+	}
+	if cfg.DSRCRange == 0 {
+		cfg.DSRCRange = DefaultDSRCRange
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	profiles := make([]*vp.Profile, 0, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		p, err := FabricateProfile(RandomTrack(cfg.Area, cfg.SpeedMS, rng), cfg.Minute, 0, rng)
+		if err != nil {
+			return nil, err
+		}
+		profiles = append(profiles, p)
+	}
+	if err := LinkByProximity(profiles, cfg.DSRCRange); err != nil {
+		return nil, err
+	}
+	return profiles, nil
+}
+
+// MarkTrustedNearest marks as trusted the profile whose trajectory
+// comes closest to p, modelling the police car whose VP seeds the
+// trust propagation, and returns its index.
+func MarkTrustedNearest(profiles []*vp.Profile, p geo.Point) int {
+	best := -1
+	bestD := math.Inf(1)
+	for i, prof := range profiles {
+		for j := range prof.VDs {
+			if d := prof.VDs[j].L.Dist(p); d < bestD {
+				bestD = d
+				best = i
+			}
+		}
+	}
+	if best >= 0 {
+		profiles[best].Trusted = true
+	}
+	return best
+}

@@ -1,0 +1,285 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointArithmetic(t *testing.T) {
+	p := Pt(3, 4)
+	q := Pt(1, 2)
+	if got := p.Add(q); got != Pt(4, 6) {
+		t.Errorf("Add = %v, want (4,6)", got)
+	}
+	if got := p.Sub(q); got != Pt(2, 2) {
+		t.Errorf("Sub = %v, want (2,2)", got)
+	}
+	if got := p.Scale(2); got != Pt(6, 8) {
+		t.Errorf("Scale = %v, want (6,8)", got)
+	}
+	if got := p.Dot(q); got != 11 {
+		t.Errorf("Dot = %v, want 11", got)
+	}
+	if got := p.Cross(q); got != 2 {
+		t.Errorf("Cross = %v, want 2", got)
+	}
+	if got := p.Norm(); got != 5 {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+}
+
+func TestDist(t *testing.T) {
+	if d := Pt(0, 0).Dist(Pt(3, 4)); d != 5 {
+		t.Errorf("Dist = %v, want 5", d)
+	}
+	if d := Pt(-1, -1).Dist(Pt(-1, -1)); d != 0 {
+		t.Errorf("Dist same point = %v, want 0", d)
+	}
+}
+
+func TestLerp(t *testing.T) {
+	a, b := Pt(0, 0), Pt(10, 20)
+	if got := a.Lerp(b, 0); got != a {
+		t.Errorf("Lerp(0) = %v, want %v", got, a)
+	}
+	if got := a.Lerp(b, 1); got != b {
+		t.Errorf("Lerp(1) = %v, want %v", got, b)
+	}
+	if got := a.Lerp(b, 0.5); got != Pt(5, 10) {
+		t.Errorf("Lerp(0.5) = %v, want (5,10)", got)
+	}
+}
+
+func TestSegmentLengthAndMidpoint(t *testing.T) {
+	s := Seg(Pt(0, 0), Pt(6, 8))
+	if s.Length() != 10 {
+		t.Errorf("Length = %v, want 10", s.Length())
+	}
+	if s.Midpoint() != Pt(3, 4) {
+		t.Errorf("Midpoint = %v, want (3,4)", s.Midpoint())
+	}
+}
+
+func TestSegmentIntersects(t *testing.T) {
+	tests := []struct {
+		name string
+		s, u Segment
+		want bool
+	}{
+		{"crossing", Seg(Pt(0, 0), Pt(10, 10)), Seg(Pt(0, 10), Pt(10, 0)), true},
+		{"parallel", Seg(Pt(0, 0), Pt(10, 0)), Seg(Pt(0, 1), Pt(10, 1)), false},
+		{"touching endpoint", Seg(Pt(0, 0), Pt(5, 5)), Seg(Pt(5, 5), Pt(10, 0)), true},
+		{"collinear overlap", Seg(Pt(0, 0), Pt(10, 0)), Seg(Pt(5, 0), Pt(15, 0)), true},
+		{"collinear disjoint", Seg(Pt(0, 0), Pt(4, 0)), Seg(Pt(5, 0), Pt(9, 0)), false},
+		{"T junction", Seg(Pt(0, 0), Pt(10, 0)), Seg(Pt(5, -5), Pt(5, 0)), true},
+		{"near miss", Seg(Pt(0, 0), Pt(10, 0)), Seg(Pt(5, 0.001), Pt(5, 5)), false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.s.Intersects(tc.u); got != tc.want {
+				t.Errorf("Intersects = %v, want %v", got, tc.want)
+			}
+			// Intersection is symmetric.
+			if got := tc.u.Intersects(tc.s); got != tc.want {
+				t.Errorf("reverse Intersects = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestSegmentDistToPoint(t *testing.T) {
+	s := Seg(Pt(0, 0), Pt(10, 0))
+	if d := s.DistToPoint(Pt(5, 3)); d != 3 {
+		t.Errorf("perpendicular dist = %v, want 3", d)
+	}
+	if d := s.DistToPoint(Pt(-3, 4)); d != 5 {
+		t.Errorf("beyond endpoint dist = %v, want 5", d)
+	}
+	zero := Seg(Pt(1, 1), Pt(1, 1))
+	if d := zero.DistToPoint(Pt(4, 5)); d != 5 {
+		t.Errorf("degenerate segment dist = %v, want 5", d)
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := NewRect(Pt(10, 20), Pt(0, 0))
+	if r.Min != Pt(0, 0) || r.Max != Pt(10, 20) {
+		t.Fatalf("NewRect normalization failed: %+v", r)
+	}
+	if r.Width() != 10 || r.Height() != 20 {
+		t.Errorf("Width/Height = %v/%v, want 10/20", r.Width(), r.Height())
+	}
+	if r.Center() != Pt(5, 10) {
+		t.Errorf("Center = %v, want (5,10)", r.Center())
+	}
+	if !r.Contains(Pt(0, 0)) || !r.Contains(Pt(10, 20)) || !r.Contains(Pt(5, 5)) {
+		t.Error("Contains should include boundary and interior")
+	}
+	if r.Contains(Pt(11, 5)) {
+		t.Error("Contains should exclude outside points")
+	}
+	if r.ContainsStrict(Pt(0, 0)) {
+		t.Error("ContainsStrict should exclude boundary")
+	}
+	if !r.ContainsStrict(Pt(5, 5)) {
+		t.Error("ContainsStrict should include interior")
+	}
+}
+
+func TestRectAround(t *testing.T) {
+	r := RectAround(Pt(5, 5), 2)
+	if r.Min != Pt(3, 3) || r.Max != Pt(7, 7) {
+		t.Errorf("RectAround = %+v", r)
+	}
+}
+
+func TestRectInflate(t *testing.T) {
+	r := NewRect(Pt(0, 0), Pt(10, 10)).Inflate(5)
+	if r.Min != Pt(-5, -5) || r.Max != Pt(15, 15) {
+		t.Errorf("Inflate = %+v", r)
+	}
+}
+
+func TestRectIntersectsSegment(t *testing.T) {
+	r := NewRect(Pt(10, 10), Pt(20, 20))
+	tests := []struct {
+		name string
+		s    Segment
+		want bool
+	}{
+		{"through middle", Seg(Pt(0, 15), Pt(30, 15)), true},
+		{"fully inside", Seg(Pt(12, 12), Pt(18, 18)), true},
+		{"one endpoint inside", Seg(Pt(15, 15), Pt(40, 40)), true},
+		{"misses entirely", Seg(Pt(0, 0), Pt(5, 30)), false},
+		{"grazes left wall", Seg(Pt(10, 0), Pt(10, 30)), false},
+		{"grazes corner", Seg(Pt(0, 20), Pt(20, 40)), false},
+		{"diagonal through corner region", Seg(Pt(9, 9), Pt(21, 21)), true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := r.IntersectsSegment(tc.s); got != tc.want {
+				t.Errorf("IntersectsSegment = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestBuildingBlocks(t *testing.T) {
+	b := Building{Footprint: NewRect(Pt(40, 40), Pt(60, 60))}
+	if !b.Blocks(Pt(0, 50), Pt(100, 50)) {
+		t.Error("building should block sight line through it")
+	}
+	if b.Blocks(Pt(0, 0), Pt(100, 0)) {
+		t.Error("building should not block sight line far from it")
+	}
+}
+
+func TestObstacleSetLOS(t *testing.T) {
+	os := NewObstacleSet(
+		Building{Footprint: NewRect(Pt(40, 40), Pt(60, 60))},
+		Building{Footprint: NewRect(Pt(80, 0), Pt(90, 30))},
+	)
+	if os.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", os.Len())
+	}
+	if os.LOS(Pt(0, 50), Pt(100, 50)) {
+		t.Error("LOS should be blocked by first building")
+	}
+	if !os.LOS(Pt(0, 35), Pt(100, 35)) {
+		t.Error("LOS should be clear between buildings")
+	}
+	if os.LOS(Pt(85, -10), Pt(85, 40)) {
+		t.Error("LOS should be blocked by second building")
+	}
+}
+
+func TestNilObstacleSetAlwaysLOS(t *testing.T) {
+	var os *ObstacleSet
+	if !os.LOS(Pt(0, 0), Pt(1, 1)) {
+		t.Error("nil obstacle set must report clear LOS")
+	}
+}
+
+func TestObstacleSetAdd(t *testing.T) {
+	os := NewObstacleSet()
+	os.Add(Building{Footprint: NewRect(Pt(0, 0), Pt(1, 1))})
+	if os.Len() != 1 {
+		t.Errorf("Len after Add = %d, want 1", os.Len())
+	}
+}
+
+// Property: distance is symmetric and satisfies the triangle inequality.
+func TestDistProperties(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy float64) bool {
+		// Constrain magnitudes to avoid overflow-induced NaN comparisons.
+		clamp := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0
+			}
+			return math.Mod(v, 1e6)
+		}
+		a := Pt(clamp(ax), clamp(ay))
+		b := Pt(clamp(bx), clamp(by))
+		c := Pt(clamp(cx), clamp(cy))
+		if a.Dist(b) != b.Dist(a) {
+			return false
+		}
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a point constructed strictly inside a rectangle is contained.
+func TestRectContainsProperty(t *testing.T) {
+	f := func(x, y, w, h, fx, fy float64) bool {
+		clamp01 := func(v float64) float64 {
+			v = math.Abs(math.Mod(v, 1))
+			if math.IsNaN(v) {
+				return 0.5
+			}
+			return v
+		}
+		w = 1 + math.Abs(math.Mod(w, 100))
+		h = 1 + math.Abs(math.Mod(h, 100))
+		x = math.Mod(x, 1e4)
+		y = math.Mod(y, 1e4)
+		if math.IsNaN(x) || math.IsNaN(y) {
+			return true
+		}
+		r := NewRect(Pt(x, y), Pt(x+w, y+h))
+		p := Pt(x+clamp01(fx)*w, y+clamp01(fy)*h)
+		return r.Contains(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: segment intersection is symmetric.
+func TestIntersectsSymmetricProperty(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy, dx, dy int16) bool {
+		s := Seg(Pt(float64(ax), float64(ay)), Pt(float64(bx), float64(by)))
+		u := Seg(Pt(float64(cx), float64(cy)), Pt(float64(dx), float64(dy)))
+		return s.Intersects(u) == u.Intersects(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkLOS(b *testing.B) {
+	os := NewObstacleSet()
+	for i := 0; i < 100; i++ {
+		x := float64(i%10) * 100
+		y := float64(i/10) * 100
+		os.Add(Building{Footprint: NewRect(Pt(x+20, y+20), Pt(x+80, y+80))})
+	}
+	a, c := Pt(0, 0), Pt(1000, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		os.LOS(a, c)
+	}
+}

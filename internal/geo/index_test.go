@@ -1,0 +1,79 @@
+package geo
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestIndexedObstaclesMatchesLinearScan(t *testing.T) {
+	// Random buildings; the index must agree with the plain set on
+	// every random query.
+	rng := rand.New(rand.NewSource(5))
+	ix := NewIndexedObstacles(100)
+	set := NewObstacleSet()
+	for i := 0; i < 200; i++ {
+		min := Pt(rng.Float64()*3000, rng.Float64()*3000)
+		r := NewRect(min, min.Add(Pt(20+rng.Float64()*60, 20+rng.Float64()*60)))
+		ix.AddBuilding(r)
+		set.Add(Building{Footprint: r})
+	}
+	if ix.Len() != 200 {
+		t.Fatalf("Len = %d, want 200", ix.Len())
+	}
+	for trial := 0; trial < 2000; trial++ {
+		a := Pt(rng.Float64()*3000, rng.Float64()*3000)
+		b := a.Add(Pt(rng.Float64()*800-400, rng.Float64()*800-400))
+		if got, want := ix.LOS(a, b), set.LOS(a, b); got != want {
+			t.Fatalf("LOS mismatch for %v-%v: index=%v scan=%v", a, b, got, want)
+		}
+	}
+}
+
+func TestIndexedObstaclesEmpty(t *testing.T) {
+	ix := NewIndexedObstacles(100)
+	if !ix.LOS(Pt(0, 0), Pt(100, 100)) {
+		t.Error("empty index must report clear LOS")
+	}
+	var nilIx *IndexedObstacles
+	if !nilIx.LOS(Pt(0, 0), Pt(1, 1)) {
+		t.Error("nil index must report clear LOS")
+	}
+}
+
+func TestIndexedObstaclesAsObstacle(t *testing.T) {
+	ix := NewIndexedObstacles(100)
+	ix.AddBuilding(NewRect(Pt(40, 40), Pt(60, 60)))
+	set := ix.AsSet()
+	if set.LOS(Pt(0, 50), Pt(100, 50)) {
+		t.Error("wrapped index should block the sight line")
+	}
+	if !set.LOS(Pt(0, 0), Pt(100, 0)) {
+		t.Error("wrapped index should pass clear lines")
+	}
+}
+
+func TestIndexedObstaclesDefaultCell(t *testing.T) {
+	ix := NewIndexedObstacles(0)
+	ix.AddBuilding(NewRect(Pt(40, 40), Pt(60, 60)))
+	if ix.LOS(Pt(0, 50), Pt(100, 50)) {
+		t.Error("default cell size should still index correctly")
+	}
+}
+
+func BenchmarkIndexedLOSCityScale(b *testing.B) {
+	ix := NewIndexedObstacles(200)
+	// 39x39 city blocks like the 8x8 km simulation.
+	for cx := 0; cx < 39; cx++ {
+		for cy := 0; cy < 39; cy++ {
+			min := Pt(float64(cx)*200+20, float64(cy)*200+20)
+			ix.AddBuilding(NewRect(min, min.Add(Pt(160, 160))))
+		}
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := Pt(rng.Float64()*7800, rng.Float64()*7800)
+		c := a.Add(Pt(rng.Float64()*800-400, rng.Float64()*800-400))
+		ix.LOS(a, c)
+	}
+}

@@ -1,0 +1,224 @@
+// Package mobility generates vehicle movement traces over a road
+// network. It substitutes for the SUMO traffic simulator that the paper
+// uses to drive its ns-3 evaluation (Section 8): vehicles pick random
+// trips on the street grid, drive them at a configurable speed with
+// small per-vehicle variation, and immediately start a new trip on
+// arrival, producing one position sample per vehicle per second.
+//
+// The evaluation only consumes three properties of the SUMO traces —
+// per-second positions, realistic contact intervals between nearby
+// vehicles, and trip continuity over tens of minutes — all of which this
+// generator provides.
+package mobility
+
+import (
+	"fmt"
+	"math/rand"
+
+	"viewmap/internal/geo"
+	"viewmap/internal/roadnet"
+)
+
+// VehicleID identifies a vehicle within one trace.
+type VehicleID int
+
+// Trace holds per-second positions for a fleet of vehicles.
+type Trace struct {
+	// Positions[v][t] is vehicle v's position at second t.
+	Positions [][]geo.Point
+	// Speeds[v] is vehicle v's cruising speed in m/s.
+	Speeds []float64
+	// Seconds is the trace duration.
+	Seconds int
+}
+
+// NumVehicles returns the fleet size.
+func (tr *Trace) NumVehicles() int { return len(tr.Positions) }
+
+// At returns vehicle v's position at second t.
+func (tr *Trace) At(v VehicleID, t int) geo.Point { return tr.Positions[v][t] }
+
+// Config parameterizes trace generation.
+type Config struct {
+	// Vehicles is the fleet size.
+	Vehicles int
+	// Seconds is the trace duration.
+	Seconds int
+	// MeanSpeedKmh is the average cruising speed in km/h (the paper
+	// sweeps 30, 50, 70 and a mix).
+	MeanSpeedKmh float64
+	// SpeedJitterFrac is the +/- fraction of per-vehicle speed
+	// variation around the mean (default 0.15 when zero).
+	SpeedJitterFrac float64
+	// MixSpeeds, when true, draws each vehicle's speed uniformly from
+	// {30, 50, 70} km/h, reproducing the paper's "Mix" scenario, and
+	// ignores MeanSpeedKmh.
+	MixSpeeds bool
+	// Seed makes the trace deterministic.
+	Seed int64
+}
+
+// KmhToMs converts km/h to m/s.
+func KmhToMs(kmh float64) float64 { return kmh / 3.6 }
+
+// Generate produces a trace of vehicles driving random trips on the
+// city's road network.
+func Generate(city *roadnet.City, cfg Config) (*Trace, error) {
+	if cfg.Vehicles <= 0 {
+		return nil, fmt.Errorf("mobility: vehicle count must be positive, got %d", cfg.Vehicles)
+	}
+	if cfg.Seconds <= 0 {
+		return nil, fmt.Errorf("mobility: duration must be positive, got %d", cfg.Seconds)
+	}
+	if !cfg.MixSpeeds && cfg.MeanSpeedKmh <= 0 {
+		return nil, fmt.Errorf("mobility: mean speed must be positive, got %v", cfg.MeanSpeedKmh)
+	}
+	jitter := cfg.SpeedJitterFrac
+	if jitter == 0 {
+		jitter = 0.15
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tr := &Trace{
+		Positions: make([][]geo.Point, cfg.Vehicles),
+		Speeds:    make([]float64, cfg.Vehicles),
+		Seconds:   cfg.Seconds,
+	}
+	n := city.Net.NumNodes()
+	for v := 0; v < cfg.Vehicles; v++ {
+		meanKmh := cfg.MeanSpeedKmh
+		if cfg.MixSpeeds {
+			meanKmh = []float64{30, 50, 70}[rng.Intn(3)]
+		}
+		speed := KmhToMs(meanKmh) * (1 + (rng.Float64()*2-1)*jitter)
+		tr.Speeds[v] = speed
+		tr.Positions[v] = driveTrips(city, rng, speed, cfg.Seconds, n)
+	}
+	return tr, nil
+}
+
+// driveTrips walks random shortest-path trips back to back, emitting one
+// position per second.
+func driveTrips(city *roadnet.City, rng *rand.Rand, speed float64, seconds, numNodes int) []geo.Point {
+	out := make([]geo.Point, 0, seconds)
+	cur := roadnet.NodeID(rng.Intn(numNodes))
+	var leftover float64 // distance already consumed into the next second
+	for len(out) < seconds {
+		dst := roadnet.NodeID(rng.Intn(numNodes))
+		if dst == cur {
+			continue
+		}
+		path, err := city.Net.ShortestPath(cur, dst)
+		if err != nil {
+			// Disconnected node: retry with another destination.
+			continue
+		}
+		pts := make([]geo.Point, len(path))
+		for i, id := range path {
+			pts[i] = city.Net.Node(id).Pos
+		}
+		route := roadnet.Route{Points: pts}
+		var total float64
+		for i := 1; i < len(pts); i++ {
+			total += pts[i-1].Dist(pts[i])
+		}
+		route.Length = total
+		d := leftover
+		for d < total && len(out) < seconds {
+			out = append(out, route.At(d))
+			d += speed
+		}
+		leftover = d - total
+		if leftover < 0 {
+			leftover = 0
+		}
+		cur = dst
+	}
+	return out[:seconds]
+}
+
+// ContactIntervals returns, for every ordered pair encounter in the
+// trace, the contiguous number of seconds two vehicles stayed within
+// range metres AND in line of sight of each other — the paper's
+// "contact interval" (Fig. 22c). Each contiguous run is reported once
+// per unordered pair.
+func ContactIntervals(tr *Trace, obstacles *geo.ObstacleSet, rangeM float64) []int {
+	var intervals []int
+	n := tr.NumVehicles()
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			run := 0
+			for t := 0; t < tr.Seconds; t++ {
+				pa, pb := tr.Positions[a][t], tr.Positions[b][t]
+				inContact := pa.Dist(pb) <= rangeM && obstacles.LOS(pa, pb)
+				if inContact {
+					run++
+				} else if run > 0 {
+					intervals = append(intervals, run)
+					run = 0
+				}
+			}
+			if run > 0 {
+				intervals = append(intervals, run)
+			}
+		}
+	}
+	return intervals
+}
+
+// NeighborsAt returns the vehicles within rangeM of vehicle v at second
+// t with clear line of sight, i.e. those whose DSRC view digests v can
+// hear under the paper's LOS-dominated propagation.
+func NeighborsAt(tr *Trace, obstacles *geo.ObstacleSet, v VehicleID, t int, rangeM float64) []VehicleID {
+	var out []VehicleID
+	p := tr.Positions[v][t]
+	for u := 0; u < tr.NumVehicles(); u++ {
+		if VehicleID(u) == v {
+			continue
+		}
+		q := tr.Positions[u][t]
+		if p.Dist(q) <= rangeM && obstacles.LOS(p, q) {
+			out = append(out, VehicleID(u))
+		}
+	}
+	return out
+}
+
+// TwoVehicleScenario produces a minimal trace with exactly two vehicles
+// following explicitly given per-second positions. The field-experiment
+// reproductions (Table 2, Fig. 15-17, Fig. 20) use it to script
+// LOS/NLOS encounters.
+func TwoVehicleScenario(a, b []geo.Point) (*Trace, error) {
+	if len(a) == 0 || len(a) != len(b) {
+		return nil, fmt.Errorf("mobility: scenario tracks must be equal non-zero length (%d, %d)", len(a), len(b))
+	}
+	return &Trace{
+		Positions: [][]geo.Point{a, b},
+		Speeds:    []float64{0, 0},
+		Seconds:   len(a),
+	}, nil
+}
+
+// StraightTrack returns n per-second positions moving from start in
+// direction (dx, dy) at speed m/s. A helper for scripted scenarios.
+func StraightTrack(start geo.Point, dx, dy, speed float64, n int) []geo.Point {
+	norm := geo.Pt(dx, dy).Norm()
+	if norm == 0 || n <= 0 {
+		return nil
+	}
+	ux, uy := dx/norm, dy/norm
+	out := make([]geo.Point, n)
+	for i := 0; i < n; i++ {
+		d := speed * float64(i)
+		out[i] = geo.Pt(start.X+ux*d, start.Y+uy*d)
+	}
+	return out
+}
+
+// StationaryTrack returns n copies of p, a parked vehicle.
+func StationaryTrack(p geo.Point, n int) []geo.Point {
+	out := make([]geo.Point, n)
+	for i := range out {
+		out[i] = p
+	}
+	return out
+}

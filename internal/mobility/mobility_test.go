@@ -1,0 +1,238 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+
+	"viewmap/internal/geo"
+	"viewmap/internal/roadnet"
+)
+
+func testCity(t testing.TB) *roadnet.City {
+	t.Helper()
+	c, err := roadnet.BuildGrid(roadnet.GridConfig{Cols: 6, Rows: 6, Spacing: 200, BuildingFill: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestGenerateBasics(t *testing.T) {
+	city := testCity(t)
+	tr, err := Generate(city, Config{Vehicles: 10, Seconds: 120, MeanSpeedKmh: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumVehicles() != 10 {
+		t.Errorf("NumVehicles = %d, want 10", tr.NumVehicles())
+	}
+	if tr.Seconds != 120 {
+		t.Errorf("Seconds = %d, want 120", tr.Seconds)
+	}
+	for v := 0; v < 10; v++ {
+		if len(tr.Positions[v]) != 120 {
+			t.Fatalf("vehicle %d has %d samples, want 120", v, len(tr.Positions[v]))
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	city := testCity(t)
+	cases := []Config{
+		{Vehicles: 0, Seconds: 10, MeanSpeedKmh: 50},
+		{Vehicles: 5, Seconds: 0, MeanSpeedKmh: 50},
+		{Vehicles: 5, Seconds: 10, MeanSpeedKmh: 0},
+	}
+	for _, cfg := range cases {
+		if _, err := Generate(city, cfg); err == nil {
+			t.Errorf("Generate(%+v) should fail", cfg)
+		}
+	}
+	// MixSpeeds ignores MeanSpeedKmh.
+	if _, err := Generate(city, Config{Vehicles: 2, Seconds: 10, MixSpeeds: true, Seed: 1}); err != nil {
+		t.Errorf("MixSpeeds config should succeed: %v", err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	city := testCity(t)
+	cfg := Config{Vehicles: 5, Seconds: 60, MeanSpeedKmh: 50, Seed: 42}
+	a, err := Generate(city, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(city, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 5; v++ {
+		for s := 0; s < 60; s++ {
+			if a.Positions[v][s] != b.Positions[v][s] {
+				t.Fatalf("same seed should reproduce trace; differs at v=%d t=%d", v, s)
+			}
+		}
+	}
+}
+
+func TestGenerateSpeedRealized(t *testing.T) {
+	city := testCity(t)
+	tr, err := Generate(city, Config{Vehicles: 8, Seconds: 300, MeanSpeedKmh: 50, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-second displacement should match the vehicle's speed except at
+	// trip turnaround/grid corners (where the route bends, shortening the
+	// Euclidean step). Check the maximum step never exceeds the speed and
+	// the typical step is near it.
+	for v := 0; v < tr.NumVehicles(); v++ {
+		speed := tr.Speeds[v]
+		atSpeed := 0
+		for s := 1; s < tr.Seconds; s++ {
+			d := tr.Positions[v][s-1].Dist(tr.Positions[v][s])
+			if d > speed+1e-6 {
+				t.Fatalf("vehicle %d moved %v m/s, exceeds speed %v", v, d, speed)
+			}
+			if math.Abs(d-speed) < speed*0.25 {
+				atSpeed++
+			}
+		}
+		if frac := float64(atSpeed) / float64(tr.Seconds-1); frac < 0.5 {
+			t.Errorf("vehicle %d cruises at speed only %.0f%% of the time", v, frac*100)
+		}
+	}
+}
+
+func TestGeneratePositionsOnGrid(t *testing.T) {
+	city := testCity(t)
+	tr, err := Generate(city, Config{Vehicles: 5, Seconds: 120, MeanSpeedKmh: 70, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := city.Bounds.Inflate(1)
+	for v := 0; v < 5; v++ {
+		for s := 0; s < 120; s++ {
+			p := tr.Positions[v][s]
+			if !bounds.Contains(p) {
+				t.Fatalf("vehicle %d left the city at t=%d: %v", v, s, p)
+			}
+			// Streets are axis-aligned: at least one coordinate must sit
+			// on a street line (multiple of spacing).
+			onX := math.Mod(p.X, 200) < 1e-6 || 200-math.Mod(p.X, 200) < 1e-6
+			onY := math.Mod(p.Y, 200) < 1e-6 || 200-math.Mod(p.Y, 200) < 1e-6
+			if !onX && !onY {
+				t.Fatalf("vehicle %d off-street at t=%d: %v", v, s, p)
+			}
+		}
+	}
+}
+
+func TestMixSpeeds(t *testing.T) {
+	city := testCity(t)
+	tr, err := Generate(city, Config{Vehicles: 60, Seconds: 10, MixSpeeds: true, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 60 vehicles across {30,50,70} km/h we expect a spread of
+	// speeds covering roughly 30*(1±.15) to 70*(1±.15) km/h.
+	minS, maxS := math.Inf(1), math.Inf(-1)
+	for _, s := range tr.Speeds {
+		minS = math.Min(minS, s)
+		maxS = math.Max(maxS, s)
+	}
+	if minS > KmhToMs(40) {
+		t.Errorf("mix should include slow vehicles, min speed %v m/s", minS)
+	}
+	if maxS < KmhToMs(60) {
+		t.Errorf("mix should include fast vehicles, max speed %v m/s", maxS)
+	}
+}
+
+func TestKmhToMs(t *testing.T) {
+	if got := KmhToMs(36); got != 10 {
+		t.Errorf("KmhToMs(36) = %v, want 10", got)
+	}
+}
+
+func TestContactIntervals(t *testing.T) {
+	// Two vehicles approach, overlap for a window, then separate.
+	a := StraightTrack(geo.Pt(0, 0), 1, 0, 10, 100)
+	b := StraightTrack(geo.Pt(1000, 0), -1, 0, 10, 100)
+	tr, err := TwoVehicleScenario(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	intervals := ContactIntervals(tr, nil, 400)
+	if len(intervals) != 1 {
+		t.Fatalf("expected a single contact interval, got %v", intervals)
+	}
+	// Gap shrinks by 20 m/s from 1000 m; within 400 m from t=30 to t=70
+	// (gap = 1000-20t <= 400 => t >= 30; after crossing it grows again,
+	// gap = 20t-1000 <= 400 => t <= 70). So roughly 41 seconds.
+	if intervals[0] < 35 || intervals[0] > 45 {
+		t.Errorf("contact interval = %d s, want ~41", intervals[0])
+	}
+}
+
+func TestContactIntervalsBlockedByObstacle(t *testing.T) {
+	a := StationaryTrack(geo.Pt(0, 0), 30)
+	b := StationaryTrack(geo.Pt(100, 0), 30)
+	tr, err := TwoVehicleScenario(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wall := geo.NewObstacleSet(geo.Building{Footprint: geo.NewRect(geo.Pt(40, -10), geo.Pt(60, 10))})
+	if got := ContactIntervals(tr, wall, 400); len(got) != 0 {
+		t.Errorf("NLOS pair should have no contact, got %v", got)
+	}
+	if got := ContactIntervals(tr, nil, 400); len(got) != 1 || got[0] != 30 {
+		t.Errorf("LOS pair should be in contact the whole trace, got %v", got)
+	}
+}
+
+func TestNeighborsAt(t *testing.T) {
+	tracks := [][]geo.Point{
+		StationaryTrack(geo.Pt(0, 0), 5),
+		StationaryTrack(geo.Pt(100, 0), 5),
+		StationaryTrack(geo.Pt(10000, 0), 5),
+	}
+	tr := &Trace{Positions: tracks, Speeds: []float64{0, 0, 0}, Seconds: 5}
+	got := NeighborsAt(tr, nil, 0, 2, 400)
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("NeighborsAt = %v, want [1]", got)
+	}
+}
+
+func TestTwoVehicleScenarioValidation(t *testing.T) {
+	if _, err := TwoVehicleScenario(nil, nil); err == nil {
+		t.Error("empty scenario should fail")
+	}
+	if _, err := TwoVehicleScenario(StationaryTrack(geo.Pt(0, 0), 5), StationaryTrack(geo.Pt(0, 0), 6)); err == nil {
+		t.Error("mismatched track lengths should fail")
+	}
+}
+
+func TestStraightTrack(t *testing.T) {
+	trk := StraightTrack(geo.Pt(0, 0), 3, 4, 5, 3)
+	if len(trk) != 3 {
+		t.Fatalf("len = %d, want 3", len(trk))
+	}
+	if trk[1].Dist(geo.Pt(3, 4)) > 1e-9 {
+		t.Errorf("unit direction wrong: %v", trk[1])
+	}
+	if StraightTrack(geo.Pt(0, 0), 0, 0, 5, 3) != nil {
+		t.Error("zero direction should return nil")
+	}
+	if StraightTrack(geo.Pt(0, 0), 1, 0, 5, 0) != nil {
+		t.Error("zero samples should return nil")
+	}
+}
+
+func BenchmarkGenerate100Vehicles(b *testing.B) {
+	city := testCity(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(city, Config{Vehicles: 100, Seconds: 60, MeanSpeedKmh: 50, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package radio
+
+import (
+	"math"
+	"testing"
+
+	"viewmap/internal/geo"
+)
+
+func openMedium(seed int64) *Medium {
+	return NewMedium(DefaultParams(), Environment{}, seed)
+}
+
+func TestMeanRSSIDecreasesWithDistance(t *testing.T) {
+	m := openMedium(1)
+	prev := math.Inf(1)
+	for _, d := range []float64{10, 50, 100, 200, 400} {
+		r := m.MeanRSSI(0, geo.Pt(0, 0), 1, geo.Pt(d, 0))
+		if r >= prev {
+			t.Errorf("RSSI should decrease with distance: %v dBm at %v m (prev %v)", r, d, prev)
+		}
+		prev = r
+	}
+}
+
+func TestMeanRSSIClampsShortDistance(t *testing.T) {
+	m := openMedium(1)
+	r0 := m.MeanRSSI(0, geo.Pt(0, 0), 1, geo.Pt(0.1, 0))
+	r1 := m.MeanRSSI(0, geo.Pt(0, 0), 1, geo.Pt(1, 0))
+	if r0 != r1 {
+		t.Errorf("sub-metre distances should clamp to 1 m: %v vs %v", r0, r1)
+	}
+}
+
+func TestShadowingIsSymmetricAndStable(t *testing.T) {
+	m := openMedium(7)
+	a, b := geo.Pt(0, 0), geo.Pt(100, 0)
+	r1 := m.MeanRSSI(3, a, 9, b)
+	r2 := m.MeanRSSI(9, b, 3, a)
+	if r1 != r2 {
+		t.Errorf("link shadowing must be symmetric: %v vs %v", r1, r2)
+	}
+	if r3 := m.MeanRSSI(3, a, 9, b); r3 != r1 {
+		t.Errorf("link shadowing must be stable over time: %v vs %v", r3, r1)
+	}
+}
+
+func TestNLOSPenalty(t *testing.T) {
+	wall := geo.NewObstacleSet(geo.Building{Footprint: geo.NewRect(geo.Pt(40, -10), geo.Pt(60, 10))})
+	p := DefaultParams()
+	p.ShadowSigmaDB = 0 // isolate the penetration loss
+	blocked := NewMedium(p, Environment{Obstacles: wall}, 1)
+	clear := NewMedium(p, Environment{}, 1)
+	a, b := geo.Pt(0, 0), geo.Pt(100, 0)
+	diff := clear.MeanRSSI(0, a, 1, b) - blocked.MeanRSSI(0, a, 1, b)
+	if math.Abs(diff-p.BuildingPenetrationDB) > 1e-9 {
+		t.Errorf("NLOS penalty = %v dB, want %v", diff, p.BuildingPenetrationDB)
+	}
+}
+
+func TestOpenRoadDeliveryNearCertainOverAMinute(t *testing.T) {
+	// The paper's Fig. 15: open-road VP linkage ratio > 99% out to
+	// 400 m. A minute of 1 Hz beacons should deliver at least one
+	// packet with overwhelming probability at every distance.
+	m := openMedium(42)
+	for _, d := range []float64{50, 100, 200, 300, 400} {
+		delivered := 0
+		for s := 0; s < 60; s++ {
+			if m.TryDeliver(0, geo.Pt(0, 0), 1, geo.Pt(d, 0)).OK {
+				delivered++
+			}
+		}
+		if delivered == 0 {
+			t.Errorf("no packets delivered in 60 s at %v m on open road", d)
+		}
+	}
+}
+
+func TestNLOSDeliveryRare(t *testing.T) {
+	wall := geo.NewObstacleSet(geo.Building{Footprint: geo.NewRect(geo.Pt(40, -10), geo.Pt(60, 10))})
+	m := NewMedium(DefaultParams(), Environment{Obstacles: wall}, 3)
+	delivered := 0
+	const trials = 600
+	for i := 0; i < trials; i++ {
+		if m.TryDeliver(0, geo.Pt(0, 0), 1, geo.Pt(100, 0)).OK {
+			delivered++
+		}
+	}
+	if frac := float64(delivered) / trials; frac > 0.05 {
+		t.Errorf("NLOS delivery fraction = %v, want near zero", frac)
+	}
+}
+
+func TestHardRangeCutoff(t *testing.T) {
+	p := DefaultParams()
+	p.FadingSigmaDB = 0
+	p.ShadowSigmaDB = 0
+	p.RxThresholdDBm = -200 // never fail on power
+	m := NewMedium(p, Environment{}, 1)
+	if !m.TryDeliver(0, geo.Pt(0, 0), 1, geo.Pt(449, 0)).OK {
+		t.Error("packet inside hard range should deliver")
+	}
+	if m.TryDeliver(0, geo.Pt(0, 0), 1, geo.Pt(451, 0)).OK {
+		t.Error("packet beyond hard range must not deliver")
+	}
+}
+
+func TestTrafficDensityDegradesDelivery(t *testing.T) {
+	a, b := geo.Pt(0, 0), geo.Pt(350, 0)
+	count := func(density float64, seed int64) int {
+		m := NewMedium(DefaultParams(), Environment{TrafficDensity: density}, seed)
+		n := 0
+		for i := 0; i < 2000; i++ {
+			if m.TryDeliver(0, a, 1, b).OK {
+				n++
+			}
+		}
+		return n
+	}
+	light := count(0, 5)
+	heavy := count(0.7, 5)
+	if heavy >= light {
+		t.Errorf("heavy traffic should degrade delivery: light=%d heavy=%d", light, heavy)
+	}
+}
+
+func TestPDRShape(t *testing.T) {
+	p := DefaultParams()
+	// Strong signal: near 1. Weak: near 0. Threshold: one half.
+	if got := p.PDR(-60); got < 0.999 {
+		t.Errorf("PDR(-60 dBm) = %v, want ~1", got)
+	}
+	if got := p.PDR(-120); got > 0.001 {
+		t.Errorf("PDR(-120 dBm) = %v, want ~0", got)
+	}
+	if got := p.PDR(p.RxThresholdDBm); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("PDR(threshold) = %v, want 0.5", got)
+	}
+	// Monotone increasing.
+	prev := -1.0
+	for rssi := -120.0; rssi <= -60; rssi += 2 {
+		v := p.PDR(rssi)
+		if v < prev {
+			t.Fatalf("PDR must be monotone in RSSI (at %v)", rssi)
+		}
+		prev = v
+	}
+}
+
+func TestPDRZeroFading(t *testing.T) {
+	p := DefaultParams()
+	p.FadingSigmaDB = 0
+	if p.PDR(p.RxThresholdDBm) != 1 {
+		t.Error("at threshold with no fading, PDR should be 1")
+	}
+	if p.PDR(p.RxThresholdDBm-0.1) != 0 {
+		t.Error("below threshold with no fading, PDR should be 0")
+	}
+}
+
+func TestPDRFluctuatesInMidBand(t *testing.T) {
+	// The Fig. 16 observation: between -100 and -80 dBm the per-link
+	// PDR varies widely. Mean RSSI in that band must map to
+	// intermediate PDR values rather than 0/1.
+	p := DefaultParams()
+	mid := p.PDR(-95)
+	if mid < 0.05 || mid > 0.95 {
+		t.Errorf("PDR in the fluctuation band = %v, want intermediate", mid)
+	}
+}
+
+func TestMeanPathRSSI(t *testing.T) {
+	p := DefaultParams()
+	got := p.MeanPathRSSI(100)
+	want := p.TxPowerDBm - p.PathLossRefDB - 10*p.PathLossExp*2
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("MeanPathRSSI(100) = %v, want %v", got, want)
+	}
+	if p.MeanPathRSSI(0.5) != p.MeanPathRSSI(1) {
+		t.Error("short distances clamp to 1 m")
+	}
+}
+
+func TestEmpiricalPDRTracksAnalytic(t *testing.T) {
+	p := DefaultParams()
+	p.ShadowSigmaDB = 0 // remove per-link offset so analytic matches
+	m := NewMedium(p, Environment{}, 99)
+	a, b := geo.Pt(0, 0), geo.Pt(250, 0)
+	pdr, _ := m.EmpiricalPDR(0, a, 1, b, 5000)
+	want := p.PDR(p.MeanPathRSSI(250))
+	if math.Abs(pdr-want) > 0.05 {
+		t.Errorf("empirical PDR %v deviates from analytic %v", pdr, want)
+	}
+}
+
+func TestEmpiricalPDRZeroProbes(t *testing.T) {
+	m := openMedium(1)
+	pdr, rssi := m.EmpiricalPDR(0, geo.Pt(0, 0), 1, geo.Pt(10, 0), 0)
+	if pdr != 0 || rssi != 0 {
+		t.Error("zero probes should return zeros")
+	}
+}
+
+func TestLOSQueryDelegation(t *testing.T) {
+	wall := geo.NewObstacleSet(geo.Building{Footprint: geo.NewRect(geo.Pt(40, -10), geo.Pt(60, 10))})
+	m := NewMedium(DefaultParams(), Environment{Obstacles: wall}, 1)
+	if m.LOS(geo.Pt(0, 0), geo.Pt(100, 0)) {
+		t.Error("LOS should be blocked by wall")
+	}
+	if !m.LOS(geo.Pt(0, 50), geo.Pt(100, 50)) {
+		t.Error("LOS should be clear beside wall")
+	}
+}
+
+func BenchmarkTryDeliver(b *testing.B) {
+	m := openMedium(1)
+	pa, pb := geo.Pt(0, 0), geo.Pt(200, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.TryDeliver(0, pa, 1, pb)
+	}
+}

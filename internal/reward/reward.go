@@ -1,0 +1,218 @@
+// Package reward implements ViewMap's untraceable rewarding (Section
+// 5.3 and Appendix A): virtual cash minted with Chaum blind signatures
+// so the system can pay a video's anonymous owner without being able
+// to link the cash back to the video.
+//
+// Protocol, in the paper's notation:
+//
+//	A -> S : VP_u, Q_u                    (ownership proof, R_u = H(Q_u))
+//	S -> A : n                            (cash units granted)
+//	A -> S : B(H(m_1),r_1)...B(H(m_n),r_n)  (blinded random messages)
+//	S -> A : {B(H(m_i),r_i)}_{K_S^-}      (blind RSA signatures)
+//	A      : unblind with r_i -> ({H(m_i)}_{K_S^-}, m_i)  = one unit
+//
+// Anyone can verify a unit against the system's public key; the system
+// keeps a double-spending ledger over the revealed messages. Without
+// the blinding secrets r_i — known only to A — the system cannot
+// connect a redeemed unit to the blinded message it once signed.
+//
+// The blind-RSA arithmetic is implemented directly over math/big:
+// blind(m) = H(m) * r^e mod N, sign(x) = x^d mod N, and unblinding
+// divides out r. This is textbook RSA (no OAEP/PSS padding) — blind
+// signatures require the raw homomorphism, which is exactly why Chaum
+// cash uses it.
+package reward
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"sync"
+)
+
+// MessageBytes is the size of the random cash message m.
+const MessageBytes = 32
+
+// ErrDoubleSpend is returned when a unit of cash is redeemed twice.
+var ErrDoubleSpend = errors.New("reward: cash already spent")
+
+// ErrBadSignature is returned when a unit fails signature verification.
+var ErrBadSignature = errors.New("reward: invalid signature")
+
+// hashToInt maps a message into Z_N via SHA-256.
+func hashToInt(m []byte, n *big.Int) *big.Int {
+	sum := sha256.Sum256(m)
+	return new(big.Int).Mod(new(big.Int).SetBytes(sum[:]), n)
+}
+
+// Cash is one unit of virtual money: the revealed random message and
+// the unblinded signature over its hash.
+type Cash struct {
+	M   []byte
+	Sig *big.Int
+}
+
+// Verify checks the unit against the issuing system's public key:
+// Sig^e mod N == H(M).
+func (c *Cash) Verify(pub *rsa.PublicKey) bool {
+	if c == nil || c.Sig == nil || len(c.M) == 0 {
+		return false
+	}
+	lhs := new(big.Int).Exp(c.Sig, big.NewInt(int64(pub.E)), pub.N)
+	return lhs.Cmp(hashToInt(c.M, pub.N)) == 0
+}
+
+// Note is the client-side state for one pending unit: the secret
+// message and the blinding factor r, which never leave the client.
+type Note struct {
+	m []byte
+	r *big.Int
+}
+
+// NewNote draws a fresh random message and blinding secret for the
+// given bank key.
+func NewNote(pub *rsa.PublicKey, random io.Reader) (*Note, error) {
+	m := make([]byte, MessageBytes)
+	if _, err := io.ReadFull(random, m); err != nil {
+		return nil, fmt.Errorf("reward: drawing message: %w", err)
+	}
+	r, err := randomUnit(pub.N, random)
+	if err != nil {
+		return nil, err
+	}
+	return &Note{m: m, r: r}, nil
+}
+
+// randomUnit draws r in [2, N) with gcd(r, N) = 1.
+func randomUnit(n *big.Int, random io.Reader) (*big.Int, error) {
+	one := big.NewInt(1)
+	for {
+		r, err := rand.Int(random, n)
+		if err != nil {
+			return nil, fmt.Errorf("reward: drawing blinding factor: %w", err)
+		}
+		if r.Cmp(one) <= 0 {
+			continue
+		}
+		if new(big.Int).GCD(nil, nil, r, n).Cmp(one) == 0 {
+			return r, nil
+		}
+	}
+}
+
+// Blind produces B(H(m), r) = H(m) * r^e mod N, the value sent to the
+// bank for signing.
+func (n *Note) Blind(pub *rsa.PublicKey) *big.Int {
+	h := hashToInt(n.m, pub.N)
+	re := new(big.Int).Exp(n.r, big.NewInt(int64(pub.E)), pub.N)
+	return h.Mul(h, re).Mod(h, pub.N)
+}
+
+// Unblind divides the bank's blind signature by r, yielding the
+// spendable unit: sig = blindSig * r^{-1} mod N = H(m)^d mod N.
+func (n *Note) Unblind(pub *rsa.PublicKey, blindSig *big.Int) (*Cash, error) {
+	rInv := new(big.Int).ModInverse(n.r, pub.N)
+	if rInv == nil {
+		return nil, errors.New("reward: blinding factor not invertible")
+	}
+	sig := new(big.Int).Mul(blindSig, rInv)
+	sig.Mod(sig, pub.N)
+	c := &Cash{M: append([]byte(nil), n.m...), Sig: sig}
+	if !c.Verify(pub) {
+		return nil, ErrBadSignature
+	}
+	return c, nil
+}
+
+// Bank is the system-side signer and double-spending ledger.
+type Bank struct {
+	key *rsa.PrivateKey
+
+	mu    sync.Mutex
+	spent map[[32]byte]bool
+}
+
+// NewBank generates a bank with a fresh RSA key of the given size
+// (>= 1024 bits; 2048 recommended).
+func NewBank(bits int) (*Bank, error) {
+	if bits < 1024 {
+		return nil, fmt.Errorf("reward: key size %d too small", bits)
+	}
+	key, err := rsa.GenerateKey(rand.Reader, bits)
+	if err != nil {
+		return nil, fmt.Errorf("reward: generating key: %w", err)
+	}
+	return &Bank{key: key, spent: make(map[[32]byte]bool)}, nil
+}
+
+// NewBankFromKey wraps an existing key (tests, persistent deployments).
+func NewBankFromKey(key *rsa.PrivateKey) *Bank {
+	return &Bank{key: key, spent: make(map[[32]byte]bool)}
+}
+
+// PublicKey returns the verification key.
+func (b *Bank) PublicKey() *rsa.PublicKey { return &b.key.PublicKey }
+
+// SignBlinded signs a blinded message with the bank's private key. The
+// bank learns nothing about the underlying message. Values outside
+// [0, N) are rejected.
+func (b *Bank) SignBlinded(blinded *big.Int) (*big.Int, error) {
+	if blinded == nil || blinded.Sign() < 0 || blinded.Cmp(b.key.N) >= 0 {
+		return nil, errors.New("reward: blinded message out of range")
+	}
+	return new(big.Int).Exp(blinded, b.key.D, b.key.N), nil
+}
+
+// Redeem verifies a unit and records it as spent. The second
+// presentation of the same message returns ErrDoubleSpend.
+func (b *Bank) Redeem(c *Cash) error {
+	if !c.Verify(b.PublicKey()) {
+		return ErrBadSignature
+	}
+	key := sha256.Sum256(c.M)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.spent[key] {
+		return ErrDoubleSpend
+	}
+	b.spent[key] = true
+	return nil
+}
+
+// SpentCount returns the number of redeemed units.
+func (b *Bank) SpentCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.spent)
+}
+
+// Withdraw runs the full client side for n units against the bank:
+// create notes, blind, obtain signatures, unblind. It exists as a
+// convenience for in-process use; the HTTP protocol in internal/server
+// performs the same steps across the wire.
+func Withdraw(b *Bank, n int, random io.Reader) ([]*Cash, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("reward: unit count must be positive, got %d", n)
+	}
+	out := make([]*Cash, 0, n)
+	for i := 0; i < n; i++ {
+		note, err := NewNote(b.PublicKey(), random)
+		if err != nil {
+			return nil, err
+		}
+		sig, err := b.SignBlinded(note.Blind(b.PublicKey()))
+		if err != nil {
+			return nil, err
+		}
+		cash, err := note.Unblind(b.PublicKey(), sig)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cash)
+	}
+	return out, nil
+}

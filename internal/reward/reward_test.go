@@ -1,0 +1,218 @@
+package reward
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"math/big"
+	"sync"
+	"testing"
+)
+
+// testBank caches one RSA key across tests; key generation dominates
+// test time otherwise.
+var (
+	bankOnce sync.Once
+	bankKey  *rsa.PrivateKey
+)
+
+func testBank(t testing.TB) *Bank {
+	t.Helper()
+	bankOnce.Do(func() {
+		k, err := rsa.GenerateKey(rand.Reader, 1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bankKey = k
+	})
+	return NewBankFromKey(bankKey)
+}
+
+func TestNewBankValidation(t *testing.T) {
+	if _, err := NewBank(512); err == nil {
+		t.Error("tiny keys should be rejected")
+	}
+}
+
+func TestWithdrawVerifyRedeem(t *testing.T) {
+	bank := testBank(t)
+	units, err := Withdraw(bank, 3, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) != 3 {
+		t.Fatalf("got %d units, want 3", len(units))
+	}
+	for i, c := range units {
+		if !c.Verify(bank.PublicKey()) {
+			t.Errorf("unit %d fails verification", i)
+		}
+		if err := bank.Redeem(c); err != nil {
+			t.Errorf("unit %d fails redemption: %v", i, err)
+		}
+	}
+	if bank.SpentCount() != 3 {
+		t.Errorf("SpentCount = %d, want 3", bank.SpentCount())
+	}
+}
+
+func TestDoubleSpendRejected(t *testing.T) {
+	bank := testBank(t)
+	units, err := Withdraw(bank, 1, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bank.Redeem(units[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := bank.Redeem(units[0]); err != ErrDoubleSpend {
+		t.Errorf("second redemption = %v, want ErrDoubleSpend", err)
+	}
+}
+
+func TestForgedCashRejected(t *testing.T) {
+	bank := testBank(t)
+	forged := &Cash{M: []byte("free money"), Sig: big.NewInt(12345)}
+	if forged.Verify(bank.PublicKey()) {
+		t.Error("forged cash must not verify")
+	}
+	if err := bank.Redeem(forged); err != ErrBadSignature {
+		t.Errorf("Redeem(forged) = %v, want ErrBadSignature", err)
+	}
+}
+
+func TestTamperedCashRejected(t *testing.T) {
+	bank := testBank(t)
+	units, err := Withdraw(bank, 1, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := &Cash{M: append([]byte(nil), units[0].M...), Sig: new(big.Int).Set(units[0].Sig)}
+	tampered.M[0] ^= 1
+	if tampered.Verify(bank.PublicKey()) {
+		t.Error("tampered message must not verify")
+	}
+	tampered2 := &Cash{M: units[0].M, Sig: new(big.Int).Add(units[0].Sig, big.NewInt(1))}
+	if tampered2.Verify(bank.PublicKey()) {
+		t.Error("tampered signature must not verify")
+	}
+}
+
+func TestCashVerifyNilSafety(t *testing.T) {
+	bank := testBank(t)
+	var c *Cash
+	if c.Verify(bank.PublicKey()) {
+		t.Error("nil cash must not verify")
+	}
+	if (&Cash{}).Verify(bank.PublicKey()) {
+		t.Error("empty cash must not verify")
+	}
+}
+
+func TestBlindingHidesMessage(t *testing.T) {
+	// Two blindings of the same message are different group elements:
+	// the bank cannot even tell that two withdrawals hide the same m.
+	bank := testBank(t)
+	pub := bank.PublicKey()
+	n1, err := NewNote(pub, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2 := &Note{m: n1.m} // same message, fresh blinding
+	r2, err := randomUnit(pub.N, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2.r = r2
+	b1, b2 := n1.Blind(pub), n2.Blind(pub)
+	if b1.Cmp(b2) == 0 {
+		t.Error("distinct blinding factors must produce distinct blinded messages")
+	}
+}
+
+func TestUnblindedSignatureUnlinkable(t *testing.T) {
+	// The value the bank signs differs from the value that circulates:
+	// the bank's view (blinded) and the public view (unblinded) share
+	// no common element.
+	bank := testBank(t)
+	pub := bank.PublicKey()
+	note, err := NewNote(pub, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blinded := note.Blind(pub)
+	sig, err := bank.SignBlinded(blinded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cash, err := note.Unblind(pub, sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cash.Sig.Cmp(sig) == 0 {
+		t.Error("circulating signature must differ from the blind signature the bank saw")
+	}
+	if !cash.Verify(pub) {
+		t.Error("unblinded cash must verify")
+	}
+}
+
+func TestSignBlindedRange(t *testing.T) {
+	bank := testBank(t)
+	if _, err := bank.SignBlinded(nil); err == nil {
+		t.Error("nil blinded message should fail")
+	}
+	if _, err := bank.SignBlinded(big.NewInt(-5)); err == nil {
+		t.Error("negative blinded message should fail")
+	}
+	tooBig := new(big.Int).Add(bank.PublicKey().N, big.NewInt(1))
+	if _, err := bank.SignBlinded(tooBig); err == nil {
+		t.Error("out-of-range blinded message should fail")
+	}
+}
+
+func TestWithdrawValidation(t *testing.T) {
+	bank := testBank(t)
+	if _, err := Withdraw(bank, 0, rand.Reader); err == nil {
+		t.Error("zero units should fail")
+	}
+}
+
+func TestCrossBankCashRejected(t *testing.T) {
+	bank := testBank(t)
+	otherKey, err := rsa.GenerateKey(rand.Reader, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := NewBankFromKey(otherKey)
+	units, err := Withdraw(other, 1, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if units[0].Verify(bank.PublicKey()) {
+		t.Error("cash from another bank must not verify")
+	}
+}
+
+func BenchmarkWithdrawOneUnit(b *testing.B) {
+	bank := testBank(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Withdraw(bank, 1, rand.Reader); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerifyCash(b *testing.B) {
+	bank := testBank(b)
+	units, err := Withdraw(bank, 1, rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !units[0].Verify(bank.PublicKey()) {
+			b.Fatal("verification failed")
+		}
+	}
+}

@@ -1,0 +1,377 @@
+package server
+
+import (
+	"encoding/base64"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"net/http"
+
+	"viewmap/internal/geo"
+	"viewmap/internal/reward"
+	"viewmap/internal/vd"
+)
+
+// maxUploadBytes bounds request bodies: a VP is ~5 KB, a full 1-minute
+// video 50 MB; allow headroom for base64 expansion.
+const maxUploadBytes = 100 << 20
+
+// authorityHeader carries the authority token on privileged requests.
+const authorityHeader = "X-Viewmap-Authority"
+
+// Handler returns the system's HTTP API.
+//
+//	POST /v1/vp               binary VP upload (anonymous)
+//	POST /v1/vp/trusted       binary VP upload (authority)
+//	POST /v1/investigate      {"site":{...},"minute":N} (authority)
+//	GET  /v1/solicitations    {"ids":["hex",...]}
+//	POST /v1/video            {"id":"hex","chunks":["b64",...]}
+//	GET  /v1/rewards          {"ids":["hex",...]}
+//	POST /v1/reward/claim     {"id":"hex","secret":"hex"} -> {"units":N}
+//	POST /v1/reward/blind     {"id","secret","blinded":["dec",...]}
+//	POST /v1/reward/redeem    {"m":"b64","sig":"dec"}
+//	GET  /v1/stats            {"vps":N,"trusted":N,...}
+func Handler(sys *System) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/vp", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxUploadBytes))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := sys.UploadVP(body); err != nil {
+			status := http.StatusBadRequest
+			if errors.Is(err, ErrDuplicate) {
+				status = http.StatusConflict
+			}
+			httpError(w, status, err)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+	})
+	mux.HandleFunc("POST /v1/vp/trusted", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxUploadBytes))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := sys.UploadTrustedVP(r.Header.Get(authorityHeader), body); err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+	})
+	mux.HandleFunc("POST /v1/investigate", func(w http.ResponseWriter, r *http.Request) {
+		var req investigateRequest
+		if err := decodeJSON(r, &req); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		report, err := sys.Investigate(r.Header.Get(authorityHeader),
+			geo.NewRect(geo.Pt(req.Site.MinX, req.Site.MinY), geo.Pt(req.Site.MaxX, req.Site.MaxY)),
+			req.Minute)
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, investigateResponse{
+			Members: report.Members, Edges: report.Edges, InSite: report.InSite,
+			Legitimate: encodeIDs(report.Legitimate), NewlySolicited: report.NewlySolicited,
+		})
+	})
+	mux.HandleFunc("POST /v1/investigate/period", func(w http.ResponseWriter, r *http.Request) {
+		var req investigatePeriodRequest
+		if err := decodeJSON(r, &req); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		reports, err := sys.InvestigatePeriod(r.Header.Get(authorityHeader),
+			geo.NewRect(geo.Pt(req.Site.MinX, req.Site.MinY), geo.Pt(req.Site.MaxX, req.Site.MaxY)),
+			req.FirstMinute, req.LastMinute)
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		out := investigatePeriodResponse{}
+		for _, rep := range reports {
+			if rep == nil {
+				out.Minutes = append(out.Minutes, nil)
+				continue
+			}
+			out.Minutes = append(out.Minutes, &investigateResponse{
+				Members: rep.Members, Edges: rep.Edges, InSite: rep.InSite,
+				Legitimate: encodeIDs(rep.Legitimate), NewlySolicited: rep.NewlySolicited,
+			})
+		}
+		writeJSON(w, out)
+	})
+	mux.HandleFunc("GET /v1/solicitations", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, idsResponse{IDs: encodeIDs(sys.Solicitations())})
+	})
+	mux.HandleFunc("POST /v1/video", func(w http.ResponseWriter, r *http.Request) {
+		var req videoRequest
+		if err := decodeJSON(r, &req); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		id, err := decodeID(req.ID)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		chunks := make([][]byte, len(req.Chunks))
+		for i, c := range req.Chunks {
+			chunks[i], err = base64.StdEncoding.DecodeString(c)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("chunk %d: %w", i, err))
+				return
+			}
+		}
+		if err := sys.SubmitVideo(id, chunks); err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+	})
+	mux.HandleFunc("GET /v1/rewards", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, idsResponse{IDs: encodeIDs(sys.PostedRewards())})
+	})
+	mux.HandleFunc("POST /v1/reward/claim", func(w http.ResponseWriter, r *http.Request) {
+		var req claimRequest
+		if err := decodeJSON(r, &req); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		id, q, err := decodeOwnership(req.ID, req.Secret)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		units, err := sys.ClaimReward(id, q)
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, claimResponse{Units: units})
+	})
+	mux.HandleFunc("POST /v1/reward/blind", func(w http.ResponseWriter, r *http.Request) {
+		var req blindRequest
+		if err := decodeJSON(r, &req); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		id, q, err := decodeOwnership(req.ID, req.Secret)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		blinded := make([]*big.Int, len(req.Blinded))
+		for i, s := range req.Blinded {
+			v, ok := new(big.Int).SetString(s, 10)
+			if !ok {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("blinded %d not a decimal integer", i))
+				return
+			}
+			blinded[i] = v
+		}
+		sigs, err := sys.SignBlindedForReward(id, q, blinded)
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		out := make([]string, len(sigs))
+		for i, s := range sigs {
+			out[i] = s.String()
+		}
+		writeJSON(w, blindResponse{Signatures: out})
+	})
+	mux.HandleFunc("POST /v1/reward/redeem", func(w http.ResponseWriter, r *http.Request) {
+		var req redeemRequest
+		if err := decodeJSON(r, &req); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		m, err := base64.StdEncoding.DecodeString(req.M)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		sig, ok := new(big.Int).SetString(req.Sig, 10)
+		if !ok {
+			httpError(w, http.StatusBadRequest, errors.New("sig not a decimal integer"))
+			return
+		}
+		if err := sys.Redeem(&reward.Cash{M: m, Sig: sig}); err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("GET /v1/bank", func(w http.ResponseWriter, r *http.Request) {
+		pub := sys.Bank().PublicKey()
+		writeJSON(w, bankResponse{N: pub.N.String(), E: pub.E})
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, statsResponse{
+			VPs:         sys.Store().Len(),
+			Trusted:     sys.Store().TrustedCount(),
+			ReviewQueue: sys.ReviewQueueLen(),
+		})
+	})
+	return mux
+}
+
+// Wire types.
+
+type rectJSON struct {
+	MinX float64 `json:"minX"`
+	MinY float64 `json:"minY"`
+	MaxX float64 `json:"maxX"`
+	MaxY float64 `json:"maxY"`
+}
+
+type investigateRequest struct {
+	Site   rectJSON `json:"site"`
+	Minute int64    `json:"minute"`
+}
+
+type investigateResponse struct {
+	Members        int      `json:"members"`
+	Edges          int      `json:"edges"`
+	InSite         int      `json:"inSite"`
+	Legitimate     []string `json:"legitimate"`
+	NewlySolicited int      `json:"newlySolicited"`
+}
+
+type investigatePeriodRequest struct {
+	Site        rectJSON `json:"site"`
+	FirstMinute int64    `json:"firstMinute"`
+	LastMinute  int64    `json:"lastMinute"`
+}
+
+type investigatePeriodResponse struct {
+	// Minutes holds one report per minute of the period; null entries
+	// mark minutes for which no viewmap could be built.
+	Minutes []*investigateResponse `json:"minutes"`
+}
+
+type idsResponse struct {
+	IDs []string `json:"ids"`
+}
+
+type videoRequest struct {
+	ID     string   `json:"id"`
+	Chunks []string `json:"chunks"`
+}
+
+type claimRequest struct {
+	ID     string `json:"id"`
+	Secret string `json:"secret"`
+}
+
+type claimResponse struct {
+	Units int `json:"units"`
+}
+
+type blindRequest struct {
+	ID      string   `json:"id"`
+	Secret  string   `json:"secret"`
+	Blinded []string `json:"blinded"`
+}
+
+type blindResponse struct {
+	Signatures []string `json:"signatures"`
+}
+
+type redeemRequest struct {
+	M   string `json:"m"`
+	Sig string `json:"sig"`
+}
+
+type bankResponse struct {
+	N string `json:"n"`
+	E int    `json:"e"`
+}
+
+type statsResponse struct {
+	VPs         int `json:"vps"`
+	Trusted     int `json:"trusted"`
+	ReviewQueue int `json:"reviewQueue"`
+}
+
+// Helpers.
+
+func decodeJSON(r *http.Request, v interface{}) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxUploadBytes))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Too late for a status change; the connection is the casualty.
+		return
+	}
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// statusFor maps service errors onto HTTP statuses.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrNotSolicited):
+		return http.StatusForbidden
+	case errors.Is(err, ErrBadOwnership):
+		return http.StatusForbidden
+	case errors.Is(err, ErrDuplicate):
+		return http.StatusConflict
+	case errors.Is(err, reward.ErrDoubleSpend):
+		return http.StatusConflict
+	case errors.Is(err, reward.ErrBadSignature):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrUnauthorized):
+		return http.StatusUnauthorized
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func encodeIDs(ids []vd.VPID) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = hex.EncodeToString(id[:])
+	}
+	return out
+}
+
+func decodeID(s string) (vd.VPID, error) {
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != len(vd.VPID{}) {
+		return vd.VPID{}, fmt.Errorf("server: bad VP identifier %q", s)
+	}
+	var id vd.VPID
+	copy(id[:], b)
+	return id, nil
+}
+
+func decodeOwnership(idHex, secretHex string) (vd.VPID, vd.Secret, error) {
+	id, err := decodeID(idHex)
+	if err != nil {
+		return vd.VPID{}, vd.Secret{}, err
+	}
+	qb, err := hex.DecodeString(secretHex)
+	if err != nil || len(qb) != len(vd.Secret{}) {
+		return vd.VPID{}, vd.Secret{}, errors.New("server: bad secret encoding")
+	}
+	var q vd.Secret
+	copy(q[:], qb)
+	return id, q, nil
+}

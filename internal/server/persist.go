@@ -1,0 +1,131 @@
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"viewmap/internal/vp"
+)
+
+// VP database persistence: a length-prefixed stream of VP wire records
+// (the same anonymous format vehicles upload), each preceded by a
+// one-byte trusted flag — the only server-side annotation. The format
+// deliberately contains nothing else: the on-disk database is exactly
+// as anonymous as the in-memory one.
+
+// persistMagic guards against feeding arbitrary files to LoadFrom.
+var persistMagic = [8]byte{'V', 'M', 'A', 'P', 'D', 'B', '0', '1'}
+
+// SaveTo streams the whole database to w.
+func (s *Store) SaveTo(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(persistMagic[:]); err != nil {
+		return err
+	}
+	s.mu.RLock()
+	profiles := make([]*vp.Profile, 0, len(s.byID))
+	for _, p := range s.byID {
+		profiles = append(profiles, p)
+	}
+	s.mu.RUnlock()
+	var count [4]byte
+	binary.BigEndian.PutUint32(count[:], uint32(len(profiles)))
+	if _, err := bw.Write(count[:]); err != nil {
+		return err
+	}
+	for _, p := range profiles {
+		rec := p.Marshal()
+		var hdr [5]byte
+		binary.BigEndian.PutUint32(hdr[:4], uint32(len(rec)))
+		if p.Trusted {
+			hdr[4] = 1
+		}
+		if _, err := bw.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := bw.Write(rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadFrom ingests a database stream written by SaveTo, validating
+// every record as if it were a fresh upload. Records already present
+// are skipped; any other validation failure aborts the load.
+func (s *Store) LoadFrom(r io.Reader) (loaded int, err error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return 0, fmt.Errorf("server: reading database header: %w", err)
+	}
+	if magic != persistMagic {
+		return 0, errors.New("server: not a ViewMap database file")
+	}
+	var countBuf [4]byte
+	if _, err := io.ReadFull(br, countBuf[:]); err != nil {
+		return 0, err
+	}
+	count := binary.BigEndian.Uint32(countBuf[:])
+	for i := uint32(0); i < count; i++ {
+		var hdr [5]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return loaded, fmt.Errorf("server: record %d header: %w", i, err)
+		}
+		size := binary.BigEndian.Uint32(hdr[:4])
+		if size > 1<<20 {
+			return loaded, fmt.Errorf("server: record %d claims %d bytes", i, size)
+		}
+		rec := make([]byte, size)
+		if _, err := io.ReadFull(br, rec); err != nil {
+			return loaded, fmt.Errorf("server: record %d body: %w", i, err)
+		}
+		p, err := vp.Unmarshal(rec)
+		if err != nil {
+			return loaded, fmt.Errorf("server: record %d: %w", i, err)
+		}
+		p.Trusted = hdr[4] == 1
+		switch err := s.Put(p); {
+		case err == nil:
+			loaded++
+		case errors.Is(err, ErrDuplicate):
+			// Re-loading over a warm store is fine.
+		default:
+			return loaded, fmt.Errorf("server: record %d: %w", i, err)
+		}
+	}
+	return loaded, nil
+}
+
+// SaveFile writes the database to path atomically (via a temp file).
+func (s *Store) SaveFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := s.SaveTo(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile reads a database file written by SaveFile.
+func (s *Store) LoadFile(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	return s.LoadFrom(f)
+}

@@ -1,0 +1,144 @@
+package server
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"viewmap/internal/geo"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := NewStore()
+	trusted := fabricate(t, 0, 41)
+	trusted.Trusted = true
+	profiles := []int64{42, 43, 44}
+	s.Put(trusted)
+	for _, seed := range profiles {
+		if err := s.Put(fabricate(t, seed%2, seed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := s.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := NewStore()
+	n, err := restored.LoadFrom(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("loaded %d records, want 4", n)
+	}
+	if restored.Len() != s.Len() {
+		t.Errorf("Len = %d, want %d", restored.Len(), s.Len())
+	}
+	if restored.TrustedCount() != 1 {
+		t.Errorf("TrustedCount = %d, want 1", restored.TrustedCount())
+	}
+	got, ok := restored.Get(trusted.ID())
+	if !ok || !got.Trusted {
+		t.Error("trusted flag must survive the round trip")
+	}
+	// Profiles still answer linkage queries after the round trip.
+	if len(restored.Minute(0)) != len(s.Minute(0)) {
+		t.Error("minute index must survive the round trip")
+	}
+}
+
+func TestLoadFromRejectsGarbage(t *testing.T) {
+	s := NewStore()
+	if _, err := s.LoadFrom(bytes.NewReader([]byte("not a database"))); err == nil {
+		t.Error("bad magic should fail")
+	}
+	// Truncated stream after a valid header.
+	var buf bytes.Buffer
+	good := NewStore()
+	good.Put(fabricate(t, 0, 50))
+	if err := good.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := s.LoadFrom(bytes.NewReader(data[:len(data)-10])); err == nil {
+		t.Error("truncated stream should fail")
+	}
+}
+
+func TestLoadFromSkipsDuplicates(t *testing.T) {
+	s := NewStore()
+	s.Put(fabricate(t, 0, 60))
+	var buf bytes.Buffer
+	if err := s.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Loading into the same warm store is a no-op, not an error.
+	n, err := s.LoadFrom(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("loaded %d duplicates, want 0", n)
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "vpdb.bin")
+	s := NewStore()
+	s.Put(fabricate(t, 0, 70))
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	restored := NewStore()
+	n, err := restored.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("loaded %d, want 1", n)
+	}
+	if _, err := restored.LoadFile(filepath.Join(dir, "missing.bin")); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestInvestigatePeriod(t *testing.T) {
+	sys, err := NewSystem(Config{AuthorityToken: "tok", Bank: sharedBankInternal(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Minute 0 has a trusted VP and a civilian; minute 1 has only a
+	// civilian (no viewmap possible).
+	trusted := fabricate(t, 0, 80)
+	trusted.Trusted = true
+	sys.Store().Put(trusted)
+	sys.Store().Put(fabricate(t, 0, 81))
+	sys.Store().Put(fabricate(t, 1, 82))
+
+	site := geo.RectAround(geo.Pt(300, 80), 400)
+	reports, err := sys.InvestigatePeriod("tok", site, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("reports = %d, want 2", len(reports))
+	}
+	if reports[0] == nil {
+		t.Error("minute 0 should produce a report")
+	}
+	if reports[1] != nil {
+		t.Error("minute 1 has no trusted VP; report should be nil")
+	}
+
+	if _, err := sys.InvestigatePeriod("bad", site, 0, 1); err != ErrUnauthorized {
+		t.Error("bad token should be rejected")
+	}
+	if _, err := sys.InvestigatePeriod("tok", site, 2, 1); err == nil {
+		t.Error("empty period should fail")
+	}
+	if _, err := sys.InvestigatePeriod("tok", site, 0, 100); err == nil {
+		t.Error("oversized period should fail")
+	}
+}

@@ -1,0 +1,90 @@
+// Package server implements the ViewMap system service: the VP
+// database fed by anonymous uploads, viewmap construction and
+// verification around incidents, video solicitation and validation,
+// the human-review queue, and untraceable rewarding (Sections 4-5).
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"viewmap/internal/vd"
+	"viewmap/internal/vp"
+)
+
+// Store is the VP database: anonymized, self-contained view profiles
+// indexed by identifier and unit-time window. It is safe for
+// concurrent use.
+type Store struct {
+	mu       sync.RWMutex
+	byID     map[vd.VPID]*vp.Profile
+	byMinute map[int64][]*vp.Profile
+}
+
+// NewStore creates an empty database.
+func NewStore() *Store {
+	return &Store{
+		byID:     make(map[vd.VPID]*vp.Profile),
+		byMinute: make(map[int64][]*vp.Profile),
+	}
+}
+
+// ErrDuplicate is returned when a VP identifier is already stored.
+var ErrDuplicate = errors.New("server: VP already stored")
+
+// Put validates and stores a profile. Duplicate identifiers are
+// rejected: an identifier is the hash of a secret only its owner
+// holds, so a collision is either a replay or an attack.
+func (s *Store) Put(p *vp.Profile) error {
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("server: rejecting VP: %w", err)
+	}
+	id := p.ID()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.byID[id]; dup {
+		return ErrDuplicate
+	}
+	s.byID[id] = p
+	s.byMinute[p.Minute()] = append(s.byMinute[p.Minute()], p)
+	return nil
+}
+
+// Get returns the profile with the given identifier.
+func (s *Store) Get(id vd.VPID) (*vp.Profile, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p, ok := s.byID[id]
+	return p, ok
+}
+
+// Minute returns the profiles recorded during the given unit-time
+// window. The returned slice is a copy and safe to retain.
+func (s *Store) Minute(m int64) []*vp.Profile {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*vp.Profile, len(s.byMinute[m]))
+	copy(out, s.byMinute[m])
+	return out
+}
+
+// Len returns the number of stored profiles.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byID)
+}
+
+// TrustedCount returns the number of stored trusted profiles.
+func (s *Store) TrustedCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, p := range s.byID {
+		if p.Trusted {
+			n++
+		}
+	}
+	return n
+}

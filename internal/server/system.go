@@ -1,0 +1,366 @@
+package server
+
+import (
+	"crypto/rand"
+	"crypto/subtle"
+	"errors"
+	"fmt"
+	"math/big"
+	"sync"
+	"time"
+
+	"viewmap/internal/core"
+	"viewmap/internal/geo"
+	"viewmap/internal/reward"
+	"viewmap/internal/vd"
+	"viewmap/internal/vp"
+)
+
+// System is the ViewMap authority service: it owns the VP database,
+// runs investigations, posts solicitations and rewards, validates
+// uploaded videos, and mints untraceable cash.
+type System struct {
+	store *Store
+	bank  *reward.Bank
+
+	// authorityToken gates trusted-VP uploads and investigations.
+	authorityToken string
+
+	mu            sync.Mutex
+	solicitations map[vd.VPID]*Solicitation
+	rewardsPosted map[vd.VPID]*RewardOffer
+	reviewQueue   []*Submission
+}
+
+// Solicitation is a posted request for the video behind a VP
+// identifier. Only identifiers are public; the system never reveals
+// the location or time under investigation (Section 5.2.3).
+type Solicitation struct {
+	ID        vd.VPID
+	PostedAt  time.Time
+	Fulfilled bool
+}
+
+// RewardOffer is a posted 'request for reward' for a reviewed video.
+type RewardOffer struct {
+	ID vd.VPID
+	// Units is the amount of virtual cash granted.
+	Units int
+	// Remaining counts blind signatures not yet issued.
+	Remaining int
+}
+
+// Submission is an uploaded video awaiting human review.
+type Submission struct {
+	ID     vd.VPID
+	Chunks [][]byte
+}
+
+// Config parameterizes the system.
+type Config struct {
+	// AuthorityToken authenticates police/authority requests. Empty
+	// generates a random token (retrievable via AuthorityToken).
+	AuthorityToken string
+	// BankBits sizes the blind-signature RSA key; zero selects 2048.
+	BankBits int
+	// Bank allows injecting a pre-generated bank (tests); otherwise a
+	// fresh key is generated.
+	Bank *reward.Bank
+}
+
+// NewSystem creates a system service.
+func NewSystem(cfg Config) (*System, error) {
+	token := cfg.AuthorityToken
+	if token == "" {
+		var b [16]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return nil, fmt.Errorf("server: generating authority token: %w", err)
+		}
+		token = fmt.Sprintf("%x", b)
+	}
+	bank := cfg.Bank
+	if bank == nil {
+		bits := cfg.BankBits
+		if bits == 0 {
+			bits = 2048
+		}
+		var err error
+		bank, err = reward.NewBank(bits)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &System{
+		store:          NewStore(),
+		bank:           bank,
+		authorityToken: token,
+		solicitations:  make(map[vd.VPID]*Solicitation),
+		rewardsPosted:  make(map[vd.VPID]*RewardOffer),
+	}, nil
+}
+
+// AuthorityToken returns the token authorities authenticate with.
+func (sys *System) AuthorityToken() string { return sys.authorityToken }
+
+// Store exposes the VP database (read-mostly; used by harnesses).
+func (sys *System) Store() *Store { return sys.store }
+
+// Bank exposes the cash issuer's public key side.
+func (sys *System) Bank() *reward.Bank { return sys.bank }
+
+// ErrUnauthorized is returned for requests with a bad authority token.
+var ErrUnauthorized = errors.New("server: invalid authority token")
+
+// checkAuthority validates an authority token in constant time.
+func (sys *System) checkAuthority(token string) error {
+	if subtle.ConstantTimeCompare([]byte(token), []byte(sys.authorityToken)) != 1 {
+		return ErrUnauthorized
+	}
+	return nil
+}
+
+// UploadVP ingests an anonymous VP upload (wire format).
+func (sys *System) UploadVP(data []byte) error {
+	p, err := vp.Unmarshal(data)
+	if err != nil {
+		return err
+	}
+	return sys.store.Put(p)
+}
+
+// UploadTrustedVP ingests a VP from an authority vehicle; the profile
+// is marked trusted and becomes a trust seed for viewmaps.
+func (sys *System) UploadTrustedVP(token string, data []byte) error {
+	if err := sys.checkAuthority(token); err != nil {
+		return err
+	}
+	p, err := vp.Unmarshal(data)
+	if err != nil {
+		return err
+	}
+	p.Trusted = true
+	return sys.store.Put(p)
+}
+
+// InvestigationReport summarizes one viewmap verification.
+type InvestigationReport struct {
+	Minute         int64
+	Members        int
+	Edges          int
+	InSite         int
+	Legitimate     []vd.VPID
+	NewlySolicited int
+}
+
+// Investigate builds and verifies the viewmap for an incident minute
+// and site, then posts solicitations for the legitimate VPs. Authority
+// only.
+func (sys *System) Investigate(token string, site geo.Rect, minute int64) (*InvestigationReport, error) {
+	if err := sys.checkAuthority(token); err != nil {
+		return nil, err
+	}
+	profiles := sys.store.Minute(minute)
+	vm, err := core.Build(profiles, core.BuildConfig{
+		Site: site, Minute: minute, RequirePlausible: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	verdict, err := vm.VerifySite(vm.InSite(site), core.TrustRankConfig{})
+	if err != nil {
+		return nil, err
+	}
+	report := &InvestigationReport{
+		Minute:     minute,
+		Members:    vm.Len(),
+		Edges:      vm.NumEdges(),
+		InSite:     len(vm.InSite(site)),
+		Legitimate: verdict.LegitimateIDs(vm),
+	}
+	sys.mu.Lock()
+	defer sys.mu.Unlock()
+	for _, id := range report.Legitimate {
+		if _, dup := sys.solicitations[id]; !dup {
+			sys.solicitations[id] = &Solicitation{ID: id, PostedAt: time.Now()}
+			report.NewlySolicited++
+		}
+	}
+	return report, nil
+}
+
+// InvestigatePeriod runs Investigate for every unit-time window of an
+// incident period ("the system builds a series of viewmaps each
+// corresponding to a single unit-time during the incident period",
+// Section 5.2.1), returning one report per minute. Minutes for which
+// no viewmap can be built (e.g. no trusted VP on record) are skipped
+// with a nil report rather than failing the whole investigation.
+func (sys *System) InvestigatePeriod(token string, site geo.Rect, firstMinute, lastMinute int64) ([]*InvestigationReport, error) {
+	if err := sys.checkAuthority(token); err != nil {
+		return nil, err
+	}
+	if lastMinute < firstMinute {
+		return nil, fmt.Errorf("server: empty period %d..%d", firstMinute, lastMinute)
+	}
+	if lastMinute-firstMinute > 60 {
+		return nil, fmt.Errorf("server: period of %d minutes exceeds the 60-minute cap", lastMinute-firstMinute+1)
+	}
+	reports := make([]*InvestigationReport, 0, lastMinute-firstMinute+1)
+	for m := firstMinute; m <= lastMinute; m++ {
+		r, err := sys.Investigate(token, site, m)
+		if err != nil {
+			reports = append(reports, nil)
+			continue
+		}
+		reports = append(reports, r)
+	}
+	return reports, nil
+}
+
+// Solicitations lists identifiers currently marked 'request for
+// video'. Vehicles poll this anonymously.
+func (sys *System) Solicitations() []vd.VPID {
+	sys.mu.Lock()
+	defer sys.mu.Unlock()
+	out := make([]vd.VPID, 0, len(sys.solicitations))
+	for id, s := range sys.solicitations {
+		if !s.Fulfilled {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// ErrNotSolicited is returned for video uploads nobody asked for —
+// the automation that shields human reviewers from dump attacks.
+var ErrNotSolicited = errors.New("server: video was not solicited")
+
+// SubmitVideo accepts an anonymously uploaded video for a solicited
+// VP. The video is validated against the system-owned VP via the
+// cascading hash replay before it ever reaches a human (Section
+// 5.2.3); only then does it enter the review queue.
+func (sys *System) SubmitVideo(id vd.VPID, chunks [][]byte) error {
+	sys.mu.Lock()
+	sol, ok := sys.solicitations[id]
+	if !ok || sol.Fulfilled {
+		sys.mu.Unlock()
+		return ErrNotSolicited
+	}
+	sys.mu.Unlock()
+
+	p, ok := sys.store.Get(id)
+	if !ok {
+		return errors.New("server: no stored VP for video")
+	}
+	if err := vd.Replay(id, p.VDs, chunks); err != nil {
+		return fmt.Errorf("server: video fails VP validation: %w", err)
+	}
+
+	sys.mu.Lock()
+	defer sys.mu.Unlock()
+	if sol.Fulfilled {
+		return ErrNotSolicited
+	}
+	sol.Fulfilled = true
+	sys.reviewQueue = append(sys.reviewQueue, &Submission{ID: id, Chunks: chunks})
+	return nil
+}
+
+// ReviewQueueLen returns the number of submissions awaiting review.
+func (sys *System) ReviewQueueLen() int {
+	sys.mu.Lock()
+	defer sys.mu.Unlock()
+	return len(sys.reviewQueue)
+}
+
+// Review pops the next submission and applies the investigator's
+// decision. Approved submissions post a reward offer of the given
+// units. Authority only.
+func (sys *System) Review(token string, approve func(*Submission) bool, units int) (*Submission, error) {
+	if err := sys.checkAuthority(token); err != nil {
+		return nil, err
+	}
+	if units <= 0 {
+		return nil, fmt.Errorf("server: reward units must be positive, got %d", units)
+	}
+	sys.mu.Lock()
+	if len(sys.reviewQueue) == 0 {
+		sys.mu.Unlock()
+		return nil, errors.New("server: review queue empty")
+	}
+	sub := sys.reviewQueue[0]
+	sys.reviewQueue = sys.reviewQueue[1:]
+	sys.mu.Unlock()
+
+	if approve(sub) {
+		sys.mu.Lock()
+		sys.rewardsPosted[sub.ID] = &RewardOffer{ID: sub.ID, Units: units, Remaining: units}
+		sys.mu.Unlock()
+	}
+	return sub, nil
+}
+
+// PostedRewards lists identifiers marked 'request for reward'.
+func (sys *System) PostedRewards() []vd.VPID {
+	sys.mu.Lock()
+	defer sys.mu.Unlock()
+	out := make([]vd.VPID, 0, len(sys.rewardsPosted))
+	for id, offer := range sys.rewardsPosted {
+		if offer.Remaining > 0 {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// ErrBadOwnership is returned when the presented secret does not hash
+// to the VP identifier.
+var ErrBadOwnership = errors.New("server: secret does not prove ownership")
+
+// ClaimReward proves ownership of a rewarded VP (R = H(Q)) and returns
+// the number of cash units available.
+func (sys *System) ClaimReward(id vd.VPID, q vd.Secret) (int, error) {
+	if !id.Matches(q) {
+		return 0, ErrBadOwnership
+	}
+	sys.mu.Lock()
+	defer sys.mu.Unlock()
+	offer, ok := sys.rewardsPosted[id]
+	if !ok || offer.Remaining == 0 {
+		return 0, errors.New("server: no reward posted for this VP")
+	}
+	return offer.Remaining, nil
+}
+
+// SignBlindedForReward issues blind signatures for up to the remaining
+// units of a reward offer, after re-verifying ownership. The system
+// never sees the messages it signs (Appendix A).
+func (sys *System) SignBlindedForReward(id vd.VPID, q vd.Secret, blinded []*big.Int) ([]*big.Int, error) {
+	if !id.Matches(q) {
+		return nil, ErrBadOwnership
+	}
+	sys.mu.Lock()
+	offer, ok := sys.rewardsPosted[id]
+	if !ok || offer.Remaining < len(blinded) || len(blinded) == 0 {
+		sys.mu.Unlock()
+		return nil, fmt.Errorf("server: cannot issue %d signatures", len(blinded))
+	}
+	offer.Remaining -= len(blinded)
+	sys.mu.Unlock()
+
+	out := make([]*big.Int, 0, len(blinded))
+	for _, b := range blinded {
+		sig, err := sys.bank.SignBlinded(b)
+		if err != nil {
+			// Refund unissued units on malformed input.
+			sys.mu.Lock()
+			offer.Remaining += len(blinded) - len(out)
+			sys.mu.Unlock()
+			return nil, err
+		}
+		out = append(out, sig)
+	}
+	return out, nil
+}
+
+// Redeem verifies and burns one unit of virtual cash.
+func (sys *System) Redeem(c *reward.Cash) error { return sys.bank.Redeem(c) }

@@ -1,0 +1,183 @@
+package sim
+
+// Ablation studies for the design choices the paper fixes by fiat:
+// the TrustRank damping factor (delta = 0.8, "empirically set"), and
+// the guard-VP fraction (alpha = 0.1). These are not paper figures;
+// they justify the constants by showing what happens on either side.
+
+import (
+	"fmt"
+
+	"viewmap/internal/attack"
+	"viewmap/internal/core"
+	"viewmap/internal/geo"
+	"viewmap/internal/tracker"
+	"viewmap/internal/vp"
+)
+
+// DampingRow reports verification behaviour at one damping factor.
+type DampingRow struct {
+	Damping     float64
+	Accuracy    float64
+	LegitRecall float64
+	Runs        int
+}
+
+func (r DampingRow) String() string {
+	return fmt.Sprintf("delta=%.2f  accuracy %5.1f%%  legit recall %5.1f%%  (%d runs)",
+		r.Damping, r.Accuracy*100, r.LegitRecall*100, r.Runs)
+}
+
+// AblationDamping sweeps the TrustRank damping factor against a fixed
+// chain attack, reporting accuracy and recall. The paper sets 0.8;
+// the sweep shows the verdict is stable across a wide band — the
+// algorithm's power comes from the two-way linkage structure, not a
+// delicate constant.
+func AblationDamping(legitVPs, runs int, seed int64) ([]DampingRow, error) {
+	if legitVPs <= 0 {
+		legitVPs = 200
+	}
+	if runs <= 0 {
+		runs = 5
+	}
+	var rows []DampingRow
+	for _, delta := range []float64{0.5, 0.6, 0.7, 0.8, 0.9} {
+		row := DampingRow{Damping: delta}
+		var recall float64
+		for run := 0; run < runs; run++ {
+			s := seed + int64(run)*101
+			profiles, site, err := verifyArena(legitVPs, s)
+			if err != nil {
+				return nil, err
+			}
+			ordered, _, err := attack.HopQuantiles(profiles, site, 0)
+			if err != nil {
+				return nil, err
+			}
+			if len(ordered) == 0 {
+				continue
+			}
+			owned := []*vp.Profile{ordered[len(ordered)/2]}
+			camp, err := attack.Launch(owned, attack.Config{
+				Site: site, FakeCount: legitVPs * 3, Colluding: true, Minute: 0, Seed: s,
+			})
+			if err != nil {
+				return nil, err
+			}
+			out, err := evaluateWithDamping(profiles, camp, site, delta)
+			if err != nil {
+				return nil, err
+			}
+			row.Runs++
+			if out.Success() {
+				row.Accuracy++
+			}
+			if out.InSiteLegit > 0 {
+				recall += float64(out.LegitAccepted) / float64(out.InSiteLegit)
+			} else {
+				recall++
+			}
+		}
+		if row.Runs > 0 {
+			row.Accuracy /= float64(row.Runs)
+			row.LegitRecall = recall / float64(row.Runs)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// evaluateWithDamping is attack.Evaluate with a non-default damping.
+func evaluateWithDamping(population []*vp.Profile, camp *attack.Campaign, site geo.Rect, damping float64) (attack.Outcome, error) {
+	all := make([]*vp.Profile, 0, len(population)+len(camp.Fakes))
+	all = append(all, population...)
+	all = append(all, camp.Fakes...)
+	vm, err := core.Build(all, core.BuildConfig{Site: site, Minute: 0})
+	if err != nil {
+		return attack.Outcome{}, err
+	}
+	inSite := vm.InSite(site)
+	verdict, err := vm.VerifySite(inSite, core.TrustRankConfig{Damping: damping})
+	if err != nil {
+		return attack.Outcome{}, err
+	}
+	var o attack.Outcome
+	for _, i := range inSite {
+		if camp.IsFake(vm.Profiles[i].ID()) {
+			o.InSiteFakes++
+		} else {
+			o.InSiteLegit++
+		}
+	}
+	for _, i := range verdict.Legitimate {
+		if camp.IsFake(vm.Profiles[i].ID()) {
+			o.FakeAccepted++
+		} else {
+			o.LegitAccepted++
+		}
+	}
+	return o, nil
+}
+
+// AlphaRow reports the privacy/overhead trade at one guard fraction.
+type AlphaRow struct {
+	Alpha float64
+	// FinalSuccess is tracking success at the end of the run.
+	FinalSuccess float64
+	// FinalEntropy is the tracker's entropy in bits at the end.
+	FinalEntropy float64
+	// GuardsPerVehicleMinute is the upload overhead.
+	GuardsPerVehicleMinute float64
+}
+
+func (r AlphaRow) String() string {
+	return fmt.Sprintf("alpha=%.2f  tracking success %.3f  entropy %.2f b  guards/veh-min %.2f",
+		r.Alpha, r.FinalSuccess, r.FinalEntropy, r.GuardsPerVehicleMinute)
+}
+
+// AblationAlpha sweeps the guard fraction and reports the
+// privacy/overhead trade-off behind the paper's Fig. 9 discussion and
+// its alpha = 0.1 choice.
+func AblationAlpha(vehicles, minutes int, seed int64) ([]AlphaRow, error) {
+	if vehicles <= 0 {
+		vehicles = 60
+	}
+	if minutes <= 0 {
+		minutes = 10
+	}
+	var rows []AlphaRow
+	for _, alpha := range []float64{0.02, 0.05, 0.1, 0.3, 0.5} {
+		run, err := NewCityRun(CityConfig{
+			Vehicles: vehicles, Minutes: minutes,
+			MixSpeeds: true, Alpha: alpha, Seed: seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ds, err := run.TrackingDataset(true)
+		if err != nil {
+			return nil, err
+		}
+		ent, suc, err := ds.AverageOverTargets(tracker.Config{})
+		if err != nil {
+			return nil, err
+		}
+		// Guard volume from the dataset itself.
+		var guards int
+		for _, obs := range ds.Minutes() {
+			for _, o := range obs {
+				if o.Owner < 0 {
+					guards++
+				}
+			}
+		}
+		last := len(suc) - 1
+		rows = append(rows, AlphaRow{
+			Alpha:                  alpha,
+			FinalSuccess:           suc[last],
+			FinalEntropy:           ent[last],
+			GuardsPerVehicleMinute: float64(guards) / float64(vehicles*minutes),
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,515 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"viewmap/internal/attack"
+	"viewmap/internal/core"
+	"viewmap/internal/geo"
+	"viewmap/internal/radio"
+	"viewmap/internal/vd"
+	"viewmap/internal/vp"
+)
+
+// ---------------------------------------------------------------- Table 2
+
+// Table2Row is one scripted LOS/NLOS scenario result.
+type Table2Row struct {
+	Scenario  string
+	Condition string
+	Linkage   float64
+	OnVideo   float64
+	Minutes   int
+}
+
+func (r Table2Row) String() string {
+	return fmt.Sprintf("%-20s %-9s linkage %5.1f%%  on video %5.1f%%  (%d min)",
+		r.Scenario, r.Condition, r.Linkage*100, r.OnVideo*100, r.Minutes)
+}
+
+// table2Scenario scripts one semi-controlled measurement setting.
+type table2Scenario struct {
+	name      string
+	condition string
+	// build returns one minute of tracks plus the static environment.
+	build func() (a, b []geo.Point, env radio.Environment, traffic float64)
+}
+
+// wallAcross returns an obstacle set with one large building centred
+// between the two vehicle tracks.
+func wallAcross(r geo.Rect) radio.Environment {
+	return radio.Environment{Obstacles: geo.NewObstacleSet(geo.Building{Footprint: r})}
+}
+
+func stationaryTrack(p geo.Point) []geo.Point {
+	out := make([]geo.Point, vd.SegmentSeconds)
+	for i := range out {
+		out[i] = p
+	}
+	return out
+}
+
+func eastTrack(start geo.Point, speed float64) []geo.Point {
+	out := make([]geo.Point, vd.SegmentSeconds)
+	for i := range out {
+		out[i] = geo.Pt(start.X+speed*float64(i), start.Y)
+	}
+	return out
+}
+
+func northTrack(start geo.Point, speed float64) []geo.Point {
+	out := make([]geo.Point, vd.SegmentSeconds)
+	for i := range out {
+		out[i] = geo.Pt(start.X, start.Y+speed*float64(i))
+	}
+	return out
+}
+
+// table2Scenarios mirrors the paper's fourteen settings. Geometry is
+// synthetic but preserves each row's sight condition: what blocks whom,
+// and for how much of the minute.
+func table2Scenarios() []table2Scenario {
+	return []table2Scenario{
+		{"Open road", "LOS", func() ([]geo.Point, []geo.Point, radio.Environment, float64) {
+			// B ahead-right so it sits in A's camera FOV.
+			return eastTrack(geo.Pt(0, 0), 14), eastTrack(geo.Pt(70, 40), 14), radio.Environment{}, 0
+		}},
+		{"Building 1", "NLOS", func() ([]geo.Point, []geo.Point, radio.Environment, float64) {
+			// Parked on opposite sides of a large building.
+			return stationaryTrack(geo.Pt(0, 0)), stationaryTrack(geo.Pt(200, 0)),
+				wallAcross(geo.NewRect(geo.Pt(60, -80), geo.Pt(140, 80))), 0
+		}},
+		{"Intersection 1", "LOS", func() ([]geo.Point, []geo.Point, radio.Environment, float64) {
+			// Open intersection: perpendicular approaches, no corners.
+			return eastTrack(geo.Pt(-420, 0), 7), northTrack(geo.Pt(0, -420), 7), radio.Environment{}, 0
+		}},
+		{"Intersection 2", "NLOS", func() ([]geo.Point, []geo.Point, radio.Environment, float64) {
+			// Corner buildings keep the approaches out of sight until the
+			// vehicles are almost inside the box; the clear window is a
+			// couple of seconds at best.
+			env := radio.Environment{Obstacles: geo.NewObstacleSet(
+				geo.Building{Footprint: geo.NewRect(geo.Pt(-400, -400), geo.Pt(-5, -5))},
+				geo.Building{Footprint: geo.NewRect(geo.Pt(5, -400), geo.Pt(400, -5))},
+				geo.Building{Footprint: geo.NewRect(geo.Pt(-400, 5), geo.Pt(-5, 400))},
+			)}
+			return eastTrack(geo.Pt(-445, 0), 7), northTrack(geo.Pt(0, -445), 7), env, 0
+		}},
+		{"Overpass 1", "LOS", func() ([]geo.Point, []geo.Point, radio.Environment, float64) {
+			// Crossing at different heights but open sight most of the
+			// pass; modelled as a brief central obstruction.
+			return eastTrack(geo.Pt(-420, 0), 14), northTrack(geo.Pt(0, -420), 14),
+				wallAcross(geo.NewRect(geo.Pt(-12, -12), geo.Pt(12, 12))), 0
+		}},
+		{"Overpass 2", "NLOS", func() ([]geo.Point, []geo.Point, radio.Environment, float64) {
+			// Double-deck: the deck blocks the entire encounter.
+			return eastTrack(geo.Pt(-420, 5), 14), eastTrack(geo.Pt(-420, -5), 14),
+				wallAcross(geo.NewRect(geo.Pt(-1000, -2), geo.Pt(1000, 2))), 0
+		}},
+		{"Traffic", "LOS/NLOS", func() ([]geo.Point, []geo.Point, radio.Environment, float64) {
+			// Dense highway traffic: long blocked runs at 340 m gap.
+			return eastTrack(geo.Pt(0, 0), 22), eastTrack(geo.Pt(280, 190), 22), radio.Environment{}, 0.95
+		}},
+		{"Vehicle array", "NLOS", func() ([]geo.Point, []geo.Point, radio.Environment, float64) {
+			// A wall of trucks between the two vehicles.
+			return eastTrack(geo.Pt(0, 0), 22), eastTrack(geo.Pt(250, 230), 22), radio.Environment{}, 1.0
+		}},
+		{"Pedestrians", "LOS", func() ([]geo.Point, []geo.Point, radio.Environment, float64) {
+			// Pedestrians do not block DSRC or cameras meaningfully.
+			return eastTrack(geo.Pt(0, 0), 8), eastTrack(geo.Pt(60, 30), 8), radio.Environment{}, 0
+		}},
+		{"Tunnels", "NLOS", func() ([]geo.Point, []geo.Point, radio.Environment, float64) {
+			// Separate tunnel bores: continuous massive obstruction.
+			return eastTrack(geo.Pt(-420, 30), 14), eastTrack(geo.Pt(-420, -30), 14),
+				wallAcross(geo.NewRect(geo.Pt(-1500, -10), geo.Pt(1500, 10))), 0
+		}},
+		{"Building 2", "LOS/NLOS", func() ([]geo.Point, []geo.Point, radio.Environment, float64) {
+			// A building shadows most of the pass; the short clear tail
+			// is further thinned by street traffic.
+			return eastTrack(geo.Pt(-420, 0), 14), eastTrack(geo.Pt(-270, 250), 14),
+				envWith(geo.NewRect(geo.Pt(-420, 30), geo.Pt(370, 64)), 0), 0.5
+		}},
+		{"Double-deck bridge", "NLOS", func() ([]geo.Point, []geo.Point, radio.Environment, float64) {
+			return eastTrack(geo.Pt(-420, 8), 20), eastTrack(geo.Pt(-420, -8), 20),
+				wallAcross(geo.NewRect(geo.Pt(-2000, -3), geo.Pt(2000, 3))), 0
+		}},
+		{"House", "LOS/NLOS", func() ([]geo.Point, []geo.Point, radio.Environment, float64) {
+			// A house row obstructs the street for half the minute.
+			return eastTrack(geo.Pt(-420, 0), 10), eastTrack(geo.Pt(-280, 230), 10),
+				envWith(geo.NewRect(geo.Pt(-420, 25), geo.Pt(-20, 55)), 0), 0.5
+		}},
+		{"Parking structure", "NLOS", func() ([]geo.Point, []geo.Point, radio.Environment, float64) {
+			// One vehicle parked inside the structure: every sight line
+			// starts within the footprint.
+			return stationaryTrack(geo.Pt(0, 0)), eastTrack(geo.Pt(-300, 120), 7),
+				wallAcross(geo.NewRect(geo.Pt(-60, -60), geo.Pt(60, 60))), 0
+		}},
+	}
+}
+
+// envWith builds an environment with one building.
+func envWith(r geo.Rect, _ float64) radio.Environment {
+	return wallAcross(r)
+}
+
+// Table2 runs each scripted scenario for `trials` independent minutes
+// and reports linkage and on-video rates.
+func Table2(trials int, seed int64) ([]Table2Row, error) {
+	if trials <= 0 {
+		trials = 25
+	}
+	var rows []Table2Row
+	for _, sc := range table2Scenarios() {
+		a, b, env, traffic := sc.build()
+		// Repeat the minute `trials` times with fresh seeds by tiling
+		// the track.
+		var linked, video int
+		for trial := 0; trial < trials; trial++ {
+			outs, err := RunLinkScenario(LinkScenario{
+				Name: sc.name, TrackA: a, TrackB: b, Env: env,
+				TrafficDensity: traffic, BlockMeanSec: 60,
+				Seed: seed + int64(trial)*131,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if outs[0].Linked {
+				linked++
+			}
+			if outs[0].OnVideo {
+				video++
+			}
+		}
+		rows = append(rows, Table2Row{
+			Scenario: sc.name, Condition: sc.condition,
+			Linkage: float64(linked) / float64(trials),
+			OnVideo: float64(video) / float64(trials),
+			Minutes: trials,
+		})
+	}
+	return rows, nil
+}
+
+// ----------------------------------------------------------------- Fig 21
+
+// Fig21Row summarizes a traffic-derived viewmap.
+type Fig21Row struct {
+	SpeedLabel string
+	Members    int
+	Edges      int
+	Isolated   int
+	Components int
+	LargestPct float64
+	DOT        string // Graphviz rendering of the viewmap
+}
+
+func (r Fig21Row) String() string {
+	return fmt.Sprintf("%-8s members %4d  edges %5d  isolated %3d  components %3d  largest %4.1f%%",
+		r.SpeedLabel, r.Members, r.Edges, r.Isolated, r.Components, r.LargestPct)
+}
+
+// Fig21 builds viewmaps from city traffic traces at 50 and 70 km/h and
+// reports their structure (plus DOT renderings of the graphs the paper
+// visualizes).
+func Fig21(vehicles, minutes int, seed int64) ([]Fig21Row, error) {
+	if vehicles <= 0 {
+		vehicles = 300
+	}
+	if minutes <= 0 {
+		minutes = 3
+	}
+	var rows []Fig21Row
+	for _, speed := range []float64{50, 70} {
+		run, err := NewCityRun(CityConfig{
+			Vehicles: vehicles, Minutes: minutes,
+			MeanSpeedKmh: speed, Seed: seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		mp, err := run.ProfilesForMinute(minutes/2, false)
+		if err != nil {
+			return nil, err
+		}
+		vm, err := buildTraceViewmap(run, mp, minutes/2)
+		if err != nil {
+			return nil, err
+		}
+		comps := vm.Components()
+		largest := 0
+		for _, c := range comps {
+			if len(c) > largest {
+				largest = len(c)
+			}
+		}
+		rows = append(rows, Fig21Row{
+			SpeedLabel: fmt.Sprintf("%.0fkm/h", speed),
+			Members:    vm.Len(),
+			Edges:      vm.NumEdges(),
+			Isolated:   len(vm.Isolated()),
+			Components: len(comps),
+			LargestPct: 100 * float64(largest) / float64(vm.Len()),
+			DOT:        vm.DOT(fmt.Sprintf("viewmap_%.0fkmh", speed)),
+		})
+	}
+	return rows, nil
+}
+
+// buildTraceViewmap marks the profile nearest the map centre trusted
+// and builds the city-wide viewmap for the minute.
+func buildTraceViewmap(run *CityRun, mp *MinuteProfiles, minute int) (*core.Viewmap, error) {
+	center := run.City.Bounds.Center()
+	core.MarkTrustedNearest(mp.Profiles, center)
+	return core.Build(mp.Profiles, core.BuildConfig{
+		Site:   geo.RectAround(center, 200),
+		Minute: int64(minute),
+		// Cover the whole city so membership reflects the full trace.
+		CoverageMargin: run.City.Bounds.Width(),
+	})
+}
+
+// ----------------------------------------------------------------- Fig 22c
+
+// Fig22CRow is the mean contact interval for one speed setting.
+type Fig22CRow struct {
+	Speed       string
+	MeanContact float64 // seconds
+	Intervals   int
+}
+
+func (r Fig22CRow) String() string {
+	return fmt.Sprintf("%-7s mean contact %5.1f s  (%d intervals)", r.Speed, r.MeanContact, r.Intervals)
+}
+
+// Fig22C measures average vehicle contact time at 30/50/70 km/h and
+// the mixed-speed setting.
+func Fig22C(vehicles, minutes int, seed int64) ([]Fig22CRow, error) {
+	if vehicles <= 0 {
+		vehicles = 200
+	}
+	if minutes <= 0 {
+		minutes = 5
+	}
+	type setting struct {
+		label string
+		speed float64
+		mix   bool
+	}
+	settings := []setting{
+		{"30km/h", 30, false}, {"50km/h", 50, false}, {"70km/h", 70, false}, {"Mix", 0, true},
+	}
+	var rows []Fig22CRow
+	for _, s := range settings {
+		run, err := NewCityRun(CityConfig{
+			Vehicles: vehicles, Minutes: minutes,
+			MeanSpeedKmh: s.speed, MixSpeeds: s.mix, Seed: seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		intervals := run.ContactIntervals()
+		var sum float64
+		for _, iv := range intervals {
+			sum += float64(iv)
+		}
+		row := Fig22CRow{Speed: s.label, Intervals: len(intervals)}
+		if len(intervals) > 0 {
+			row.MeanContact = sum / float64(len(intervals))
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// --------------------------------------------------------------- Fig 22d/e
+
+// CityVerifyConfig drives the traffic-derived verification studies.
+type CityVerifyConfig struct {
+	Vehicles int
+	Runs     int
+	Seed     int64
+}
+
+func (c CityVerifyConfig) withDefaults() CityVerifyConfig {
+	if c.Vehicles == 0 {
+		c.Vehicles = 400
+	}
+	if c.Runs == 0 {
+		c.Runs = 10
+	}
+	return c
+}
+
+// cityArena builds one minute of traffic-derived profiles with a
+// trusted VP away from the investigation site.
+func cityArena(vehicles int, seed int64) ([]*vp.Profile, geo.Rect, error) {
+	run, err := NewCityRun(CityConfig{
+		Vehicles: vehicles, Minutes: 1, MixSpeeds: true, Seed: seed,
+	})
+	if err != nil {
+		return nil, geo.Rect{}, err
+	}
+	mp, err := run.ProfilesForMinute(0, false)
+	if err != nil {
+		return nil, geo.Rect{}, err
+	}
+	core.MarkTrustedNearest(mp.Profiles, geo.Pt(600, 600))
+	site := geo.RectAround(geo.Pt(2800, 2800), 250)
+	return mp.Profiles, site, nil
+}
+
+// Fig22D sweeps attacker positions on traffic-derived viewmaps, using
+// the same hop-quantile bands as Fig 12.
+func Fig22D(cfg CityVerifyConfig) ([]VerifyRow, error) {
+	cfg = cfg.withDefaults()
+	vcfg := VerifyConfig{LegitVPs: cfg.Vehicles, Runs: cfg.Runs, Seed: cfg.Seed}.withDefaults()
+	settings := make([]string, len(Fig12QuantileBands))
+	for i, b := range Fig12QuantileBands {
+		settings[i] = fmt.Sprintf("hops q%.0f-%.0f%%", b[0]*100, b[1]*100)
+	}
+	return verifySweep(vcfg, settings, []int{100, 300, 500}, 0,
+		func(seed int64) ([]*vp.Profile, geo.Rect, error) { return cityArena(cfg.Vehicles, seed) },
+		func(profiles []*vp.Profile, site geo.Rect, seed int64) (interface{}, error) {
+			ordered, _, err := attack.HopQuantiles(profiles, site, 0)
+			if err != nil {
+				return nil, err
+			}
+			return ordered, nil
+		},
+		func(si int, ctx interface{}, seed int64) ([]*vp.Profile, []*vp.Profile) {
+			ordered := ctx.([]*vp.Profile)
+			b := Fig12QuantileBands[si]
+			rng := rand.New(rand.NewSource(seed + int64(si)))
+			return attack.PickQuantileBand(ordered, b[0], b[1], 3, rng), nil
+		})
+}
+
+// Fig22E runs the concentration attack on traffic-derived viewmaps:
+// one attacker vehicle holding up to 125 co-trajectory dummy VPs.
+func Fig22E(cfg CityVerifyConfig) ([]VerifyRow, error) {
+	cfg = cfg.withDefaults()
+	vcfg := VerifyConfig{LegitVPs: cfg.Vehicles, Runs: cfg.Runs, Seed: cfg.Seed}.withDefaults()
+	dummies := []int{50, 75, 100, 125}
+	settings := make([]string, len(dummies))
+	for i, dn := range dummies {
+		settings[i] = fmt.Sprintf("%d dummies", dn)
+	}
+	return verifySweep(vcfg, settings, []int{100, 300, 500}, 7700,
+		func(seed int64) ([]*vp.Profile, geo.Rect, error) { return cityArena(cfg.Vehicles, seed) },
+		func(profiles []*vp.Profile, site geo.Rect, seed int64) (interface{}, error) {
+			return profiles, nil
+		},
+		func(si int, ctx interface{}, seed int64) ([]*vp.Profile, []*vp.Profile) {
+			profiles := ctx.([]*vp.Profile)
+			dn := dummies[si]
+			rng := rand.New(rand.NewSource(seed))
+			var base *vp.Profile
+			for _, idx := range rng.Perm(len(profiles)) {
+				if !profiles[idx].Trusted {
+					base = profiles[idx]
+					break
+				}
+			}
+			clones, err := attack.CloneDummies(base, profiles, dn, core.DefaultDSRCRange, rng)
+			if err != nil {
+				return nil, nil
+			}
+			return append([]*vp.Profile{base}, clones...), clones
+		})
+}
+
+// ----------------------------------------------------------------- Fig 22f
+
+// Fig22FRow is the viewmap membership rate at one speed.
+type Fig22FRow struct {
+	Speed     string
+	MemberPct float64
+}
+
+func (r Fig22FRow) String() string {
+	return fmt.Sprintf("%-7s viewmap member VPs %5.1f%%", r.Speed, r.MemberPct)
+}
+
+// Fig22F measures the percentage of VPs that join the viewmap (i.e.
+// are not isolated) for each speed setting.
+func Fig22F(vehicles, minutes int, seed int64) ([]Fig22FRow, error) {
+	if vehicles <= 0 {
+		vehicles = 300
+	}
+	if minutes <= 0 {
+		minutes = 3
+	}
+	type setting struct {
+		label string
+		speed float64
+		mix   bool
+	}
+	settings := []setting{
+		{"30km/h", 30, false}, {"50km/h", 50, false}, {"70km/h", 70, false}, {"Mix", 0, true},
+	}
+	var rows []Fig22FRow
+	for _, s := range settings {
+		run, err := NewCityRun(CityConfig{
+			Vehicles: vehicles, Minutes: minutes,
+			MeanSpeedKmh: s.speed, MixSpeeds: s.mix, Seed: seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var members, total float64
+		for m := 0; m < minutes; m++ {
+			mp, err := run.ProfilesForMinute(m, false)
+			if err != nil {
+				return nil, err
+			}
+			vm, err := buildTraceViewmap(run, mp, m)
+			if err != nil {
+				return nil, err
+			}
+			total += float64(vm.Len())
+			members += float64(vm.Len() - len(vm.Isolated()))
+		}
+		rows = append(rows, Fig22FRow{Speed: s.label, MemberPct: 100 * members / total})
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------- Overhead
+
+// OverheadReport reproduces the Section 6.1 accounting.
+type OverheadReport struct {
+	VDBytes        int
+	VPBytes        int
+	VideoBytes     int64
+	OverheadFrac   float64
+	BeaconCapacity int // DSRC beacon budget the VD fits into
+}
+
+func (o OverheadReport) String() string {
+	return fmt.Sprintf("VD %d B (beacon budget %d B), VP %d B, video %d B -> overhead %.5f%%",
+		o.VDBytes, o.BeaconCapacity, o.VPBytes, o.VideoBytes, o.OverheadFrac*100)
+}
+
+// Overhead computes the communication/storage overhead constants.
+func Overhead() OverheadReport {
+	videoBytes := int64(50 * 1000 * 1000)
+	return OverheadReport{
+		VDBytes:        vd.WireSize,
+		VPBytes:        vp.StorageBytes,
+		VideoBytes:     videoBytes,
+		OverheadFrac:   float64(vp.StorageBytes) / float64(videoBytes),
+		BeaconCapacity: 300,
+	}
+}
+
+// SortVLRRows orders rows by environment then distance, for stable
+// printing.
+func SortVLRRows(rows []VLRRow) {
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Environment != rows[j].Environment {
+			return rows[i].Environment < rows[j].Environment
+		}
+		return rows[i].DistanceM < rows[j].DistanceM
+	})
+}

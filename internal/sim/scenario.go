@@ -1,0 +1,300 @@
+// Package sim orchestrates the reproduction's experiments: scripted
+// two-vehicle DSRC encounters (the field experiments of Section 7),
+// trace-driven city simulations (Section 8), and the privacy and
+// verification studies built on them. The benchmark harness
+// (cmd/viewmap-bench and bench_test.go) calls into this package to
+// regenerate every table and figure.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"viewmap/internal/geo"
+	"viewmap/internal/radio"
+	"viewmap/internal/vd"
+	"viewmap/internal/video"
+	"viewmap/internal/vp"
+)
+
+// CameraFOVDeg is the horizontal field of view of the dashcam model.
+// Dashcams ship with wide lenses; 130 degrees is typical.
+const CameraFOVDeg = 130
+
+// CameraRangeM is the distance beyond which another vehicle is too
+// small to identify on video. The paper's open-road rows show vehicles
+// identifiable out to DSRC range, so the camera model matches it.
+const CameraRangeM = 400
+
+// scenarioChunkBytes keeps scripted scenarios fast: linkage behaviour
+// does not depend on the video bitrate, only the digests exchanged.
+const scenarioChunkBytes = 256
+
+// LinkScenario scripts one repeated two-vehicle encounter.
+type LinkScenario struct {
+	Name string
+	// TrackA and TrackB are per-second positions; their length must be
+	// a non-zero multiple of 60.
+	TrackA, TrackB []geo.Point
+	// Env is the radio environment (obstacles, traffic density).
+	Env radio.Environment
+	// Params overrides the radio constants; zero-value selects defaults.
+	Params radio.Params
+	// TrafficDensity in [0,1] is the stationary probability that
+	// interposed heavy traffic blocks the pair. Unlike the radio
+	// medium's per-packet loss, this blockage is persistent: a truck
+	// stays between two cars for BlockMeanSec on average, suppressing
+	// both the radio link and the camera view. The effective
+	// probability grows with separation (more vehicles fit between a
+	// wider gap).
+	TrafficDensity float64
+	// BlockMeanSec is the mean duration of one blocked run; zero
+	// selects 30 s.
+	BlockMeanSec float64
+	// Seed drives fading and shadowing.
+	Seed int64
+}
+
+// MinuteOutcome reports one minute of a scenario.
+type MinuteOutcome struct {
+	// Linked is the VP linkage result (two-way viewlink).
+	Linked bool
+	// OnVideo reports whether either vehicle captured the other on
+	// camera for at least one second.
+	OnVideo bool
+	// MeanDistance is the average separation during the minute.
+	MeanDistance float64
+	// DeliveredAB and DeliveredBA count VD receptions per direction.
+	DeliveredAB, DeliveredBA int
+}
+
+// heading returns the unit direction of travel at second i, falling
+// back to the previous motion (or +x when parked from the start).
+func heading(track []geo.Point, i int) geo.Point {
+	for j := i; j+1 < len(track); j++ {
+		d := track[j+1].Sub(track[j])
+		if d.Norm() > 1e-9 {
+			return d.Scale(1 / d.Norm())
+		}
+	}
+	for j := min(i, len(track)-1); j > 0; j-- {
+		d := track[j].Sub(track[j-1])
+		if d.Norm() > 1e-9 {
+			return d.Scale(1 / d.Norm())
+		}
+	}
+	return geo.Pt(1, 0)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// newScenarioRNG derives a deterministic source for scenario-level
+// randomness (truck blockage) decoupled from the radio medium's.
+func newScenarioRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed*7919 + 13))
+}
+
+// Sees reports whether a camera at `at` heading `dir` captures a
+// vehicle at `other`: within camera range, inside the horizontal FOV,
+// and in line of sight.
+func Sees(at, dir, other geo.Point, obstacles *geo.ObstacleSet) bool {
+	d := other.Sub(at)
+	dist := d.Norm()
+	if dist < 1e-9 {
+		return true
+	}
+	if dist > CameraRangeM {
+		return false
+	}
+	cos := d.Dot(dir) / dist
+	if cos < math.Cos(CameraFOVDeg/2*math.Pi/180) {
+		return false
+	}
+	return obstacles.LOS(at, other)
+}
+
+// RunLinkScenario drives the scripted encounter minute by minute:
+// both vehicles record, broadcast VDs at 1 Hz through the radio
+// medium, accept what they hear, and compile VPs at each minute
+// boundary. The outcome of each minute is the two-way linkage verdict
+// plus the camera visibility ground truth.
+func RunLinkScenario(sc LinkScenario) ([]MinuteOutcome, error) {
+	n := len(sc.TrackA)
+	if n == 0 || n%vd.SegmentSeconds != 0 || len(sc.TrackB) != n {
+		return nil, fmt.Errorf("sim: tracks must be equal non-zero multiples of 60 seconds (%d, %d)", n, len(sc.TrackB))
+	}
+	params := sc.Params
+	if params == (radio.Params{}) {
+		params = radio.DefaultParams()
+	}
+	medium := radio.NewMedium(params, sc.Env, sc.Seed)
+	srcA, err := video.NewSyntheticSource(sc.Name+"-A", scenarioChunkBytes)
+	if err != nil {
+		return nil, err
+	}
+	srcB, err := video.NewSyntheticSource(sc.Name+"-B", scenarioChunkBytes)
+	if err != nil {
+		return nil, err
+	}
+
+	// Persistent traffic-blockage state (two-state Markov chain),
+	// shared by the radio link and the camera view.
+	blockMean := sc.BlockMeanSec
+	if blockMean <= 0 {
+		blockMean = 30
+	}
+	rng := newScenarioRNG(sc.Seed)
+	blocked := false
+	stepBlock := func(dist float64) bool {
+		p := sc.TrafficDensity * math.Min(1, dist/300)
+		if p <= 0 {
+			blocked = false
+			return false
+		}
+		if p >= 1 {
+			blocked = true
+			return true
+		}
+		if blocked {
+			if rng.Float64() < 1/blockMean {
+				blocked = false
+			}
+		} else {
+			enter := p / (1 - p) / blockMean
+			if rng.Float64() < enter {
+				blocked = true
+			}
+		}
+		return blocked
+	}
+
+	minutes := n / vd.SegmentSeconds
+	out := make([]MinuteOutcome, 0, minutes)
+	for m := 0; m < minutes; m++ {
+		start := int64(m) * vd.SegmentSeconds
+		var qa, qb vd.Secret
+		qa[0], qb[0] = byte(m), byte(m)
+		qa[1], qb[1] = 'a', 'b'
+		ba, err := vp.NewBuilder(vd.DeriveVPID(qa), start, 0, params.HardRangeM)
+		if err != nil {
+			return nil, err
+		}
+		bb, err := vp.NewBuilder(vd.DeriveVPID(qb), start, 0, params.HardRangeM)
+		if err != nil {
+			return nil, err
+		}
+		var outcome MinuteOutcome
+		var distSum float64
+		for s := 1; s <= vd.SegmentSeconds; s++ {
+			idx := m*vd.SegmentSeconds + s - 1
+			pa, pb := sc.TrackA[idx], sc.TrackB[idx]
+			now := start + int64(s)
+			distSum += pa.Dist(pb)
+
+			da, err := ba.RecordSecond(pa, srcA.SecondChunk(start, s))
+			if err != nil {
+				return nil, err
+			}
+			db, err := bb.RecordSecond(pb, srcB.SecondChunk(start, s))
+			if err != nil {
+				return nil, err
+			}
+			// Advance the truck-blockage state once per second; a
+			// blocked second attenuates the radio link and hides the
+			// vehicles from each other's cameras.
+			truckBlocked := stepBlock(pa.Dist(pb))
+			extraLoss := 0.0
+			if truckBlocked {
+				extraLoss = 1.5 * params.VehicleBlockDB
+			}
+			// Broadcast both directions through the shared medium.
+			if medium.TryDeliverLoss(0, pa, 1, pb, extraLoss).OK {
+				if bb.AcceptNeighborVD(da, now) == nil {
+					outcome.DeliveredAB++
+				}
+			}
+			if medium.TryDeliverLoss(1, pb, 0, pa, extraLoss).OK {
+				if ba.AcceptNeighborVD(db, now) == nil {
+					outcome.DeliveredBA++
+				}
+			}
+			// Visibility ground truth.
+			if !truckBlocked {
+				ha := heading(sc.TrackA, idx)
+				hb := heading(sc.TrackB, idx)
+				if Sees(pa, ha, pb, sc.Env.Obstacles) || Sees(pb, hb, pa, sc.Env.Obstacles) {
+					outcome.OnVideo = true
+				}
+			}
+		}
+		profA, err := ba.Finalize()
+		if err != nil {
+			return nil, err
+		}
+		profB, err := bb.Finalize()
+		if err != nil {
+			return nil, err
+		}
+		outcome.Linked = vp.MutualNeighbors(profA, profB, params.HardRangeM)
+		outcome.MeanDistance = distSum / vd.SegmentSeconds
+		out = append(out, outcome)
+	}
+	return out, nil
+}
+
+// LinkageStats aggregates scenario outcomes.
+type LinkageStats struct {
+	Minutes   int
+	Linked    int
+	OnVideo   int
+	MeanDist  float64
+	LinkRatio float64
+	VideoRate float64
+}
+
+// Aggregate summarizes a batch of minutes.
+func Aggregate(outcomes []MinuteOutcome) LinkageStats {
+	var st LinkageStats
+	st.Minutes = len(outcomes)
+	if st.Minutes == 0 {
+		return st
+	}
+	var dist float64
+	for _, o := range outcomes {
+		if o.Linked {
+			st.Linked++
+		}
+		if o.OnVideo {
+			st.OnVideo++
+		}
+		dist += o.MeanDistance
+	}
+	st.MeanDist = dist / float64(st.Minutes)
+	st.LinkRatio = float64(st.Linked) / float64(st.Minutes)
+	st.VideoRate = float64(st.OnVideo) / float64(st.Minutes)
+	return st
+}
+
+// ParallelTracks returns two tracks holding a constant lateral gap
+// while driving east at the given speed for the given minutes.
+func ParallelTracks(gap, speed float64, minutes int) (a, b []geo.Point, err error) {
+	if minutes <= 0 {
+		return nil, nil, errors.New("sim: minutes must be positive")
+	}
+	n := minutes * vd.SegmentSeconds
+	a = make([]geo.Point, n)
+	b = make([]geo.Point, n)
+	for i := 0; i < n; i++ {
+		x := speed * float64(i)
+		a[i] = geo.Pt(x, 0)
+		b[i] = geo.Pt(x, gap)
+	}
+	return a, b, nil
+}

@@ -1,0 +1,453 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"viewmap/internal/geo"
+	"viewmap/internal/radio"
+	"viewmap/internal/vd"
+)
+
+func TestRunLinkScenarioValidation(t *testing.T) {
+	if _, err := RunLinkScenario(LinkScenario{Name: "x"}); err == nil {
+		t.Error("empty tracks should fail")
+	}
+	a, b, err := ParallelTracks(100, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunLinkScenario(LinkScenario{Name: "x", TrackA: a, TrackB: b[:30]}); err == nil {
+		t.Error("mismatched tracks should fail")
+	}
+}
+
+func TestOpenRoadAlwaysLinks(t *testing.T) {
+	a, b, err := ParallelTracks(100, 14, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := RunLinkScenario(LinkScenario{Name: "open", TrackA: a, TrackB: b, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m, o := range outs {
+		if !o.Linked {
+			t.Errorf("minute %d: open road at 100 m should link", m)
+		}
+		if o.DeliveredAB < 10 || o.DeliveredBA < 10 {
+			t.Errorf("minute %d: expected plentiful deliveries, got %d/%d", m, o.DeliveredAB, o.DeliveredBA)
+		}
+	}
+	st := Aggregate(outs)
+	if st.LinkRatio != 1 {
+		t.Errorf("open-road VLR = %v, want 1", st.LinkRatio)
+	}
+}
+
+func TestWallBlocksLinkage(t *testing.T) {
+	a, b, err := ParallelTracks(200, 0.0001, 3) // effectively parked
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := radio.Environment{Obstacles: geo.NewObstacleSet(
+		geo.Building{Footprint: geo.NewRect(geo.Pt(-1000, 80), geo.Pt(1000, 120))},
+	)}
+	outs, err := RunLinkScenario(LinkScenario{Name: "wall", TrackA: a, TrackB: b, Env: env, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Aggregate(outs)
+	if st.LinkRatio > 0.34 {
+		t.Errorf("NLOS VLR = %v, want near 0", st.LinkRatio)
+	}
+	if st.VideoRate != 0 {
+		t.Errorf("NLOS on-video = %v, want 0", st.VideoRate)
+	}
+}
+
+func TestHeavyTrafficDegradesDistantLinks(t *testing.T) {
+	run := func(traffic float64) float64 {
+		a, b, err := ParallelTracks(380, 22, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs, err := RunLinkScenario(LinkScenario{
+			Name: "hwy", TrackA: a, TrackB: b,
+			TrafficDensity: traffic, BlockMeanSec: 45, Seed: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Aggregate(outs).LinkRatio
+	}
+	light := run(0.05)
+	heavy := run(0.9)
+	if heavy >= light {
+		t.Errorf("heavy traffic should reduce VLR at distance: light=%v heavy=%v", light, heavy)
+	}
+}
+
+func TestSeesFOVAndRange(t *testing.T) {
+	at := geo.Pt(0, 0)
+	dir := geo.Pt(1, 0)
+	if !Sees(at, dir, geo.Pt(100, 0), nil) {
+		t.Error("dead-ahead vehicle should be visible")
+	}
+	if Sees(at, dir, geo.Pt(-100, 0), nil) {
+		t.Error("vehicle behind should not be visible")
+	}
+	if Sees(at, dir, geo.Pt(0, 100), nil) {
+		t.Error("vehicle at 90 degrees should be outside the 130-degree FOV")
+	}
+	if !Sees(at, dir, geo.Pt(100, 80), nil) {
+		t.Error("vehicle at ~39 degrees should be inside the FOV")
+	}
+	if Sees(at, dir, geo.Pt(CameraRangeM+50, 0), nil) {
+		t.Error("vehicle beyond camera range should not be visible")
+	}
+	wall := geo.NewObstacleSet(geo.Building{Footprint: geo.NewRect(geo.Pt(40, -10), geo.Pt(60, 10))})
+	if Sees(at, dir, geo.Pt(100, 0), wall) {
+		t.Error("blocked vehicle should not be visible")
+	}
+}
+
+func TestNewCityRunValidation(t *testing.T) {
+	if _, err := NewCityRun(CityConfig{Vehicles: 0, Minutes: 1}); err == nil {
+		t.Error("zero vehicles should fail")
+	}
+	if _, err := NewCityRun(CityConfig{Vehicles: 5, Minutes: 0}); err == nil {
+		t.Error("zero minutes should fail")
+	}
+}
+
+func smallCity(t testing.TB, vehicles, minutes int) *CityRun {
+	t.Helper()
+	run, err := NewCityRun(CityConfig{
+		Vehicles: vehicles, Minutes: minutes,
+		BlocksX: 8, BlocksY: 8, MeanSpeedKmh: 50, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run
+}
+
+func TestProfilesForMinute(t *testing.T) {
+	run := smallCity(t, 40, 2)
+	mp, err := run.ProfilesForMinute(0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mp.Profiles) != 40 {
+		t.Fatalf("profiles = %d, want 40", len(mp.Profiles))
+	}
+	if mp.Guards != 0 {
+		t.Error("guards requested off")
+	}
+	// Every profile complete, owned, minute 0.
+	for i, p := range mp.Profiles {
+		if !p.Complete() {
+			t.Fatalf("profile %d incomplete", i)
+		}
+		if p.Minute() != 0 {
+			t.Fatalf("profile %d wrong minute", i)
+		}
+		if mp.Owner[p.ID()] != i {
+			t.Fatalf("owner map wrong for %d", i)
+		}
+	}
+	// Linked pairs must actually satisfy the viewlink predicate.
+	for k := range mp.Pairs {
+		a, b := mp.Profiles[k[0]], mp.Profiles[k[1]]
+		linked := false
+		for s := 0; s < vd.SegmentSeconds; s++ {
+			if a.VDs[s].L.Dist(b.VDs[s].L) <= run.Cfg.DSRCRangeM {
+				linked = true
+				break
+			}
+		}
+		if !linked {
+			t.Fatal("paired profiles never within range")
+		}
+	}
+	if _, err := run.ProfilesForMinute(5, false); err == nil {
+		t.Error("out-of-range minute should fail")
+	}
+}
+
+func TestProfilesWithGuards(t *testing.T) {
+	run := smallCity(t, 40, 1)
+	mp, err := run.ProfilesForMinute(0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.Guards == 0 {
+		t.Skip("no neighbor pairs formed for this seed; guard count is zero")
+	}
+	if len(mp.Profiles) != 40+mp.Guards {
+		t.Fatalf("profiles = %d, want 40+%d", len(mp.Profiles), mp.Guards)
+	}
+	for _, p := range mp.Profiles[40:] {
+		if mp.Owner[p.ID()] != -1 {
+			t.Error("guard owner should be -1")
+		}
+		if !p.Complete() {
+			t.Error("guard profile incomplete")
+		}
+	}
+}
+
+func TestTrackingDatasetShape(t *testing.T) {
+	run := smallCity(t, 30, 3)
+	ds, err := run.TrackingDataset(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minutes := ds.Minutes()
+	if len(minutes) != 3 {
+		t.Fatalf("minutes = %d, want 3", len(minutes))
+	}
+	for m, obs := range minutes {
+		actual := 0
+		for _, o := range obs {
+			if o.Owner >= 0 {
+				actual++
+			}
+		}
+		if actual != 30 {
+			t.Fatalf("minute %d has %d actual observations, want 30", m, actual)
+		}
+	}
+}
+
+func TestContactIntervalsSane(t *testing.T) {
+	run := smallCity(t, 30, 2)
+	intervals := run.ContactIntervals()
+	for _, iv := range intervals {
+		if iv <= 0 || iv > 2*vd.SegmentSeconds {
+			t.Fatalf("contact interval %d outside (0, 120]", iv)
+		}
+	}
+}
+
+// ------------------------------- Experiment harness smoke tests (small) ---
+
+func TestTable1Shape(t *testing.T) {
+	rows, err := Table1(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want host + 3 platforms", len(rows))
+	}
+	// Slower platforms must have lower fps.
+	if rows[1].FPS >= rows[3].FPS {
+		t.Errorf("Raspberry Pi fps %v should be below 2014 iMac %v", rows[1].FPS, rows[3].FPS)
+	}
+}
+
+func TestFig8CascadeIsFlat(t *testing.T) {
+	rows, err := Fig8(200_000) // 12 MB/min keeps the test quick
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := rows[0], rows[len(rows)-1]
+	// Normal hashing grows roughly with recording time; cascade does
+	// not. Compare growth factors, generously.
+	if last.Normal < first.Normal*5 {
+		t.Errorf("normal hash should grow with time: %v -> %v", first.Normal, last.Normal)
+	}
+	if last.Cascade > first.Cascade*20 && last.Cascade > 2*first.Normal {
+		t.Errorf("cascade should stay flat: %v -> %v", first.Cascade, last.Cascade)
+	}
+}
+
+func TestFig9Volumes(t *testing.T) {
+	rows := Fig9()
+	if len(rows) != 30 {
+		t.Fatalf("rows = %d, want 3 alphas x 10 points", len(rows))
+	}
+	for _, r := range rows {
+		want := 1 + int(float64(r.Neighbors)*r.Alpha+0.9999)
+		if r.VPsPerMin != want && r.VPsPerMin != want-1+1 {
+			t.Errorf("m=%d alpha=%v: VPs=%d, want %d", r.Neighbors, r.Alpha, r.VPsPerMin, want)
+		}
+	}
+}
+
+func TestFig14Shapes(t *testing.T) {
+	rows := Fig14()
+	byM := make(map[int][]Fig14Row)
+	for _, r := range rows {
+		byM[r.FilterBits] = append(byM[r.FilterBits], r)
+	}
+	// Larger m means lower false linkage at the same n.
+	for i := range byM[2048] {
+		if byM[4096][i].FalseLinkage > byM[2048][i].FalseLinkage {
+			t.Errorf("m=4096 should be below m=2048 at n=%d", byM[2048][i].Neighbors)
+		}
+	}
+}
+
+func TestPrivacySmall(t *testing.T) {
+	curves, err := Privacy(PrivacyConfig{
+		Vehicles: []int{40}, Minutes: 8,
+		BlocksX: 10, BlocksY: 10, Seed: 6, IncludeBareReference: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != 2 {
+		t.Fatalf("curves = %d, want guarded + bare", len(curves))
+	}
+	guarded, bare := curves[0], curves[1]
+	gLast := guarded.Success[len(guarded.Success)-1]
+	bLast := bare.Success[len(bare.Success)-1]
+	if gLast >= bLast {
+		t.Errorf("guards should cut tracking success: guarded=%v bare=%v", gLast, bLast)
+	}
+	if bare.EntropyBit[len(bare.EntropyBit)-1] > guarded.EntropyBit[len(guarded.EntropyBit)-1] {
+		t.Error("guards should raise tracker entropy")
+	}
+}
+
+func TestOverheadReport(t *testing.T) {
+	o := Overhead()
+	if o.VDBytes != 72 {
+		t.Errorf("VD = %d B, want 72", o.VDBytes)
+	}
+	if o.VDBytes > o.BeaconCapacity {
+		t.Error("VD must fit in a DSRC beacon")
+	}
+	if o.OverheadFrac > 0.0001 {
+		t.Errorf("overhead = %v, want < 0.01%%", o.OverheadFrac)
+	}
+}
+
+func TestTable2SmallRun(t *testing.T) {
+	rows, err := Table2(4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 14 {
+		t.Fatalf("rows = %d, want 14 scenarios", len(rows))
+	}
+	get := func(name string) Table2Row {
+		for _, r := range rows {
+			if r.Scenario == name {
+				return r
+			}
+		}
+		t.Fatalf("scenario %q missing", name)
+		return Table2Row{}
+	}
+	if r := get("Open road"); r.Linkage < 0.99 || r.OnVideo < 0.99 {
+		t.Errorf("Open road should be ~100/100: %+v", r)
+	}
+	if r := get("Building 1"); r.Linkage > 0.25 || r.OnVideo > 0 {
+		t.Errorf("Building 1 should be ~0/0: %+v", r)
+	}
+	if r := get("Tunnels"); r.Linkage > 0.25 || r.OnVideo > 0 {
+		t.Errorf("Tunnels should be ~0/0: %+v", r)
+	}
+	open := get("Open road")
+	arr := get("Vehicle array")
+	if arr.Linkage >= open.Linkage {
+		t.Error("vehicle array should link less than open road")
+	}
+}
+
+func TestFig21Structure(t *testing.T) {
+	rows, err := Fig21(60, 1, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2 speeds", len(rows))
+	}
+	for _, r := range rows {
+		if r.Members == 0 || r.Edges == 0 {
+			t.Errorf("%s: empty viewmap", r.SpeedLabel)
+		}
+		if !strings.Contains(r.DOT, "graph") {
+			t.Error("DOT output missing")
+		}
+	}
+}
+
+func TestFig22CSpeedEffect(t *testing.T) {
+	rows, err := Fig22C(40, 2, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 speed settings", len(rows))
+	}
+	var slow, fast Fig22CRow
+	for _, r := range rows {
+		if r.Speed == "30km/h" {
+			slow = r
+		}
+		if r.Speed == "70km/h" {
+			fast = r
+		}
+	}
+	if slow.Intervals == 0 || fast.Intervals == 0 {
+		t.Skip("too few contacts at this scale")
+	}
+	if fast.MeanContact > slow.MeanContact*1.5 {
+		t.Errorf("faster traffic should not lengthen contacts: 30km/h=%v 70km/h=%v",
+			slow.MeanContact, fast.MeanContact)
+	}
+}
+
+func TestFig22FMembership(t *testing.T) {
+	rows, err := Fig22F(60, 1, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.MemberPct < 50 || r.MemberPct > 100 {
+			t.Errorf("%s membership %v%% implausible", r.Speed, r.MemberPct)
+		}
+	}
+}
+
+func TestAblationDampingStable(t *testing.T) {
+	rows, err := AblationDamping(100, 1, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5 damping values", len(rows))
+	}
+	for _, r := range rows {
+		if r.Runs > 0 && r.Accuracy < 0.99 {
+			t.Errorf("delta=%v accuracy %v; verification should be damping-stable", r.Damping, r.Accuracy)
+		}
+	}
+}
+
+func TestAblationAlphaMonotone(t *testing.T) {
+	rows, err := AblationAlpha(30, 6, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5 alpha values", len(rows))
+	}
+	// Stronger guarding should not make tracking easier.
+	first, last := rows[0], rows[len(rows)-1]
+	if last.FinalSuccess > first.FinalSuccess+0.05 {
+		t.Errorf("alpha=%v success %v should not exceed alpha=%v success %v",
+			last.Alpha, last.FinalSuccess, first.Alpha, first.FinalSuccess)
+	}
+	// More alpha means at least as many guards.
+	if last.GuardsPerVehicleMinute+1e-9 < first.GuardsPerVehicleMinute {
+		t.Error("guard volume should grow with alpha")
+	}
+}

@@ -1,0 +1,205 @@
+// Package stats provides the statistical helpers used by the ViewMap
+// evaluation: Pearson correlation (Fig. 20), Shannon entropy over belief
+// distributions (Fig. 10/22a), and small aggregation utilities used by
+// the benchmark harness when averaging over simulation runs.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrInsufficientData is returned when a statistic needs more samples
+// than were provided.
+var ErrInsufficientData = errors.New("stats: insufficient data")
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or 0 when fewer than
+// two samples are provided.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Pearson returns the Pearson correlation coefficient between xs and ys.
+// It returns ErrInsufficientData when fewer than two pairs are given or
+// the slices differ in length, and 0 with nil error when either series
+// is constant (the coefficient is undefined; the paper's Fig. 20 never
+// hits this because both events vary).
+func Pearson(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, ErrInsufficientData
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, nil
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// PearsonBinary returns the phi coefficient — Pearson correlation of two
+// binary event series — which is what the paper computes between "VPs
+// linked" and "vehicle visible on video".
+func PearsonBinary(xs, ys []bool) (float64, error) {
+	fx := make([]float64, len(xs))
+	fy := make([]float64, len(ys))
+	for i := range xs {
+		if xs[i] {
+			fx[i] = 1
+		}
+	}
+	for i := range ys {
+		if ys[i] {
+			fy[i] = 1
+		}
+	}
+	return Pearson(fx, fy)
+}
+
+// Entropy returns the Shannon entropy, in bits, of the probability
+// distribution p. Zero entries contribute nothing. The distribution is
+// not required to be normalized; entries are used as given, matching the
+// paper's definition H_t = -sum p log p over the tracker's belief.
+func Entropy(p []float64) float64 {
+	var h float64
+	for _, v := range p {
+		if v > 0 {
+			h -= v * math.Log2(v)
+		}
+	}
+	return h
+}
+
+// Normalize scales xs in place so it sums to 1. It is a no-op on an
+// all-zero or empty slice and returns whether normalization happened.
+func Normalize(xs []float64) bool {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	if s == 0 {
+		return false
+	}
+	for i := range xs {
+		xs[i] /= s
+	}
+	return true
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between closest ranks. It returns ErrInsufficientData on
+// an empty slice.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrInsufficientData
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0], nil
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1], nil
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Histogram counts xs into n equal-width bins spanning [min, max].
+// Values outside the range are clamped into the first/last bin.
+func Histogram(xs []float64, n int, min, max float64) []int {
+	if n <= 0 || max <= min {
+		return nil
+	}
+	bins := make([]int, n)
+	w := (max - min) / float64(n)
+	for _, x := range xs {
+		i := int((x - min) / w)
+		if i < 0 {
+			i = 0
+		}
+		if i >= n {
+			i = n - 1
+		}
+		bins[i]++
+	}
+	return bins
+}
+
+// Series accumulates samples keyed by an integer index (e.g. time in
+// minutes, or a distance bucket) and reports per-key means. It is used
+// by the benchmark harness to average simulation metrics over runs.
+type Series struct {
+	sum   map[int]float64
+	count map[int]int
+}
+
+// NewSeries returns an empty Series.
+func NewSeries() *Series {
+	return &Series{sum: make(map[int]float64), count: make(map[int]int)}
+}
+
+// Add records one sample for key k.
+func (s *Series) Add(k int, v float64) {
+	s.sum[k] += v
+	s.count[k]++
+}
+
+// MeanAt returns the mean of samples at key k and whether any exist.
+func (s *Series) MeanAt(k int) (float64, bool) {
+	c := s.count[k]
+	if c == 0 {
+		return 0, false
+	}
+	return s.sum[k] / float64(c), true
+}
+
+// Keys returns all recorded keys in ascending order.
+func (s *Series) Keys() []int {
+	keys := make([]int, 0, len(s.sum))
+	for k := range s.sum {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// CountAt returns the number of samples recorded at key k.
+func (s *Series) CountAt(k int) int { return s.count[k] }

@@ -1,0 +1,238 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) should be 0")
+	}
+	if Mean([]float64{2, 4, 6}) != 4 {
+		t.Error("Mean([2,4,6]) should be 4")
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	if Variance([]float64{5}) != 0 {
+		t.Error("Variance of single sample should be 0")
+	}
+	v := Variance([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if !almost(v, 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", v)
+	}
+	if !almost(StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}), 2, 1e-12) {
+		t.Error("StdDev should be 2")
+	}
+}
+
+func TestPearsonPerfectCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	r, err := Pearson(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(r, 1, 1e-12) {
+		t.Errorf("Pearson = %v, want 1", r)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	r, _ = Pearson(xs, neg)
+	if !almost(r, -1, 1e-12) {
+		t.Errorf("Pearson = %v, want -1", r)
+	}
+}
+
+func TestPearsonErrors(t *testing.T) {
+	if _, err := Pearson([]float64{1}, []float64{2}); err != ErrInsufficientData {
+		t.Error("expected ErrInsufficientData for length-1 input")
+	}
+	if _, err := Pearson([]float64{1, 2}, []float64{1, 2, 3}); err != ErrInsufficientData {
+		t.Error("expected ErrInsufficientData for mismatched lengths")
+	}
+	r, err := Pearson([]float64{3, 3, 3}, []float64{1, 2, 3})
+	if err != nil || r != 0 {
+		t.Errorf("constant series should give (0, nil), got (%v, %v)", r, err)
+	}
+}
+
+func TestPearsonBinary(t *testing.T) {
+	xs := []bool{true, true, false, false}
+	ys := []bool{true, true, false, false}
+	r, err := PearsonBinary(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(r, 1, 1e-12) {
+		t.Errorf("identical binary series should correlate at 1, got %v", r)
+	}
+	opposite := []bool{false, false, true, true}
+	r, _ = PearsonBinary(xs, opposite)
+	if !almost(r, -1, 1e-12) {
+		t.Errorf("opposite binary series should correlate at -1, got %v", r)
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	if Entropy([]float64{1}) != 0 {
+		t.Error("certain distribution has 0 entropy")
+	}
+	h := Entropy([]float64{0.5, 0.5})
+	if !almost(h, 1, 1e-12) {
+		t.Errorf("fair coin entropy = %v, want 1 bit", h)
+	}
+	h = Entropy([]float64{0.25, 0.25, 0.25, 0.25})
+	if !almost(h, 2, 1e-12) {
+		t.Errorf("uniform 4 entropy = %v, want 2 bits", h)
+	}
+	// Zero entries are skipped.
+	if !almost(Entropy([]float64{0.5, 0, 0.5, 0}), 1, 1e-12) {
+		t.Error("zero entries should not contribute to entropy")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	xs := []float64{1, 3}
+	if !Normalize(xs) {
+		t.Fatal("Normalize should succeed")
+	}
+	if !almost(xs[0], 0.25, 1e-12) || !almost(xs[1], 0.75, 1e-12) {
+		t.Errorf("Normalize = %v", xs)
+	}
+	zero := []float64{0, 0}
+	if Normalize(zero) {
+		t.Error("Normalize of zeros should report false")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	for _, tc := range []struct{ p, want float64 }{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2}, {75, 4},
+	} {
+		got, err := Percentile(xs, tc.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almost(got, tc.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if _, err := Percentile(nil, 50); err != ErrInsufficientData {
+		t.Error("expected ErrInsufficientData")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	bins := Histogram([]float64{0, 1, 2, 3, 9.9, -5, 100}, 10, 0, 10)
+	if len(bins) != 10 {
+		t.Fatalf("bins = %d, want 10", len(bins))
+	}
+	// Bin width 1: 0->bin0, 1->bin1, 2->bin2, 3->bin3, 9.9->bin9;
+	// -5 clamps into bin 0 and 100 clamps into bin 9.
+	if bins[0] != 2 {
+		t.Errorf("bin0 = %d, want 2", bins[0])
+	}
+	if bins[9] != 2 {
+		t.Errorf("bin9 = %d, want 2", bins[9])
+	}
+	if Histogram(nil, 0, 0, 10) != nil {
+		t.Error("invalid bin count should return nil")
+	}
+	if Histogram(nil, 5, 10, 10) != nil {
+		t.Error("empty range should return nil")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries()
+	s.Add(1, 10)
+	s.Add(1, 20)
+	s.Add(3, 5)
+	m, ok := s.MeanAt(1)
+	if !ok || m != 15 {
+		t.Errorf("MeanAt(1) = %v,%v want 15,true", m, ok)
+	}
+	if _, ok := s.MeanAt(2); ok {
+		t.Error("MeanAt(2) should report no data")
+	}
+	keys := s.Keys()
+	if len(keys) != 2 || keys[0] != 1 || keys[1] != 3 {
+		t.Errorf("Keys = %v", keys)
+	}
+	if s.CountAt(1) != 2 {
+		t.Errorf("CountAt(1) = %d, want 2", s.CountAt(1))
+	}
+}
+
+// Property: Pearson is symmetric and bounded in [-1, 1].
+func TestPearsonProperties(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		n := len(raw) / 2
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := 0; i < n; i++ {
+			xs[i] = float64(raw[i])
+			ys[i] = float64(raw[n+i])
+		}
+		r1, err1 := Pearson(xs, ys)
+		r2, err2 := Pearson(ys, xs)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return almost(r1, r2, 1e-9) && r1 >= -1-1e-9 && r1 <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: entropy of a normalized distribution over n outcomes is
+// bounded by log2(n) and non-negative.
+func TestEntropyBoundsProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		p := make([]float64, len(raw))
+		for i, v := range raw {
+			p[i] = float64(v)
+		}
+		if !Normalize(p) {
+			return true
+		}
+		h := Entropy(p)
+		return h >= -1e-9 && h <= math.Log2(float64(len(p)))+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Normalize yields a distribution summing to 1.
+func TestNormalizeProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		p := make([]float64, len(raw))
+		for i, v := range raw {
+			p[i] = float64(v)
+		}
+		if !Normalize(p) {
+			return true
+		}
+		var s float64
+		for _, v := range p {
+			s += v
+		}
+		return almost(s, 1, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,304 @@
+package tracker
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"viewmap/internal/geo"
+)
+
+// lineObs builds an observation for a vehicle driving from x0 to x1 on
+// the x axis during the given minute.
+func lineObs(owner int, minute int64, x0, x1 float64) Observation {
+	return Observation{
+		Start: geo.Pt(x0, 0), End: geo.Pt(x1, 0),
+		Minute: minute, Owner: owner,
+	}
+}
+
+func TestTrackSingleVehicleUnambiguous(t *testing.T) {
+	// One vehicle, no guards: the tracker never loses it.
+	byMinute := [][]Observation{
+		{lineObs(0, 0, 0, 600)},
+		{lineObs(0, 1, 600, 1200)},
+		{lineObs(0, 2, 1200, 1800)},
+	}
+	metrics, err := Track(byMinute, 0, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range metrics {
+		if math.Abs(m.Success-1) > 1e-9 {
+			t.Errorf("minute %d: success = %v, want 1", i, m.Success)
+		}
+		if m.Entropy > 1e-9 {
+			t.Errorf("minute %d: entropy = %v, want 0", i, m.Entropy)
+		}
+	}
+}
+
+func TestTrackTargetMissing(t *testing.T) {
+	byMinute := [][]Observation{{lineObs(1, 0, 0, 100)}}
+	if _, err := Track(byMinute, 0, Config{}); err == nil {
+		t.Error("tracking a vehicle absent from minute 0 should fail")
+	}
+	if _, err := Track(nil, 0, Config{}); err == nil {
+		t.Error("empty dataset should fail")
+	}
+}
+
+func TestGuardVPSplitsBelief(t *testing.T) {
+	// Minute 0: target 0 ends at x=600. Minute 1: the target's actual
+	// VP starts there, and so does a guard VP (fabricated by a
+	// neighbor whose own start matched). Belief must split.
+	byMinute := [][]Observation{
+		{lineObs(0, 0, 0, 600)},
+		{
+			lineObs(0, 1, 600, 1200),
+			{Start: geo.Pt(600, 0), End: geo.Pt(300, 900), Minute: 1, Owner: -1}, // guard
+		},
+	}
+	metrics, err := Track(byMinute, 0, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := metrics[len(metrics)-1]
+	if math.Abs(last.Success-0.5) > 1e-9 {
+		t.Errorf("success = %v, want 0.5 after a perfect guard split", last.Success)
+	}
+	if math.Abs(last.Entropy-1) > 1e-9 {
+		t.Errorf("entropy = %v, want 1 bit", last.Entropy)
+	}
+	if last.Candidates != 2 {
+		t.Errorf("candidates = %d, want 2", last.Candidates)
+	}
+}
+
+func TestGuardDivergenceCompounds(t *testing.T) {
+	// Vehicle 1 (the guard creator) drives a parallel track. Each
+	// minute it fabricates a guard starting at the target's start and
+	// ending at its own end, so the false belief thread survives by
+	// continuing onto vehicle 1's subsequent VPs: the target's belief
+	// halves every minute ("continuously divergent paths").
+	const minutes = 5
+	byMinute := make([][]Observation, minutes)
+	x := 0.0
+	const far = 10000 // vehicle 1's track offset
+	byMinute[0] = []Observation{
+		lineObs(0, 0, x, x+600),
+	}
+	x += 600
+	for m := 1; m < minutes; m++ {
+		byMinute[m] = []Observation{
+			lineObs(0, int64(m), x, x+600),
+			{Start: geo.Pt(far+x, far), End: geo.Pt(far+x+600, far), Minute: int64(m), Owner: 1},
+			{Start: geo.Pt(x, 0), End: geo.Pt(far+x+600, far), Minute: int64(m), Owner: -1}, // guard
+		}
+		x += 600
+	}
+	metrics, err := Track(byMinute, 0, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1.0
+	for i, m := range metrics {
+		if math.Abs(m.Success-want) > 1e-6 {
+			t.Errorf("minute %d: success = %v, want %v", i, m.Success, want)
+		}
+		want /= 2
+	}
+}
+
+func TestDeadThreadsRenormalize(t *testing.T) {
+	// The belief thread following the guard dies (no candidate starts
+	// near the guard's end), so mass returns to the real track.
+	byMinute := [][]Observation{
+		{lineObs(0, 0, 0, 600)},
+		{
+			lineObs(0, 1, 600, 1200),
+			{Start: geo.Pt(600, 0), End: geo.Pt(-9000, 9000), Minute: 1, Owner: -1},
+		},
+		{lineObs(0, 2, 1200, 1800)}, // nothing continues the guard's path
+	}
+	metrics, err := Track(byMinute, 0, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := metrics[1].Success; math.Abs(s-0.5) > 1e-9 {
+		t.Fatalf("minute 1 success = %v, want 0.5", s)
+	}
+	if s := metrics[2].Success; math.Abs(s-1) > 1e-9 {
+		t.Errorf("minute 2 success = %v, want 1 after guard thread dies", s)
+	}
+}
+
+func TestMaxJumpLimitsCandidates(t *testing.T) {
+	byMinute := [][]Observation{
+		{lineObs(0, 0, 0, 600)},
+		{
+			lineObs(0, 1, 600, 1200),
+			lineObs(1, 1, 650, 1300),  // within jump range: candidate
+			lineObs(2, 1, 5000, 5600), // far: excluded
+		},
+	}
+	metrics, err := Track(byMinute, 0, Config{SigmaM: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := metrics[1]
+	if last.Candidates != 2 {
+		t.Errorf("candidates = %d, want 2 (far VP excluded)", last.Candidates)
+	}
+	if last.Success <= 0.5 || last.Success >= 1 {
+		t.Errorf("success = %v, want in (0.5, 1): exact start beats 50 m offset", last.Success)
+	}
+}
+
+func TestDatasetValidation(t *testing.T) {
+	if _, err := NewDataset(0, 5); err == nil {
+		t.Error("zero minutes should fail")
+	}
+	if _, err := NewDataset(5, 0); err == nil {
+		t.Error("zero vehicles should fail")
+	}
+	d, err := NewDataset(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Add(Observation{Minute: 5}); err == nil {
+		t.Error("out-of-range minute should fail")
+	}
+	if err := d.Add(lineObs(0, 0, 0, 100)); err != nil {
+		t.Errorf("valid add should succeed: %v", err)
+	}
+	if d.Vehicles() != 2 {
+		t.Error("Vehicles getter wrong")
+	}
+}
+
+func TestAverageOverTargets(t *testing.T) {
+	d, err := NewDataset(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two vehicles far apart, no guards: both tracked perfectly.
+	for m := int64(0); m < 3; m++ {
+		d.Add(lineObs(0, m, float64(m)*600, float64(m+1)*600))
+		d.Add(lineObs(1, m, 50000+float64(m)*600, 50000+float64(m+1)*600))
+	}
+	entropy, success, err := d.AverageOverTargets(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range success {
+		if math.Abs(success[i]-1) > 1e-9 {
+			t.Errorf("minute %d: avg success = %v, want 1", i, success[i])
+		}
+		if entropy[i] > 1e-9 {
+			t.Errorf("minute %d: avg entropy = %v, want 0", i, entropy[i])
+		}
+	}
+}
+
+func TestAverageOverTargetsEmpty(t *testing.T) {
+	d, _ := NewDataset(2, 1)
+	if _, _, err := d.AverageOverTargets(Config{}); err == nil {
+		t.Error("dataset without minute-0 VPs should fail")
+	}
+}
+
+// TestGuardsDegradeTrackingAtScale reproduces the qualitative result of
+// Figs. 10/11: with guard VPs in the dataset, tracking success decays
+// toward zero and entropy grows; without them, the tracker holds on.
+func TestGuardsDegradeTrackingAtScale(t *testing.T) {
+	const (
+		vehicles = 30
+		minutes  = 10
+		alpha    = 0.1
+	)
+	rng := rand.New(rand.NewSource(42))
+	build := func(withGuards bool) *Dataset {
+		d, err := NewDataset(minutes, vehicles)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Vehicles drift on a 2 km square; each minute every vehicle
+		// moves ~600 m in a random direction from its previous end.
+		pos := make([]geo.Point, vehicles)
+		for v := range pos {
+			pos[v] = geo.Pt(rng.Float64()*2000, rng.Float64()*2000)
+		}
+		for m := 0; m < minutes; m++ {
+			starts := make([]geo.Point, vehicles)
+			copy(starts, pos)
+			for v := 0; v < vehicles; v++ {
+				theta := rng.Float64() * 2 * math.Pi
+				end := pos[v].Add(geo.Pt(600*math.Cos(theta), 600*math.Sin(theta)))
+				d.Add(Observation{Start: pos[v], End: end, Minute: int64(m), Owner: v})
+				pos[v] = end
+			}
+			if !withGuards {
+				continue
+			}
+			// Guards: each vehicle covers ~alpha of its neighbors —
+			// fabricate trajectories from a neighbor's start to the
+			// creator's end.
+			for v := 0; v < vehicles; v++ {
+				for u := 0; u < vehicles; u++ {
+					if u == v || starts[u].Dist(starts[v]) > 400 {
+						continue
+					}
+					if rng.Float64() < alpha*3 { // boost: small fleet
+						d.Add(Observation{Start: starts[u], End: pos[v], Minute: int64(m), Owner: -1})
+					}
+				}
+			}
+		}
+		return d
+	}
+
+	_, successGuard, err := build(true).AverageOverTargets(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, successBare, err := build(false).AverageOverTargets(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastG := successGuard[minutes-1]
+	lastB := successBare[minutes-1]
+	if lastG >= lastB {
+		t.Errorf("guards should reduce tracking success: with=%v without=%v", lastG, lastB)
+	}
+	if lastB < 0.8 {
+		t.Errorf("without guards tracking should mostly persist, got %v", lastB)
+	}
+}
+
+func BenchmarkTrack100Vehicles(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const vehicles, minutes = 100, 10
+	d, err := NewDataset(minutes, vehicles)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pos := make([]geo.Point, vehicles)
+	for v := range pos {
+		pos[v] = geo.Pt(rng.Float64()*4000, rng.Float64()*4000)
+	}
+	for m := 0; m < minutes; m++ {
+		for v := 0; v < vehicles; v++ {
+			theta := rng.Float64() * 2 * math.Pi
+			end := pos[v].Add(geo.Pt(600*math.Cos(theta), 600*math.Sin(theta)))
+			d.Add(Observation{Start: pos[v], End: end, Minute: int64(m), Owner: v})
+			pos[v] = end
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Track(d.Minutes(), i%vehicles, Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

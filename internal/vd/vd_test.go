@@ -1,0 +1,324 @@
+package vd
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"viewmap/internal/geo"
+	"viewmap/internal/video"
+)
+
+func testSecret(b byte) Secret {
+	var q Secret
+	for i := range q {
+		q[i] = b
+	}
+	return q
+}
+
+func recordedChunks(t testing.TB, seed string, perSec int) [][]byte {
+	t.Helper()
+	src, err := video.NewSyntheticSource(seed, perSec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks := make([][]byte, SegmentSeconds)
+	for i := 1; i <= SegmentSeconds; i++ {
+		chunks[i-1] = src.SecondChunk(0, i)
+	}
+	return chunks
+}
+
+func generateAll(t testing.TB, g *Generator, chunks [][]byte) []VD {
+	t.Helper()
+	for i, c := range chunks {
+		loc := geo.Pt(float64(i)*10, 0)
+		if _, err := g.Next(loc, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g.Emitted()
+}
+
+func TestNewSecretDistinct(t *testing.T) {
+	a, err := NewSecret()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSecret()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Error("two fresh secrets should differ")
+	}
+}
+
+func TestDeriveVPIDDeterministic(t *testing.T) {
+	q := testSecret(7)
+	if DeriveVPID(q) != DeriveVPID(q) {
+		t.Error("VPID derivation must be deterministic")
+	}
+	if DeriveVPID(testSecret(7)) == DeriveVPID(testSecret(8)) {
+		t.Error("different secrets must yield different VPIDs")
+	}
+}
+
+func TestGeneratorAlignment(t *testing.T) {
+	r := DeriveVPID(testSecret(1))
+	if _, err := NewGenerator(r, 61); err == nil {
+		t.Error("misaligned segment start should fail")
+	}
+	if _, err := NewGenerator(r, 120); err != nil {
+		t.Errorf("aligned start should succeed: %v", err)
+	}
+}
+
+func TestGeneratorSequence(t *testing.T) {
+	r := DeriveVPID(testSecret(1))
+	g, err := NewGenerator(r, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks := recordedChunks(t, "seq", 100)
+	vds := generateAll(t, g, chunks)
+	if len(vds) != SegmentSeconds {
+		t.Fatalf("emitted %d VDs, want 60", len(vds))
+	}
+	if !g.Complete() {
+		t.Error("generator should report complete")
+	}
+	for i, v := range vds {
+		if v.Seq != uint64(i+1) {
+			t.Fatalf("VD %d has Seq %d", i, v.Seq)
+		}
+		if v.T != 60+int64(i+1) {
+			t.Fatalf("VD %d has T %d", i, v.T)
+		}
+		if v.R != r {
+			t.Fatalf("VD %d carries wrong VPID", i)
+		}
+		if v.L1 != geo.Pt(0, 0) {
+			t.Fatalf("VD %d should carry the initial location, got %v", i, v.L1)
+		}
+	}
+	// Cumulative sizes: 100 bytes per second.
+	if vds[59].F != 6000 {
+		t.Errorf("final F = %d, want 6000", vds[59].F)
+	}
+	// 61st second refused.
+	if _, err := g.Next(geo.Pt(0, 0), []byte{1}); err != ErrSegmentFull {
+		t.Errorf("61st Next should return ErrSegmentFull, got %v", err)
+	}
+}
+
+func TestCascadeAnchoredOnVPID(t *testing.T) {
+	chunks := recordedChunks(t, "anchor", 50)
+	g1, _ := NewGenerator(DeriveVPID(testSecret(1)), 0)
+	g2, _ := NewGenerator(DeriveVPID(testSecret(2)), 0)
+	v1 := generateAll(t, g1, chunks)
+	v2 := generateAll(t, g2, chunks)
+	if v1[0].H == v2[0].H {
+		t.Error("cascade must be anchored on R: same content under different VPIDs must hash differently")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	g, _ := NewGenerator(DeriveVPID(testSecret(3)), 0)
+	chunks := recordedChunks(t, "wire", 64)
+	vds := generateAll(t, g, chunks)
+	for i := range vds {
+		enc := vds[i].Encode()
+		if len(enc) != WireSize {
+			t.Fatalf("encoded size = %d, want %d", len(enc), WireSize)
+		}
+		dec, err := Decode(enc[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec != vds[i] {
+			t.Fatalf("round trip mismatch at %d:\n got %+v\nwant %+v", i, dec, vds[i])
+		}
+	}
+}
+
+func TestDecodeRejectsWrongSize(t *testing.T) {
+	if _, err := Decode(make([]byte, 71)); err == nil {
+		t.Error("short message should fail")
+	}
+	if _, err := Decode(make([]byte, 73)); err == nil {
+		t.Error("long message should fail")
+	}
+}
+
+func TestKeyMatchesEncoding(t *testing.T) {
+	g, _ := NewGenerator(DeriveVPID(testSecret(4)), 0)
+	chunks := recordedChunks(t, "key", 32)
+	vds := generateAll(t, g, chunks)
+	enc := vds[0].Encode()
+	if !bytes.Equal(vds[0].Key(), enc[:]) {
+		t.Error("Key must equal the wire encoding")
+	}
+}
+
+func TestReplayAcceptsHonestRecording(t *testing.T) {
+	r := DeriveVPID(testSecret(5))
+	g, _ := NewGenerator(r, 0)
+	chunks := recordedChunks(t, "honest", 128)
+	vds := generateAll(t, g, chunks)
+	if err := Replay(r, vds, chunks); err != nil {
+		t.Errorf("honest replay should validate: %v", err)
+	}
+}
+
+func TestReplayDetectsTampering(t *testing.T) {
+	r := DeriveVPID(testSecret(6))
+	g, _ := NewGenerator(r, 0)
+	chunks := recordedChunks(t, "tamper", 128)
+	vds := generateAll(t, g, chunks)
+
+	// Tamper with one byte of one second's content.
+	bad := make([][]byte, len(chunks))
+	for i := range chunks {
+		bad[i] = append([]byte(nil), chunks[i]...)
+	}
+	bad[30][5] ^= 0xFF
+	if err := Replay(r, vds, bad); err == nil {
+		t.Error("tampered content must fail replay")
+	}
+
+	// Tamper with a claimed location.
+	vds2 := append([]VD(nil), vds...)
+	vds2[10].L = geo.Pt(99999, 99999)
+	if err := Replay(r, vds2, chunks); err == nil {
+		t.Error("tampered location must fail replay")
+	}
+
+	// Tamper with claimed size.
+	vds3 := append([]VD(nil), vds...)
+	vds3[10].F += 7
+	if err := Replay(r, vds3, chunks); err == nil {
+		t.Error("tampered size must fail replay")
+	}
+
+	// Wrong VP identifier.
+	if err := Replay(DeriveVPID(testSecret(7)), vds, chunks); err == nil {
+		t.Error("wrong VPID must fail replay")
+	}
+
+	// Reordered digests.
+	vds4 := append([]VD(nil), vds...)
+	vds4[3], vds4[4] = vds4[4], vds4[3]
+	if err := Replay(r, vds4, chunks); err == nil {
+		t.Error("reordered digests must fail replay")
+	}
+}
+
+func TestReplayValidation(t *testing.T) {
+	r := DeriveVPID(testSecret(8))
+	if err := Replay(r, nil, nil); err == nil {
+		t.Error("empty replay should fail")
+	}
+	g, _ := NewGenerator(r, 0)
+	chunks := recordedChunks(t, "lens", 16)
+	vds := generateAll(t, g, chunks)
+	if err := Replay(r, vds, chunks[:59]); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+func TestValidateRanges(t *testing.T) {
+	v := &VD{T: 1000, L: geo.Pt(100, 0)}
+	rx := geo.Pt(0, 0)
+	if err := ValidateRanges(v, 1000, rx, 400); err != nil {
+		t.Errorf("in-range VD should validate: %v", err)
+	}
+	if err := ValidateRanges(v, 1001, rx, 400); err != nil {
+		t.Errorf("1-second-old VD should validate: %v", err)
+	}
+	if err := ValidateRanges(v, 1005, rx, 400); err == nil {
+		t.Error("stale VD should fail")
+	}
+	far := &VD{T: 1000, L: geo.Pt(5000, 0)}
+	if err := ValidateRanges(far, 1000, rx, 400); err == nil {
+		t.Error("out-of-range location should fail")
+	}
+}
+
+func TestNormalHashEqualsCascadeOnlyAtFirstSecond(t *testing.T) {
+	// The two hashing schemes are different constructions; this guards
+	// against accidentally implementing the cascade as a full rehash.
+	r := DeriveVPID(testSecret(9))
+	g, _ := NewGenerator(r, 0)
+	chunks := recordedChunks(t, "cmp", 64)
+	vds := generateAll(t, g, chunks)
+	nh := NormalHash(vds[29].T, vds[29].L, vds[29].F, chunks[:30])
+	if nh == vds[29].H {
+		t.Error("normal hash should differ from cascade at second 30")
+	}
+}
+
+// Property: the cascade is deterministic and sensitive to every input.
+func TestCascadeStepProperties(t *testing.T) {
+	f := func(tm int64, x, y float64, fsize int64, prev [16]byte, chunk []byte) bool {
+		p := geo.Pt(x, y)
+		h1 := CascadeStep(tm, p, fsize, Hash(prev), chunk)
+		h2 := CascadeStep(tm, p, fsize, Hash(prev), chunk)
+		if h1 != h2 {
+			return false
+		}
+		// Flipping the previous hash changes the output.
+		flipped := prev
+		flipped[0] ^= 1
+		return CascadeStep(tm, p, fsize, Hash(flipped), chunk) != h1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: wire round trip is the identity for arbitrary field values
+// (within float32 representable coordinates).
+func TestWireRoundTripProperty(t *testing.T) {
+	f := func(tm int64, xs, ys, x1, y1 int16, fsize int64, seq uint16, r, h [16]byte) bool {
+		v := VD{
+			T: tm, L: geo.Pt(float64(xs), float64(ys)),
+			F: fsize, L1: geo.Pt(float64(x1), float64(y1)),
+			Seq: uint64(seq), R: VPID(r), H: Hash(h),
+		}
+		enc := v.Encode()
+		dec, err := Decode(enc[:])
+		return err == nil && dec == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// BenchmarkCascadeStep measures per-second digest cost with 50 MB/min
+// content — the paper's Fig. 8 "cascading" curve is flat because this
+// cost does not depend on how much was recorded before.
+func BenchmarkCascadeStep(b *testing.B) {
+	chunk := make([]byte, video.DefaultBytesPerSecond)
+	var prev Hash
+	b.SetBytes(int64(len(chunk)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prev = CascadeStep(int64(i), geo.Pt(1, 2), int64(i)*int64(len(chunk)), prev, chunk)
+	}
+}
+
+// BenchmarkNormalHashFullMinute measures the baseline at the end of the
+// minute, when it must rehash all 50 MB.
+func BenchmarkNormalHashFullMinute(b *testing.B) {
+	chunks := make([][]byte, SegmentSeconds)
+	for i := range chunks {
+		chunks[i] = make([]byte, video.DefaultBytesPerSecond)
+	}
+	b.SetBytes(int64(SegmentSeconds * video.DefaultBytesPerSecond))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NormalHash(60, geo.Pt(1, 2), 50e6, chunks)
+	}
+}

@@ -1,0 +1,205 @@
+// Package video models the dashcam recording pipeline: fixed-length
+// (1-minute by default) segments written second by second, held in a
+// ring of limited SD-card storage where the oldest segment is recorded
+// over once the card fills (Section 2 of the paper).
+//
+// It substitutes deterministic, seeded synthetic bytes for real camera
+// output. Everything ViewMap does with a video — per-second cascaded
+// hashing, byte-size reporting in view digests, and validation of an
+// uploaded file against its view profile — depends only on the byte
+// stream, so a pseudorandom stream at a dashcam-realistic bitrate
+// (50 MB per minute by default) exercises the same code paths.
+package video
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// SegmentSeconds is the unit recording time: dashcams "continuously
+// record in segments for a unit-time (1-min default)".
+const SegmentSeconds = 60
+
+// DefaultBytesPerSecond yields the paper's average of 50 MB per 1-min
+// video.
+const DefaultBytesPerSecond = 50 * 1000 * 1000 / SegmentSeconds
+
+// Segment is one unit-time video file under construction or completed.
+type Segment struct {
+	// StartUnix is the first second covered by the segment, aligned to
+	// a minute boundary ("recording new videos every minute on the
+	// minute").
+	StartUnix int64
+	chunks    [][]byte // per-second recorded content u_i^{i-1}
+	size      int64
+}
+
+// NewSegment starts an empty segment at the given minute-aligned time.
+// It returns an error when startUnix is not aligned, because viewmap
+// construction groups VPs by exact unit-time windows and misaligned
+// segments would never join a viewmap.
+func NewSegment(startUnix int64) (*Segment, error) {
+	if startUnix%SegmentSeconds != 0 {
+		return nil, fmt.Errorf("video: segment start %d not aligned to %d-second boundary", startUnix, SegmentSeconds)
+	}
+	return &Segment{StartUnix: startUnix}, nil
+}
+
+// AppendSecond records the content for the next second. It returns the
+// second index i (1-based, matching the paper's u_i^{i-1} notation) or
+// an error when the segment is already complete.
+func (s *Segment) AppendSecond(chunk []byte) (int, error) {
+	if len(s.chunks) >= SegmentSeconds {
+		return 0, errors.New("video: segment already has 60 seconds")
+	}
+	cp := make([]byte, len(chunk))
+	copy(cp, chunk)
+	s.chunks = append(s.chunks, cp)
+	s.size += int64(len(cp))
+	return len(s.chunks), nil
+}
+
+// Seconds returns how many seconds have been recorded.
+func (s *Segment) Seconds() int { return len(s.chunks) }
+
+// Complete reports whether the segment holds a full minute.
+func (s *Segment) Complete() bool { return len(s.chunks) == SegmentSeconds }
+
+// Size returns the total bytes recorded so far.
+func (s *Segment) Size() int64 { return s.size }
+
+// SizeAt returns the cumulative byte size after i seconds (1-based),
+// the F field of the i-th view digest.
+func (s *Segment) SizeAt(i int) (int64, error) {
+	if i < 1 || i > len(s.chunks) {
+		return 0, fmt.Errorf("video: second %d out of recorded range 1..%d", i, len(s.chunks))
+	}
+	var total int64
+	for j := 0; j < i; j++ {
+		total += int64(len(s.chunks[j]))
+	}
+	return total, nil
+}
+
+// Chunk returns the content recorded during second i (1-based): the
+// paper's u_i^{i-1}.
+func (s *Segment) Chunk(i int) ([]byte, error) {
+	if i < 1 || i > len(s.chunks) {
+		return nil, fmt.Errorf("video: second %d out of recorded range 1..%d", i, len(s.chunks))
+	}
+	return s.chunks[i-1], nil
+}
+
+// Bytes concatenates the full recorded content. Only the solicitation
+// path uses it — VPs never carry video bytes.
+func (s *Segment) Bytes() []byte {
+	out := make([]byte, 0, s.size)
+	for _, c := range s.chunks {
+		out = append(out, c...)
+	}
+	return out
+}
+
+// SyntheticSource produces deterministic pseudorandom camera output,
+// keyed by a seed so tests and simulations can reproduce exact streams.
+// It is NOT a cryptographic source; it only needs to be deterministic
+// and high-entropy enough that distinct videos produce distinct hashes.
+type SyntheticSource struct {
+	seed           [32]byte
+	BytesPerSecond int
+}
+
+// NewSyntheticSource creates a source from a seed string.
+func NewSyntheticSource(seed string, bytesPerSecond int) (*SyntheticSource, error) {
+	if bytesPerSecond <= 0 {
+		return nil, fmt.Errorf("video: bytes per second must be positive, got %d", bytesPerSecond)
+	}
+	return &SyntheticSource{seed: sha256.Sum256([]byte(seed)), BytesPerSecond: bytesPerSecond}, nil
+}
+
+// SecondChunk returns the synthetic content for second i (1-based) of
+// the segment starting at startUnix. The stream is generated in
+// SHA-256-sized blocks of a counter-mode construction.
+func (s *SyntheticSource) SecondChunk(startUnix int64, i int) []byte {
+	out := make([]byte, s.BytesPerSecond)
+	var block [32 + 8 + 8 + 8]byte
+	copy(block[:32], s.seed[:])
+	binary.BigEndian.PutUint64(block[32:40], uint64(startUnix))
+	binary.BigEndian.PutUint64(block[40:48], uint64(i))
+	for off, ctr := 0, uint64(0); off < len(out); off, ctr = off+32, ctr+1 {
+		binary.BigEndian.PutUint64(block[48:56], ctr)
+		h := sha256.Sum256(block[:])
+		copy(out[off:], h[:])
+	}
+	return out
+}
+
+// RecordSegment produces a complete 60-second segment from the source.
+func (s *SyntheticSource) RecordSegment(startUnix int64) (*Segment, error) {
+	seg, err := NewSegment(startUnix)
+	if err != nil {
+		return nil, err
+	}
+	for i := 1; i <= SegmentSeconds; i++ {
+		if _, err := seg.AppendSecond(s.SecondChunk(startUnix, i)); err != nil {
+			return nil, err
+		}
+	}
+	return seg, nil
+}
+
+// Storage is the dashcam's SD card: a byte-budgeted ring of completed
+// segments. When capacity would be exceeded, the oldest segments are
+// deleted and recorded over, exactly as Section 2 describes.
+type Storage struct {
+	capacity int64
+	used     int64
+	segments []*Segment // oldest first
+}
+
+// NewStorage creates a card with the given byte capacity.
+func NewStorage(capacityBytes int64) (*Storage, error) {
+	if capacityBytes <= 0 {
+		return nil, fmt.Errorf("video: capacity must be positive, got %d", capacityBytes)
+	}
+	return &Storage{capacity: capacityBytes}, nil
+}
+
+// Store adds a completed segment, evicting the oldest segments as
+// needed. It returns the segments that were recorded over, and an error
+// if the segment alone exceeds the whole card.
+func (st *Storage) Store(seg *Segment) (evicted []*Segment, err error) {
+	if !seg.Complete() {
+		return nil, errors.New("video: only completed segments are stored")
+	}
+	if seg.Size() > st.capacity {
+		return nil, fmt.Errorf("video: segment of %d bytes exceeds card capacity %d", seg.Size(), st.capacity)
+	}
+	for st.used+seg.Size() > st.capacity {
+		old := st.segments[0]
+		st.segments = st.segments[1:]
+		st.used -= old.Size()
+		evicted = append(evicted, old)
+	}
+	st.segments = append(st.segments, seg)
+	st.used += seg.Size()
+	return evicted, nil
+}
+
+// Find returns the stored segment starting at startUnix, or nil.
+func (st *Storage) Find(startUnix int64) *Segment {
+	for _, s := range st.segments {
+		if s.StartUnix == startUnix {
+			return s
+		}
+	}
+	return nil
+}
+
+// Len returns the number of stored segments.
+func (st *Storage) Len() int { return len(st.segments) }
+
+// Used returns the bytes currently occupied.
+func (st *Storage) Used() int64 { return st.used }

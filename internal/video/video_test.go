@@ -1,0 +1,256 @@
+package video
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSegmentAlignment(t *testing.T) {
+	if _, err := NewSegment(60); err != nil {
+		t.Errorf("aligned start should succeed: %v", err)
+	}
+	if _, err := NewSegment(61); err == nil {
+		t.Error("misaligned start should fail")
+	}
+	if _, err := NewSegment(0); err != nil {
+		t.Error("zero start is aligned")
+	}
+}
+
+func TestAppendSecond(t *testing.T) {
+	seg, err := NewSegment(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= SegmentSeconds; i++ {
+		idx, err := seg.AppendSecond([]byte{byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx != i {
+			t.Fatalf("AppendSecond returned %d, want %d", idx, i)
+		}
+	}
+	if !seg.Complete() {
+		t.Error("segment should be complete after 60 seconds")
+	}
+	if _, err := seg.AppendSecond([]byte{0}); err == nil {
+		t.Error("61st second should fail")
+	}
+	if seg.Size() != SegmentSeconds {
+		t.Errorf("Size = %d, want %d", seg.Size(), SegmentSeconds)
+	}
+}
+
+func TestAppendSecondCopies(t *testing.T) {
+	seg, _ := NewSegment(0)
+	buf := []byte{1, 2, 3}
+	if _, err := seg.AppendSecond(buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 99
+	c, err := seg.Chunk(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c[0] != 1 {
+		t.Error("segment must copy appended chunks")
+	}
+}
+
+func TestSizeAt(t *testing.T) {
+	seg, _ := NewSegment(0)
+	seg.AppendSecond([]byte{1, 2})
+	seg.AppendSecond([]byte{3})
+	seg.AppendSecond([]byte{4, 5, 6})
+	for i, want := range map[int]int64{1: 2, 2: 3, 3: 6} {
+		got, err := seg.SizeAt(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("SizeAt(%d) = %d, want %d", i, got, want)
+		}
+	}
+	if _, err := seg.SizeAt(0); err == nil {
+		t.Error("SizeAt(0) should fail")
+	}
+	if _, err := seg.SizeAt(4); err == nil {
+		t.Error("SizeAt past recorded range should fail")
+	}
+}
+
+func TestChunkErrors(t *testing.T) {
+	seg, _ := NewSegment(0)
+	seg.AppendSecond([]byte{1})
+	if _, err := seg.Chunk(0); err == nil {
+		t.Error("Chunk(0) should fail")
+	}
+	if _, err := seg.Chunk(2); err == nil {
+		t.Error("Chunk beyond recording should fail")
+	}
+}
+
+func TestBytesConcatenation(t *testing.T) {
+	seg, _ := NewSegment(0)
+	seg.AppendSecond([]byte{1, 2})
+	seg.AppendSecond([]byte{3, 4})
+	if got := seg.Bytes(); !bytes.Equal(got, []byte{1, 2, 3, 4}) {
+		t.Errorf("Bytes = %v", got)
+	}
+}
+
+func TestSyntheticSourceDeterministic(t *testing.T) {
+	s1, err := NewSyntheticSource("car-A", 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := NewSyntheticSource("car-A", 1024)
+	a := s1.SecondChunk(120, 5)
+	b := s2.SecondChunk(120, 5)
+	if !bytes.Equal(a, b) {
+		t.Error("same seed must produce identical chunks")
+	}
+	if len(a) != 1024 {
+		t.Errorf("chunk length = %d, want 1024", len(a))
+	}
+}
+
+func TestSyntheticSourceDistinct(t *testing.T) {
+	s, _ := NewSyntheticSource("car-A", 256)
+	other, _ := NewSyntheticSource("car-B", 256)
+	if bytes.Equal(s.SecondChunk(0, 1), other.SecondChunk(0, 1)) {
+		t.Error("different seeds must differ")
+	}
+	if bytes.Equal(s.SecondChunk(0, 1), s.SecondChunk(0, 2)) {
+		t.Error("different seconds must differ")
+	}
+	if bytes.Equal(s.SecondChunk(0, 1), s.SecondChunk(60, 1)) {
+		t.Error("different segments must differ")
+	}
+}
+
+func TestSyntheticSourceValidation(t *testing.T) {
+	if _, err := NewSyntheticSource("x", 0); err == nil {
+		t.Error("zero bitrate should fail")
+	}
+}
+
+func TestRecordSegment(t *testing.T) {
+	s, _ := NewSyntheticSource("car-A", 1000)
+	seg, err := s.RecordSegment(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seg.Complete() {
+		t.Error("recorded segment should be complete")
+	}
+	if seg.Size() != 60*1000 {
+		t.Errorf("Size = %d, want 60000", seg.Size())
+	}
+	if _, err := s.RecordSegment(17); err == nil {
+		t.Error("misaligned record should fail")
+	}
+}
+
+func TestStorageEviction(t *testing.T) {
+	src, _ := NewSyntheticSource("car-A", 100)
+	st, err := NewStorage(3 * 60 * 100) // room for exactly 3 segments
+	if err != nil {
+		t.Fatal(err)
+	}
+	var starts []int64
+	for i := 0; i < 5; i++ {
+		start := int64(i * 60)
+		starts = append(starts, start)
+		seg, _ := src.RecordSegment(start)
+		evicted, err := st.Store(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i < 3 && len(evicted) != 0 {
+			t.Errorf("segment %d should not evict, got %d evictions", i, len(evicted))
+		}
+		if i >= 3 && len(evicted) != 1 {
+			t.Errorf("segment %d should evict exactly one, got %d", i, len(evicted))
+		}
+	}
+	if st.Len() != 3 {
+		t.Errorf("Len = %d, want 3", st.Len())
+	}
+	// Oldest two are gone; the newest three remain.
+	if st.Find(starts[0]) != nil || st.Find(starts[1]) != nil {
+		t.Error("oldest segments should have been recorded over")
+	}
+	for _, s := range starts[2:] {
+		if st.Find(s) == nil {
+			t.Errorf("segment %d should remain", s)
+		}
+	}
+}
+
+func TestStorageValidation(t *testing.T) {
+	if _, err := NewStorage(0); err == nil {
+		t.Error("zero capacity should fail")
+	}
+	st, _ := NewStorage(100)
+	incomplete, _ := NewSegment(0)
+	if _, err := st.Store(incomplete); err == nil {
+		t.Error("incomplete segment should be rejected")
+	}
+	src, _ := NewSyntheticSource("x", 10)
+	big, _ := src.RecordSegment(0)
+	if _, err := st.Store(big); err == nil {
+		t.Error("segment larger than card should be rejected")
+	}
+}
+
+func TestStorageUsed(t *testing.T) {
+	src, _ := NewSyntheticSource("x", 10)
+	st, _ := NewStorage(10000)
+	seg, _ := src.RecordSegment(0)
+	st.Store(seg)
+	if st.Used() != 600 {
+		t.Errorf("Used = %d, want 600", st.Used())
+	}
+}
+
+// Property: SizeAt is the running sum of chunk lengths and equals
+// Size at the last recorded second.
+func TestSizeAtConsistencyProperty(t *testing.T) {
+	f := func(lens []uint8) bool {
+		if len(lens) == 0 || len(lens) > SegmentSeconds {
+			return true
+		}
+		seg, err := NewSegment(0)
+		if err != nil {
+			return false
+		}
+		var running int64
+		for i, l := range lens {
+			chunk := make([]byte, int(l))
+			if _, err := seg.AppendSecond(chunk); err != nil {
+				return false
+			}
+			running += int64(l)
+			got, err := seg.SizeAt(i + 1)
+			if err != nil || got != running {
+				return false
+			}
+		}
+		return seg.Size() == running
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSecondChunk50MBpm(b *testing.B) {
+	src, _ := NewSyntheticSource("bench", DefaultBytesPerSecond)
+	b.SetBytes(DefaultBytesPerSecond)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.SecondChunk(0, 1+i%60)
+	}
+}

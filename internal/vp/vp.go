@@ -1,0 +1,570 @@
+// Package vp implements ViewMap's view profiles (VPs): the compact,
+// anonymized stand-ins for 1-minute dashcam videos that the system
+// stores, searches, verifies and rewards instead of the videos
+// themselves (Sections 4-5 of the paper).
+//
+// A VP compiles the segment's sixty view digests (VDs) with a Bloom
+// filter summarizing the VDs received from line-of-sight neighbors
+// (at most two per neighbor: the first and last heard with the same VP
+// identifier). Two VPs are mutual neighbors — connected by a "viewlink"
+// — when their trajectories came within DSRC range at some aligned
+// second AND each VP's filter contains at least one of the other's
+// element VDs.
+//
+// The package also builds guard VPs (Section 5.1.2): fabricated but
+// plausible trajectories from a neighbor's initial position to the
+// vehicle's own final position, routed over the road network (the
+// paper uses the Google Directions API; we use shortest-path routing
+// on the same street graph). Guard VPs are indistinguishable from
+// actual VPs on the wire, carry random hash fields, and are mutually
+// linked into the real VP's Bloom filter to create path confusion.
+package vp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"viewmap/internal/bloom"
+	"viewmap/internal/geo"
+	"viewmap/internal/roadnet"
+	"viewmap/internal/vd"
+)
+
+// FilterBits is the VP Bloom filter size. The paper selects 2048 bits
+// (Section 6.3.2), but the linkage test must probe all sixty of the
+// counterpart's VDs per direction (the verifier cannot know which two
+// the neighbor stored), which inflates the effective false-linkage
+// rate far beyond the paper's single-query closed form — enough that
+// fake-VP layers acquire spurious viewlinks at city densities and
+// verification accuracy collapses. We therefore use 4096 bits, the
+// largest size the paper itself evaluates in Fig. 14, which together
+// with the two-hit rule in MutualNeighbors drives false linkage back
+// below one in ~10^7 pair checks at typical neighbor loads. The
+// deviation (VP grows from 4584 to 4840 bytes, still < 0.01% of the
+// video) is documented in EXPERIMENTS.md.
+const FilterBits = 2 * bloom.DefaultBits
+
+// MaxNeighbors is the cap on accepted neighbor VPs per vehicle, the
+// paper's mitigation against Bloom-poisoning attacks ("we set the
+// maximum number of neighbor VPs accepted at each vehicle as 250").
+const MaxNeighbors = 250
+
+// filterK is the Bloom hash count, optimal (k = (m/n) ln 2) for the
+// typical urban load of roughly 350 element VDs per minute.
+var filterK = bloom.OptimalK(FilterBits, 350)
+
+// StorageBytes follows the paper's per-VP storage accounting (Section
+// 6.1): sixty 72-byte VDs, the filter bit-array, one 8-byte secret.
+// With our 512-byte filter this is 4840 bytes (the paper's 256-byte
+// filter gave 4584), still below 0.01% of the 50 MB video.
+const StorageBytes = vd.SegmentSeconds*vd.WireSize + FilterBits/8 + 8
+
+// Profile is one view profile.
+type Profile struct {
+	// VDs are the sixty per-second digests, in sequence order.
+	VDs []vd.VD
+	// Neighbors is the Bloom filter N_u over neighbor VDs.
+	Neighbors *bloom.Filter
+	// Trusted marks special VPs from authorities (police cars). The
+	// flag is assigned by the system when ingesting authority uploads,
+	// never carried on the anonymous wire format.
+	Trusted bool
+
+	// digestOnce/vdDigests cache the Bloom double-hash pair of each
+	// VD's wire key. Viewmap construction probes every VD of every
+	// candidate pair; without the cache each probe would rehash the
+	// same 72 bytes.
+	digestOnce sync.Once
+	vdDigests  [][2]uint32
+}
+
+// digests returns the cached Bloom digests of the profile's VDs.
+func (p *Profile) digests() [][2]uint32 {
+	p.digestOnce.Do(func() {
+		p.vdDigests = make([][2]uint32, len(p.VDs))
+		for i := range p.VDs {
+			h1, h2 := bloom.Digest(p.VDs[i].Key())
+			p.vdDigests[i] = [2]uint32{h1, h2}
+		}
+	})
+	return p.vdDigests
+}
+
+// ID returns the VP identifier R shared by all the profile's VDs.
+func (p *Profile) ID() vd.VPID {
+	if len(p.VDs) == 0 {
+		return vd.VPID{}
+	}
+	return p.VDs[0].R
+}
+
+// StartUnix returns the minute-aligned start time of the segment.
+func (p *Profile) StartUnix() int64 {
+	if len(p.VDs) == 0 {
+		return 0
+	}
+	return p.VDs[0].T - int64(p.VDs[0].Seq)
+}
+
+// Minute returns the unit-time window index the profile belongs to;
+// viewmaps are built per minute.
+func (p *Profile) Minute() int64 { return p.StartUnix() / vd.SegmentSeconds }
+
+// LocationAt returns the trajectory position at second i (1..60).
+func (p *Profile) LocationAt(i int) (geo.Point, error) {
+	if i < 1 || i > len(p.VDs) {
+		return geo.Point{}, fmt.Errorf("vp: second %d outside profile", i)
+	}
+	return p.VDs[i-1].L, nil
+}
+
+// InitialLocation returns L1, the trajectory start used for guard
+// routes.
+func (p *Profile) InitialLocation() geo.Point {
+	if len(p.VDs) == 0 {
+		return geo.Point{}
+	}
+	return p.VDs[0].L1
+}
+
+// FinalLocation returns the last trajectory sample.
+func (p *Profile) FinalLocation() geo.Point {
+	if len(p.VDs) == 0 {
+		return geo.Point{}
+	}
+	return p.VDs[len(p.VDs)-1].L
+}
+
+// EntersArea reports whether any trajectory sample falls inside r —
+// the membership test for joining a viewmap whose coverage is r.
+func (p *Profile) EntersArea(r geo.Rect) bool {
+	for i := range p.VDs {
+		if r.Contains(p.VDs[i].L) {
+			return true
+		}
+	}
+	return false
+}
+
+// Complete reports whether the profile spans the full minute.
+func (p *Profile) Complete() bool { return len(p.VDs) == vd.SegmentSeconds }
+
+// Validate performs structural checks an ingesting system runs on an
+// uploaded VP: full minute, consistent identifier, monotone sequence
+// and time, monotone file size, and a plausible (non-poisoned) filter.
+func (p *Profile) Validate() error {
+	if !p.Complete() {
+		return fmt.Errorf("vp: profile has %d digests, want %d", len(p.VDs), vd.SegmentSeconds)
+	}
+	if p.Neighbors == nil {
+		return errors.New("vp: missing neighbor filter")
+	}
+	r := p.VDs[0].R
+	start := p.StartUnix()
+	if start%vd.SegmentSeconds != 0 {
+		return fmt.Errorf("vp: start %d not minute-aligned", start)
+	}
+	var prevF int64
+	for i := range p.VDs {
+		v := &p.VDs[i]
+		if v.R != r {
+			return fmt.Errorf("vp: digest %d changes VP identifier", i+1)
+		}
+		if v.Seq != uint64(i+1) {
+			return fmt.Errorf("vp: digest %d has sequence %d", i+1, v.Seq)
+		}
+		if v.T != start+int64(i+1) {
+			return fmt.Errorf("vp: digest %d has time %d, want %d", i+1, v.T, start+int64(i+1))
+		}
+		if v.F < prevF {
+			return fmt.Errorf("vp: digest %d shrinks file size", i+1)
+		}
+		prevF = v.F
+	}
+	if fill := p.Neighbors.FillRatio(); fill > maxPlausibleFill() {
+		return fmt.Errorf("vp: neighbor filter fill %.2f exceeds plausible maximum %.2f (poisoning?)", fill, maxPlausibleFill())
+	}
+	return nil
+}
+
+// maxPlausibleFill is the highest filter fill a legitimate VP can reach
+// with the neighbor cap, plus slack; fuller filters are treated as the
+// Section 6.3.2 all-ones fabrication.
+func maxPlausibleFill() float64 {
+	return math.Min(1, bloom.ExpectedFillRatio(FilterBits, filterK, 2*MaxNeighbors)*1.3)
+}
+
+// MaxSpeedMS is the plausibility ceiling on per-second displacement,
+// used by viewmap construction to reject teleporting trajectories.
+// 70 m/s = 252 km/h.
+const MaxSpeedMS = 70
+
+// PlausibleTrajectory reports whether consecutive samples never exceed
+// MaxSpeedMS.
+func (p *Profile) PlausibleTrajectory() bool {
+	for i := 1; i < len(p.VDs); i++ {
+		if p.VDs[i-1].L.Dist(p.VDs[i].L) > MaxSpeedMS {
+			return false
+		}
+	}
+	return true
+}
+
+// MutualNeighbors implements the viewlink test of Section 5.2.1:
+// some time-aligned pair of positions within dsrcRange metres, and
+// two-way Bloom membership of each VP's element VDs in the other's
+// filter.
+//
+// Each side of an honest link stores two element VDs per neighbor (the
+// first and last received), so we require at least two distinct digest
+// hits per direction. A single-hit match is overwhelmingly likely to
+// be a Bloom false positive once filters carry a realistic neighbor
+// load, and false viewlinks are what lets fake-VP layers leak trust
+// (Section 6.3.2); squaring the per-query false-positive rate this way
+// keeps the false-linkage probability negligible at city scale. The
+// cost is that a contact which delivered only one beacon total is not
+// linkable — a sub-second encounter that carries no evidential weight.
+func MutualNeighbors(a, b *Profile, dsrcRange float64) bool {
+	if a.Minute() != b.Minute() {
+		return false
+	}
+	if a.ID() == b.ID() {
+		return false
+	}
+	n := len(a.VDs)
+	if len(b.VDs) < n {
+		n = len(b.VDs)
+	}
+	near := false
+	for i := 0; i < n; i++ {
+		if a.VDs[i].L.Dist(b.VDs[i].L) <= dsrcRange {
+			near = true
+			break
+		}
+	}
+	if !near {
+		return false
+	}
+	return containsAtLeast(a.Neighbors, b.digests(), 2) && containsAtLeast(b.Neighbors, a.digests(), 2)
+}
+
+func containsAtLeast(f *bloom.Filter, digests [][2]uint32, want int) bool {
+	if f == nil {
+		return false
+	}
+	hits := 0
+	for _, d := range digests {
+		if f.TestDigest(d[0], d[1]) {
+			hits++
+			if hits >= want {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// neighborRecord keeps the first and last VD heard from one neighbor.
+type neighborRecord struct {
+	first, last vd.VD
+	count       int
+}
+
+// Builder accumulates one minute of recording plus received neighbor
+// VDs, then finalizes into a Profile.
+type Builder struct {
+	gen       *vd.Generator
+	neighbors map[vd.VPID]*neighborRecord
+	order     []vd.VPID // insertion order, for deterministic iteration
+	maxN      int
+	dsrcRange float64
+	lastLoc   geo.Point
+	haveLoc   bool
+}
+
+// NewBuilder starts building the VP for a segment with identifier r
+// beginning at minute-aligned startUnix. maxNeighbors <= 0 selects the
+// paper's cap of 250.
+func NewBuilder(r vd.VPID, startUnix int64, maxNeighbors int, dsrcRange float64) (*Builder, error) {
+	g, err := vd.NewGenerator(r, startUnix)
+	if err != nil {
+		return nil, err
+	}
+	if maxNeighbors <= 0 {
+		maxNeighbors = MaxNeighbors
+	}
+	if dsrcRange <= 0 {
+		return nil, fmt.Errorf("vp: DSRC range must be positive, got %v", dsrcRange)
+	}
+	return &Builder{
+		gen:       g,
+		neighbors: make(map[vd.VPID]*neighborRecord),
+		maxN:      maxNeighbors,
+		dsrcRange: dsrcRange,
+	}, nil
+}
+
+// RecordSecond feeds the next second of video content at the current
+// location and returns the VD to broadcast.
+func (b *Builder) RecordSecond(loc geo.Point, chunk []byte) (vd.VD, error) {
+	v, err := b.gen.Next(loc, chunk)
+	if err != nil {
+		return vd.VD{}, err
+	}
+	b.lastLoc = loc
+	b.haveLoc = true
+	return v, nil
+}
+
+// ErrNeighborCapReached is returned when a new neighbor would exceed
+// the poisoning-mitigation cap; VDs from already-known neighbors are
+// still accepted.
+var ErrNeighborCapReached = errors.New("vp: neighbor cap reached")
+
+// AcceptNeighborVD validates and stores a received VD per Section
+// 5.1.1: time within the current interval, claimed location within
+// DSRC range of the receiver, and at most two VDs (first and last)
+// retained per neighbor VP identifier.
+func (b *Builder) AcceptNeighborVD(v vd.VD, nowUnix int64) error {
+	if !b.haveLoc {
+		return errors.New("vp: cannot accept neighbor VD before first recorded second")
+	}
+	if err := vd.ValidateRanges(&v, nowUnix, b.lastLoc, b.dsrcRange); err != nil {
+		return err
+	}
+	rec, ok := b.neighbors[v.R]
+	if !ok {
+		if len(b.neighbors) >= b.maxN {
+			return ErrNeighborCapReached
+		}
+		b.neighbors[v.R] = &neighborRecord{first: v, last: v, count: 1}
+		b.order = append(b.order, v.R)
+		return nil
+	}
+	rec.last = v
+	rec.count++
+	return nil
+}
+
+// NeighborCount returns the number of distinct neighbor VPs heard.
+func (b *Builder) NeighborCount() int { return len(b.neighbors) }
+
+// NeighborIDs returns neighbor VP identifiers in first-heard order.
+func (b *Builder) NeighborIDs() []vd.VPID {
+	out := make([]vd.VPID, len(b.order))
+	copy(out, b.order)
+	return out
+}
+
+// NeighborInitialLocation returns the L1 field advertised by a
+// neighbor, the seed for its guard route.
+func (b *Builder) NeighborInitialLocation(id vd.VPID) (geo.Point, bool) {
+	rec, ok := b.neighbors[id]
+	if !ok {
+		return geo.Point{}, false
+	}
+	return rec.first.L1, true
+}
+
+// Finalize compiles the builder into a Profile: the sixty VDs plus a
+// Bloom filter holding the first and last VD of every neighbor.
+func (b *Builder) Finalize() (*Profile, error) {
+	if !b.gen.Complete() {
+		return nil, errors.New("vp: segment incomplete, cannot finalize")
+	}
+	f := bloom.New(FilterBits, filterK)
+	for _, id := range b.order {
+		rec := b.neighbors[id]
+		f.Add(rec.first.Key())
+		if rec.count > 1 && rec.last != rec.first {
+			f.Add(rec.last.Key())
+		}
+	}
+	return &Profile{VDs: b.gen.Emitted(), Neighbors: f}, nil
+}
+
+// LastLocation returns the most recent recorded position.
+func (b *Builder) LastLocation() (geo.Point, bool) { return b.lastLoc, b.haveLoc }
+
+// SelectGuardTargets picks ceil(alpha*m) of the m given neighbor IDs at
+// random (Section 5.1.2; the paper uses alpha = 0.1).
+func SelectGuardTargets(ids []vd.VPID, alpha float64, rng *rand.Rand) []vd.VPID {
+	if len(ids) == 0 || alpha <= 0 {
+		return nil
+	}
+	if alpha > 1 {
+		alpha = 1
+	}
+	n := int(math.Ceil(alpha * float64(len(ids))))
+	perm := rng.Perm(len(ids))
+	out := make([]vd.VPID, 0, n)
+	for _, idx := range perm[:n] {
+		out = append(out, ids[idx])
+	}
+	return out
+}
+
+// UncoveredProbability is the Section 6.2.2 formula
+//
+//	P_t = [1 - {1 - (1-alpha)^m}^m]^t
+//
+// the probability that some vehicle remains uncovered by any other's
+// guard VP after t minutes among m mutual neighbors. The paper picks
+// alpha = 0.1 to push P_t below 0.01 within 5 minutes.
+func UncoveredProbability(alpha float64, m, tMinutes int) float64 {
+	if m <= 0 || tMinutes <= 0 {
+		return 1
+	}
+	inner := 1 - math.Pow(1-alpha, float64(m))
+	perMin := 1 - math.Pow(inner, float64(m))
+	return math.Pow(perMin, float64(tMinutes))
+}
+
+// GuardConfig parameterizes guard VP fabrication.
+type GuardConfig struct {
+	// SpeedMS is the fabricated driving speed along the route. When
+	// zero or negative, the speed is chosen so the trajectory arrives
+	// at the vehicle's final position exactly at the end of the minute,
+	// which guarantees the guard passes the viewmap proximity check
+	// against the actual VP it is linked to.
+	SpeedMS float64
+	// JitterM is the +/- margin of variable VD spacing along the route,
+	// making guard trajectories look organic.
+	JitterM float64
+	// ChunkBytesPerSecond sizes the fake file-size ramp carried in the
+	// guard VDs; defaults to a dashcam-typical rate when zero.
+	ChunkBytesPerSecond int64
+}
+
+// BuildGuard fabricates a guard VP for the chosen neighbor: a
+// trajectory routed from the neighbor's initial location to the
+// builder vehicle's own final position, with variably spaced samples
+// and random hash fields (guards are not backed by any video). It
+// returns the guard profile; the caller must link it with the actual
+// profile via LinkMutually and is expected to delete it after upload.
+func BuildGuard(net *roadnet.Network, neighborL1, ownLast geo.Point, startUnix int64, cfg GuardConfig, rng *rand.Rand) (*Profile, error) {
+	if startUnix%vd.SegmentSeconds != 0 {
+		return nil, fmt.Errorf("vp: guard start %d not minute-aligned", startUnix)
+	}
+	perSec := cfg.ChunkBytesPerSecond
+	if perSec <= 0 {
+		perSec = 800_000
+	}
+	route, err := net.Directions(neighborL1, ownLast)
+	if err != nil {
+		return nil, fmt.Errorf("vp: routing guard trajectory: %w", err)
+	}
+	speed := cfg.SpeedMS
+	if speed <= 0 {
+		speed = route.Length / float64(vd.SegmentSeconds-1)
+	}
+	var jitter func(int) float64
+	if cfg.JitterM > 0 {
+		jitter = func(int) float64 { return (rng.Float64()*2 - 1) * cfg.JitterM }
+	}
+	samples := route.SamplePerSecond(speed, vd.SegmentSeconds, jitter)
+
+	q, err := vd.NewSecret()
+	if err != nil {
+		return nil, err
+	}
+	r := vd.DeriveVPID(q)
+	vds := make([]vd.VD, vd.SegmentSeconds)
+	var size int64
+	for i := 0; i < vd.SegmentSeconds; i++ {
+		size += perSec
+		var h vd.Hash
+		// "Guard VPs are not for actual videos and thus, their hash
+		// fields are filled with random values."
+		for j := range h {
+			h[j] = byte(rng.Intn(256))
+		}
+		vds[i] = vd.VD{
+			T:   startUnix + int64(i+1),
+			L:   samples[i],
+			F:   size,
+			L1:  samples[0],
+			Seq: uint64(i + 1),
+			R:   r,
+			H:   h,
+		}
+	}
+	return &Profile{
+		VDs:       vds,
+		Neighbors: bloom.New(FilterBits, filterK),
+	}, nil
+}
+
+// LinkMutually inserts each profile's first and last VDs into the
+// other's Bloom filter, establishing the two-way viewlink that guard
+// VPs need to blend into the viewmap.
+func LinkMutually(a, b *Profile) error {
+	if len(a.VDs) == 0 || len(b.VDs) == 0 || a.Neighbors == nil || b.Neighbors == nil {
+		return errors.New("vp: cannot link incomplete profiles")
+	}
+	a.Neighbors.Add(b.VDs[0].Key())
+	a.Neighbors.Add(b.VDs[len(b.VDs)-1].Key())
+	b.Neighbors.Add(a.VDs[0].Key())
+	b.Neighbors.Add(a.VDs[len(a.VDs)-1].Key())
+	return nil
+}
+
+// Marshal serializes a profile for anonymous upload: a 4-byte count,
+// the VD wire records, the filter hash count, and the filter bit
+// array. The format carries no owner-identifying data.
+func (p *Profile) Marshal() []byte {
+	out := make([]byte, 0, 8+len(p.VDs)*vd.WireSize+FilterBits/8)
+	var hdr [6]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(p.VDs)))
+	if p.Neighbors != nil {
+		hdr[4] = byte(p.Neighbors.K())
+	}
+	hdr[5] = 0 // reserved
+	out = append(out, hdr[:]...)
+	for i := range p.VDs {
+		enc := p.VDs[i].Encode()
+		out = append(out, enc[:]...)
+	}
+	if p.Neighbors != nil {
+		out = append(out, p.Neighbors.Bytes()...)
+	} else {
+		out = append(out, make([]byte, FilterBits/8)...)
+	}
+	return out
+}
+
+// Unmarshal parses a profile uploaded by a vehicle.
+func Unmarshal(b []byte) (*Profile, error) {
+	if len(b) < 6 {
+		return nil, errors.New("vp: truncated profile")
+	}
+	n := int(binary.BigEndian.Uint32(b[0:4]))
+	k := int(b[4])
+	if n <= 0 || n > vd.SegmentSeconds {
+		return nil, fmt.Errorf("vp: profile claims %d digests", n)
+	}
+	want := 6 + n*vd.WireSize + FilterBits/8
+	if len(b) != want {
+		return nil, fmt.Errorf("vp: profile is %d bytes, want %d", len(b), want)
+	}
+	p := &Profile{VDs: make([]vd.VD, n)}
+	off := 6
+	for i := 0; i < n; i++ {
+		v, err := vd.Decode(b[off : off+vd.WireSize])
+		if err != nil {
+			return nil, err
+		}
+		p.VDs[i] = v
+		off += vd.WireSize
+	}
+	f, err := bloom.FromBytes(b[off:off+FilterBits/8], k)
+	if err != nil {
+		return nil, err
+	}
+	p.Neighbors = f
+	return p, nil
+}
