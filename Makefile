@@ -1,0 +1,33 @@
+# Targets mirrored by .github/workflows/ci.yml.
+
+GO ?= go
+
+.PHONY: build vet test check race bench-smoke bench-micro
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+check: build vet test
+
+# The viewmap linker tests candidate pairs across a worker pool, and
+# the LOS index builds its grid lazily under concurrent queries; keep
+# both race-clean.
+race:
+	$(GO) test -race ./internal/core/... ./internal/geo/...
+
+# One-iteration pass over the figure-level benchmark suite: catches
+# regressions that only surface at experiment scale without paying for a
+# full benchmark run.
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x .
+
+# Hot-path micro-benchmarks with allocation reporting.
+bench-micro:
+	$(GO) test -run=NONE -bench='BenchmarkViewmapLink|BenchmarkViewmapBuild|BenchmarkTrustRank' -benchtime=10x ./internal/core/
+	$(GO) test -run=NONE -bench='BenchmarkIndexedLOS' ./internal/geo/

@@ -1,0 +1,3 @@
+module viewmap
+
+go 1.24

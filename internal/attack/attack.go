@@ -329,8 +329,9 @@ func CloneDummies(base *vp.Profile, population []*vp.Profile, n int, rangeM floa
 			continue
 		}
 		near := false
+		range2 := rangeM * rangeM
 		for s := range base.VDs {
-			if s < len(pop.VDs) && base.VDs[s].L.Dist(pop.VDs[s].L) <= rangeM {
+			if s < len(pop.VDs) && base.VDs[s].L.Dist2(pop.VDs[s].L) <= range2 {
 				near = true
 				break
 			}

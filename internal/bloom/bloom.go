@@ -32,8 +32,21 @@ const DefaultBits = 2048
 type Filter struct {
 	bits []byte // m/8 bytes
 	m    uint32 // number of bits
+	mask uint32 // m-1 when m is a power of two, else 0
 	k    uint32 // number of hash functions
 	n    uint32 // number of inserted elements (informational)
+}
+
+// bitMask returns m-1 when m is a power of two, else 0. Every filter
+// ViewMap actually ships is power-of-two sized (2048 or 4096 bits), so
+// the membership probes — the single hottest instruction sequence in
+// viewmap construction — can replace the hardware divide of `% m` with
+// a bitwise and.
+func bitMask(m uint32) uint32 {
+	if m&(m-1) == 0 {
+		return m - 1
+	}
+	return 0
 }
 
 // OptimalK returns the optimal number of hash functions for a filter of
@@ -58,7 +71,7 @@ func New(m, k int) *Filter {
 		panic(fmt.Sprintf("bloom: invalid parameters m=%d k=%d", m, k))
 	}
 	mBits := (m + 7) / 8 * 8
-	return &Filter{bits: make([]byte, mBits/8), m: uint32(mBits), k: uint32(k)}
+	return &Filter{bits: make([]byte, mBits/8), m: uint32(mBits), mask: bitMask(uint32(mBits)), k: uint32(k)}
 }
 
 // NewDefault creates the 2048-bit filter used by ViewMap VPs, sized for
@@ -75,7 +88,8 @@ func FromBytes(bits []byte, k int) (*Filter, error) {
 	}
 	cp := make([]byte, len(bits))
 	copy(cp, bits)
-	return &Filter{bits: cp, m: uint32(len(bits) * 8), k: uint32(k)}, nil
+	m := uint32(len(bits) * 8)
+	return &Filter{bits: cp, m: m, mask: bitMask(m), k: uint32(k)}, nil
 }
 
 // Bits returns the number of bits m.
@@ -107,9 +121,16 @@ func Digest(element []byte) (h1, h2 uint32) {
 // Add inserts an element.
 func (f *Filter) Add(element []byte) {
 	h1, h2 := Digest(element)
-	for i := uint32(0); i < f.k; i++ {
-		pos := (h1 + i*h2) % f.m
-		f.bits[pos/8] |= 1 << (pos % 8)
+	if f.mask != 0 {
+		for i := uint32(0); i < f.k; i++ {
+			pos := (h1 + i*h2) & f.mask
+			f.bits[pos>>3] |= 1 << (pos & 7)
+		}
+	} else {
+		for i := uint32(0); i < f.k; i++ {
+			pos := (h1 + i*h2) % f.m
+			f.bits[pos/8] |= 1 << (pos % 8)
+		}
 	}
 	f.n++
 }
@@ -124,6 +145,15 @@ func (f *Filter) Test(element []byte) bool {
 
 // TestDigest is Test for a precomputed element digest.
 func (f *Filter) TestDigest(h1, h2 uint32) bool {
+	if f.mask != 0 {
+		for i := uint32(0); i < f.k; i++ {
+			pos := (h1 + i*h2) & f.mask
+			if f.bits[pos>>3]&(1<<(pos&7)) == 0 {
+				return false
+			}
+		}
+		return true
+	}
 	for i := uint32(0); i < f.k; i++ {
 		pos := (h1 + i*h2) % f.m
 		if f.bits[pos/8]&(1<<(pos%8)) == 0 {
@@ -131,6 +161,50 @@ func (f *Filter) TestDigest(h1, h2 uint32) bool {
 		}
 	}
 	return true
+}
+
+// CountDigestHits returns how many of the precomputed digests test
+// positive, stopping early once limit hits are found. This is the
+// viewmap linkage test's bulk probe: testing sixty digests per
+// direction per candidate pair through TestDigest would pay a call and
+// loop setup per digest, where the overwhelmingly common outcome — the
+// first probed bit is zero — needs three instructions. The first-probe
+// rejection is therefore inlined here over the whole batch.
+func (f *Filter) CountDigestHits(digests [][2]uint32, limit int) int {
+	hits := 0
+	if f.mask != 0 {
+		bits, mask, k := f.bits, f.mask, f.k
+		for _, d := range digests {
+			pos := d[0] & mask
+			if bits[pos>>3]&(1<<(pos&7)) == 0 {
+				continue
+			}
+			in := true
+			for i := uint32(1); i < k; i++ {
+				pos = (d[0] + i*d[1]) & mask
+				if bits[pos>>3]&(1<<(pos&7)) == 0 {
+					in = false
+					break
+				}
+			}
+			if in {
+				hits++
+				if hits >= limit {
+					return hits
+				}
+			}
+		}
+		return hits
+	}
+	for _, d := range digests {
+		if f.TestDigest(d[0], d[1]) {
+			hits++
+			if hits >= limit {
+				return hits
+			}
+		}
+	}
+	return hits
 }
 
 // FillRatio returns the fraction of set bits, used to detect poisoned

@@ -142,8 +142,9 @@ func LinkByProximity(profiles []*vp.Profile, rangeM float64) error {
 				if len(b.VDs) < n {
 					n = len(b.VDs)
 				}
+				range2 := rangeM * rangeM
 				for s := 0; s < n; s++ {
-					if a.VDs[s].L.Dist(b.VDs[s].L) <= rangeM {
+					if a.VDs[s].L.Dist2(b.VDs[s].L) <= range2 {
 						if err := vp.LinkMutually(a, b); err != nil {
 							return err
 						}

@@ -64,6 +64,7 @@ func (vm *Viewmap) TrustRank(cfg TrustRankConfig) ([]float64, error) {
 	if len(vm.Trusted) == 0 {
 		return nil, errors.New("core: viewmap has no trusted VP")
 	}
+	vm.ensureCSR()
 	d := make([]float64, n)
 	share := 1.0 / float64(len(vm.Trusted))
 	for _, t := range vm.Trusted {
@@ -72,17 +73,18 @@ func (vm *Viewmap) TrustRank(cfg TrustRankConfig) ([]float64, error) {
 	p := make([]float64, n)
 	copy(p, d)
 	next := make([]float64, n)
+	off, adj := vm.csrOff, vm.csrAdj
 	for iter := 0; iter < cfg.MaxIterations; iter++ {
 		for i := range next {
 			next[i] = (1 - cfg.Damping) * d[i]
 		}
 		for u := 0; u < n; u++ {
-			deg := len(vm.Adj[u])
-			if deg == 0 || p[u] == 0 {
+			lo, hi := off[u], off[u+1]
+			if lo == hi || p[u] == 0 {
 				continue
 			}
-			out := cfg.Damping * p[u] / float64(deg)
-			for _, v := range vm.Adj[u] {
+			out := cfg.Damping * p[u] / float64(hi-lo)
+			for _, v := range adj[lo:hi] {
 				next[v] += out
 			}
 		}
@@ -137,7 +139,8 @@ func (vm *Viewmap) VerifySite(siteNodes []int, cfg TrustRankConfig) (*Verdict, e
 	if len(siteNodes) == 0 {
 		return verdict, nil
 	}
-	inSite := make(map[int]bool, len(siteNodes))
+	n := len(vm.Profiles)
+	inSite := make([]bool, n)
 	for _, i := range siteNodes {
 		inSite[i] = true
 	}
@@ -151,21 +154,25 @@ func (vm *Viewmap) VerifySite(siteNodes []int, cfg TrustRankConfig) (*Verdict, e
 	}
 	verdict.Anchor = best
 	// BFS from the anchor restricted to in-site nodes.
-	marked := map[int]bool{best: true}
+	marked := make([]bool, n)
+	marked[best] = true
+	count := 1
 	queue := []int{best}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		for _, v := range vm.Adj[u] {
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for _, v := range vm.csrAdj[vm.csrOff[u]:vm.csrOff[u+1]] {
 			if inSite[v] && !marked[v] {
 				marked[v] = true
-				queue = append(queue, v)
+				count++
+				queue = append(queue, int(v))
 			}
 		}
 	}
-	verdict.Legitimate = make([]int, 0, len(marked))
-	for i := range marked {
-		verdict.Legitimate = append(verdict.Legitimate, i)
+	verdict.Legitimate = make([]int, 0, count)
+	for i, m := range marked {
+		if m {
+			verdict.Legitimate = append(verdict.Legitimate, i)
+		}
 	}
 	if gap > 0 {
 		verdict.Legitimate = cutSecondaryLayer(verdict.Legitimate, scores, gap)

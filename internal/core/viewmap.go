@@ -18,7 +18,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"viewmap/internal/geo"
 	"viewmap/internal/vd"
@@ -42,6 +45,40 @@ type Viewmap struct {
 	Minute int64
 
 	index map[vd.VPID]int
+
+	// csrOff/csrAdj are the flat CSR mirror of Adj: node u's neighbors
+	// are csrAdj[csrOff[u]:csrOff[u+1]]. The graph traversals —
+	// TrustRank's power iteration, VerifySite's BFS, HopsFromTrusted,
+	// Components — walk this contiguous layout instead of chasing
+	// per-node slice headers. Build populates it after linking;
+	// ensureCSR builds it lazily (once, so concurrent readers are
+	// safe) for viewmaps assembled by hand, as tests do. Adj must not
+	// be mutated after the first traversal; nothing in the repo does.
+	csrOnce sync.Once
+	csrOff  []int32
+	csrAdj  []int32
+}
+
+// ensureCSR mirrors Adj into the flat CSR arrays if not already done.
+func (vm *Viewmap) ensureCSR() {
+	vm.csrOnce.Do(func() {
+		n := len(vm.Profiles)
+		off := make([]int32, n+1)
+		total := 0
+		for i, a := range vm.Adj {
+			total += len(a)
+			off[i+1] = int32(total)
+		}
+		adj := make([]int32, total)
+		pos := 0
+		for _, a := range vm.Adj {
+			for _, v := range a {
+				adj[pos] = int32(v)
+				pos++
+			}
+		}
+		vm.csrOff, vm.csrAdj = off, adj
+	})
 }
 
 // BuildConfig parameterizes viewmap construction.
@@ -137,6 +174,7 @@ func Build(profiles []*vp.Profile, cfg BuildConfig) (*Viewmap, error) {
 	}
 
 	vm.link(cfg.DSRCRange)
+	vm.ensureCSR()
 	return vm, nil
 }
 
@@ -156,57 +194,171 @@ func expand(r geo.Rect, p geo.Point) geo.Rect {
 	return r
 }
 
-// link creates viewlinks between all two-way-validated pairs, using a
-// uniform grid over trajectory bounding boxes to avoid the full O(n²)
-// pair scan on large viewmaps.
+// serialLinkThreshold is the member count below which candidate-pair
+// testing runs on the calling goroutine; tiny viewmaps don't repay
+// worker startup.
+const serialLinkThreshold = 64
+
+// boxDist2 returns the squared distance between two axis-aligned boxes
+// (zero when they overlap) — a lower bound on any pair of contained
+// points, used to prune candidates before the per-second scan.
+func boxDist2(a, b geo.Rect) float64 {
+	var dx, dy float64
+	if d := b.Min.X - a.Max.X; d > 0 {
+		dx = d
+	} else if d := a.Min.X - b.Max.X; d > 0 {
+		dx = d
+	}
+	if d := b.Min.Y - a.Max.Y; d > 0 {
+		dy = d
+	} else if d := a.Min.Y - b.Max.Y; d > 0 {
+		dy = d
+	}
+	return dx*dx + dy*dy
+}
+
+// linkState carries the shared read-only inputs of one link run. The
+// grid holds each profile's *home* cells only (the cells its
+// trajectory bounding box overlaps); range inflation happens on the
+// query side, where an anchor scans the cells its box inflated by the
+// DSRC range overlaps.
+type linkState struct {
+	profiles []*vp.Profile
+	digests  [][][2]uint32
+	boxes    []geo.Rect
+	grid     *geo.CellGrid
+	rangeM   float64
+}
+
+// anchorEdges appends to out the neighbors b > a that pass the two-way
+// linkage test, deduplicating grid candidates with the epoch-stamped
+// visited array (stamp a+1: unique per anchor, so the array is never
+// cleared between anchors).
+func (ls *linkState) anchorEdges(a int, visited []int32, out []int32) []int32 {
+	stamp := int32(a + 1)
+	range2 := ls.rangeM * ls.rangeM
+	pa, da, ba := ls.profiles[a], ls.digests[a], ls.boxes[a]
+	cx0, cx1, cy0, cy1 := ls.grid.Span(ba, ls.rangeM)
+	for cy := cy0; cy <= cy1; cy++ {
+		for cx := cx0; cx <= cx1; cx++ {
+			for _, b32 := range ls.grid.ItemsIn(cx, cy) {
+				b := int(b32)
+				if b <= a || visited[b] == stamp {
+					continue
+				}
+				visited[b] = stamp
+				if boxDist2(ba, ls.boxes[b]) > range2 {
+					continue
+				}
+				if vp.MutualNeighborsDigests(pa, ls.profiles[b], da, ls.digests[b], ls.rangeM) {
+					out = append(out, b32)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// link creates viewlinks between all two-way-validated pairs. It is the
+// repo's hottest path (the Fig. 12/13/22 sweeps rebuild viewmaps
+// thousands of times), so everything per-pair is flat: a dense CSR cell
+// grid over trajectory bounding boxes enumerates candidates, an
+// epoch-stamped visited array replaces the pair-dedup hash set, Bloom
+// digests are prefetched once per member, and anchors are tested in
+// parallel across a worker pool. Each unordered pair is discovered
+// exactly once (by its lower-id anchor), so the per-anchor edge lists —
+// and therefore the final adjacency — are identical to the retained
+// linkNaive reference regardless of worker interleaving.
 func (vm *Viewmap) link(rangeM float64) {
 	n := len(vm.Profiles)
 	if n < 2 {
 		return
 	}
-	// Bounding box per profile.
-	boxes := make([]geo.Rect, n)
+	ls := &linkState{
+		profiles: vm.Profiles,
+		digests:  make([][][2]uint32, n),
+		boxes:    make([]geo.Rect, n),
+		rangeM:   rangeM,
+	}
+	if ls.rangeM <= 0 {
+		ls.rangeM = DefaultDSRCRange
+	}
 	for i, p := range vm.Profiles {
+		ls.digests[i] = p.Digests()
 		b := geo.Rect{Min: p.VDs[0].L, Max: p.VDs[0].L}
 		for j := range p.VDs {
 			b = expand(b, p.VDs[j].L)
 		}
-		boxes[i] = b
+		ls.boxes[i] = b
 	}
-	cell := rangeM
-	if cell <= 0 {
-		cell = DefaultDSRCRange
+	ls.grid = geo.NewCellGrid(ls.boxes, ls.rangeM, geo.DefaultMaxGridCells)
+
+	// edgesFrom[a] holds a's neighbors b > a; each slot is written by
+	// exactly one worker, so the merge needs no locks and is
+	// deterministic.
+	edgesFrom := make([][]int32, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n/serialLinkThreshold {
+		workers = n / serialLinkThreshold
 	}
-	grid := make(map[[2]int][]int)
-	cellOf := func(x, y float64) (int, int) {
-		return int(math.Floor(x / cell)), int(math.Floor(y / cell))
-	}
-	for i, b := range boxes {
-		x0, y0 := cellOf(b.Min.X-rangeM, b.Min.Y-rangeM)
-		x1, y1 := cellOf(b.Max.X+rangeM, b.Max.Y+rangeM)
-		for cx := x0; cx <= x1; cx++ {
-			for cy := y0; cy <= y1; cy++ {
-				grid[[2]int{cx, cy}] = append(grid[[2]int{cx, cy}], i)
+	if workers <= 1 {
+		visited := make([]int32, n)
+		for a := 0; a < n; a++ {
+			if out := ls.anchorEdges(a, visited, nil); len(out) > 0 {
+				edgesFrom[a] = out
 			}
 		}
+	} else {
+		const block = 32 // anchors claimed per grab
+		var cursor atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				visited := make([]int32, n)
+				for {
+					lo := int(cursor.Add(block)) - block
+					if lo >= n {
+						return
+					}
+					hi := min(lo+block, n)
+					for a := lo; a < hi; a++ {
+						if out := ls.anchorEdges(a, visited, nil); len(out) > 0 {
+							edgesFrom[a] = out
+						}
+					}
+				}
+			}()
+		}
+		wg.Wait()
 	}
-	seen := make(map[[2]int]bool)
-	for _, bucket := range grid {
-		for ai := 0; ai < len(bucket); ai++ {
-			for bi := ai + 1; bi < len(bucket); bi++ {
-				a, b := bucket[ai], bucket[bi]
-				if a > b {
-					a, b = b, a
-				}
-				k := [2]int{a, b}
-				if seen[k] {
-					continue
-				}
-				seen[k] = true
-				if vp.MutualNeighbors(vm.Profiles[a], vm.Profiles[b], rangeM) {
-					vm.Adj[a] = append(vm.Adj[a], b)
-					vm.Adj[b] = append(vm.Adj[b], a)
-				}
+	for a, nbrs := range edgesFrom {
+		for _, b := range nbrs {
+			vm.Adj[a] = append(vm.Adj[a], int(b))
+			vm.Adj[b] = append(vm.Adj[b], a)
+		}
+	}
+	for i := range vm.Adj {
+		sort.Ints(vm.Adj[i])
+	}
+}
+
+// linkNaive is the O(n²) reference linker: the executable specification
+// of Section 5.2.1's two-way linkage test. The optimized link must
+// produce exactly this adjacency; the equivalence property test in
+// viewmap_equiv_test.go holds the two together across randomized
+// arenas.
+func (vm *Viewmap) linkNaive(rangeM float64) {
+	if rangeM <= 0 {
+		rangeM = DefaultDSRCRange
+	}
+	n := len(vm.Profiles)
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if vp.MutualNeighbors(vm.Profiles[a], vm.Profiles[b], rangeM) {
+				vm.Adj[a] = append(vm.Adj[a], b)
+				vm.Adj[b] = append(vm.Adj[b], a)
 			}
 		}
 	}
@@ -264,6 +416,7 @@ func (vm *Viewmap) InSite(site geo.Rect) []int {
 // any trusted VP (-1 when unreachable). Used by the Lemma 1 bound
 // checks and the Fig. 12 attacker-position sweep.
 func (vm *Viewmap) HopsFromTrusted() []int {
+	vm.ensureCSR()
 	dist := make([]int, len(vm.Profiles))
 	for i := range dist {
 		dist[i] = -1
@@ -273,13 +426,12 @@ func (vm *Viewmap) HopsFromTrusted() []int {
 		dist[t] = 0
 		queue = append(queue, t)
 	}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		for _, v := range vm.Adj[u] {
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for _, v := range vm.csrAdj[vm.csrOff[u]:vm.csrOff[u+1]] {
 			if dist[v] == -1 {
 				dist[v] = dist[u] + 1
-				queue = append(queue, v)
+				queue = append(queue, int(v))
 			}
 		}
 	}
@@ -288,6 +440,7 @@ func (vm *Viewmap) HopsFromTrusted() []int {
 
 // Components returns the connected components as slices of node ids.
 func (vm *Viewmap) Components() [][]int {
+	vm.ensureCSR()
 	comp := make([]int, len(vm.Profiles))
 	for i := range comp {
 		comp[i] = -1
@@ -304,10 +457,10 @@ func (vm *Viewmap) Components() [][]int {
 			u := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			cur = append(cur, u)
-			for _, v := range vm.Adj[u] {
+			for _, v := range vm.csrAdj[vm.csrOff[u]:vm.csrOff[u+1]] {
 				if comp[v] == -1 {
 					comp[v] = len(out)
-					stack = append(stack, v)
+					stack = append(stack, int(v))
 				}
 			}
 		}

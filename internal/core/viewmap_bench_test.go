@@ -1,0 +1,57 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"viewmap/internal/geo"
+)
+
+// BenchmarkViewmapLink isolates the candidate-pair linker — the
+// dominant cost of viewmap construction — at several population sizes.
+// Allocations are reported so a per-pair map or slice regression on the
+// hot path is immediately visible: the expected figure is a handful of
+// O(n) scratch allocations per call, independent of the candidate-pair
+// count.
+func BenchmarkViewmapLink(b *testing.B) {
+	for _, n := range []int{100, 400, 1000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			side := 1000.0 * float64(n) / 250.0
+			area := geo.NewRect(geo.Pt(0, 0), geo.Pt(side, side))
+			profiles, err := SynthesizeLegitimate(SynthConfig{N: n, Area: area, Seed: 42})
+			if err != nil {
+				b.Fatal(err)
+			}
+			vm := &Viewmap{Profiles: profiles}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				vm.Adj = make([][]int, len(vm.Profiles))
+				vm.link(DefaultDSRCRange)
+			}
+		})
+	}
+}
+
+// BenchmarkViewmapBuild measures full construction (admission, linking,
+// CSR mirroring) for the Fig. 12 arena shape.
+func BenchmarkViewmapBuild(b *testing.B) {
+	for _, n := range []int{150, 600} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			area := geo.NewRect(geo.Pt(0, 0), geo.Pt(4000, 4000))
+			profiles, err := SynthesizeLegitimate(SynthConfig{N: n, Area: area, Seed: 7})
+			if err != nil {
+				b.Fatal(err)
+			}
+			MarkTrustedNearest(profiles, geo.Pt(600, 600))
+			cfg := BuildConfig{Site: geo.RectAround(geo.Pt(2600, 2600), 200), Minute: 0}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Build(profiles, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

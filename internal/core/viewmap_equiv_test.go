@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"viewmap/internal/geo"
+	"viewmap/internal/vp"
+)
+
+// naiveReference re-links vm's member set with the retained O(n²)
+// reference linker and returns the resulting adjacency.
+func naiveReference(vm *Viewmap, rangeM float64) [][]int {
+	ref := &Viewmap{Profiles: vm.Profiles, Adj: make([][]int, len(vm.Profiles))}
+	ref.linkNaive(rangeM)
+	return ref.Adj
+}
+
+func adjEqual(t *testing.T, label string, got, want [][]int) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: node count %d, reference %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("%s: node %d has %d edges, reference %d (%v vs %v)",
+				label, i, len(got[i]), len(want[i]), got[i], want[i])
+		}
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("%s: node %d edge list %v, reference %v", label, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// pollute inflates a profile's Bloom filter with extra random elements,
+// pushing its false-positive rate far above any honest load so that
+// single-digest false hits become routine and the linker's two-hit rule
+// and dedup structures are exercised under false-positive pressure.
+func pollute(p *vp.Profile, extra int, rng *rand.Rand) {
+	buf := make([]byte, 24)
+	for i := 0; i < extra; i++ {
+		rng.Read(buf)
+		p.Neighbors.Add(buf)
+	}
+}
+
+// stackedCluster fabricates `count` co-located stationary profiles (the
+// shape of an in-site fake cluster: maximal candidate-pair density),
+// chain-linking consecutive ones.
+func stackedCluster(t *testing.T, at geo.Point, count int, minute int64, rng *rand.Rand) []*vp.Profile {
+	t.Helper()
+	out := make([]*vp.Profile, count)
+	for i := range out {
+		p, err := FabricateProfile(stationary(at.Add(geo.Pt(float64(i%7), float64(i%5)))), minute, 0, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = p
+		if i > 0 {
+			if err := vp.LinkMutually(out[i-1], p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return out
+}
+
+// TestLinkEquivalenceProperty holds the optimized linker to the naive
+// O(n²) reference across randomized arenas: varying population sizes
+// (spanning the serial and parallel paths), DSRC ranges, speeds, dense
+// co-located clusters, and Bloom false-positive-heavy filters. The edge
+// sets must be identical, node for node.
+func TestLinkEquivalenceProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("equivalence sweep is not short")
+	}
+	type scenario struct {
+		n       int
+		side    float64
+		rangeM  float64
+		speed   float64
+		cluster int  // co-located stacked profiles added on top
+		fpHeavy bool // pollute filters to force Bloom false positives
+	}
+	var scenarios []scenario
+	for seed := 0; seed < 22; seed++ {
+		scenarios = append(scenarios, scenario{
+			n:       40 + (seed*37)%260, // 40..300, crosses the parallel threshold
+			side:    1500 + float64(seed%5)*700,
+			rangeM:  150 + float64(seed%4)*125,
+			speed:   5 + float64(seed%3)*12,
+			cluster: (seed % 3) * 15,
+			fpHeavy: seed%2 == 1,
+		})
+	}
+	for si, sc := range scenarios {
+		sc := sc
+		t.Run(fmt.Sprintf("seed=%d/n=%d/fp=%v", si, sc.n, sc.fpHeavy), func(t *testing.T) {
+			t.Parallel()
+			seed := int64(1000 + si)
+			area := geo.NewRect(geo.Pt(0, 0), geo.Pt(sc.side, sc.side))
+			profiles, err := SynthesizeLegitimate(SynthConfig{
+				N: sc.n, Area: area, Seed: seed, SpeedMS: sc.speed, DSRCRange: sc.rangeM,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(seed))
+			if sc.cluster > 0 {
+				profiles = append(profiles, stackedCluster(t, area.Center(), sc.cluster, 0, rng)...)
+			}
+			if sc.fpHeavy {
+				for _, p := range profiles {
+					pollute(p, 2000, rng)
+				}
+			}
+			MarkTrustedNearest(profiles, area.Center())
+			vm, err := Build(profiles, BuildConfig{
+				Site: geo.RectAround(area.Center(), 200), Minute: 0, DSRCRange: sc.rangeM,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			adjEqual(t, "optimized vs naive", vm.Adj, naiveReference(vm, sc.rangeM))
+		})
+	}
+}
+
+// TestLinkParallelPath pins down the worker-pool path: a population
+// large enough to engage every worker, built concurrently from several
+// goroutines (the verification sweeps do exactly this), each result
+// checked against the reference. Run under -race in CI.
+func TestLinkParallelPath(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("single-proc run cannot exercise the parallel linker")
+	}
+	n := serialLinkThreshold * max(runtime.GOMAXPROCS(0), 4)
+	if n > 512 {
+		n = 512
+	}
+	area := geo.NewRect(geo.Pt(0, 0), geo.Pt(3500, 3500))
+	profiles, err := SynthesizeLegitimate(SynthConfig{N: n, Area: area, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	MarkTrustedNearest(profiles, area.Center())
+	cfg := BuildConfig{Site: geo.RectAround(area.Center(), 200), Minute: 0}
+
+	var wg sync.WaitGroup
+	vms := make([]*Viewmap, 4)
+	errs := make([]error, 4)
+	for g := range vms {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			vms[g], errs[g] = Build(profiles, cfg)
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent build %d: %v", g, err)
+		}
+	}
+	want := naiveReference(vms[0], DefaultDSRCRange)
+	for g, vm := range vms {
+		adjEqual(t, fmt.Sprintf("concurrent build %d", g), vm.Adj, want)
+	}
+}

@@ -1,0 +1,107 @@
+package geo
+
+import "math"
+
+// DefaultMaxGridCells caps a dense grid's cell count. A lone outlier
+// rectangle can stretch the bounding hull arbitrarily; rather than
+// allocate a proportional grid, construction coarsens the cell size
+// until the grid fits (coarser cells only widen each query's candidate
+// set, never losing members).
+const DefaultMaxGridCells = 1 << 21
+
+// CellGrid is a dense uniform grid over axis-aligned rectangles,
+// stored CSR-style (flat offsets + ids) so construction and queries
+// perform no map operations. Cell (cx,cy) in grid-local coordinates
+// holds the ids of the rectangles overlapping it. Both the viewmap
+// linker's candidate grid and the obstacle spatial index are built on
+// it. Immutable once constructed; safe for concurrent queries.
+type CellGrid struct {
+	cell     float64
+	gx0, gy0 int
+	gw, gh   int
+	start    []int32
+	items    []int32
+}
+
+// NewCellGrid buckets the rectangles (ids are slice indices) into
+// square cells of the given size, coarsened as needed to fit maxCells
+// (<= 0 selects DefaultMaxGridCells). rects must be non-empty.
+func NewCellGrid(rects []Rect, cell float64, maxCells int) *CellGrid {
+	if maxCells <= 0 {
+		maxCells = DefaultMaxGridCells
+	}
+	hull := rects[0]
+	for _, r := range rects[1:] {
+		hull.Min.X = math.Min(hull.Min.X, r.Min.X)
+		hull.Min.Y = math.Min(hull.Min.Y, r.Min.Y)
+		hull.Max.X = math.Max(hull.Max.X, r.Max.X)
+		hull.Max.Y = math.Max(hull.Max.Y, r.Max.Y)
+	}
+	for {
+		gw := int(math.Floor(hull.Max.X/cell)) - int(math.Floor(hull.Min.X/cell)) + 1
+		gh := int(math.Floor(hull.Max.Y/cell)) - int(math.Floor(hull.Min.Y/cell)) + 1
+		if float64(gw)*float64(gh) <= float64(maxCells) {
+			break
+		}
+		cell *= 2
+	}
+	g := &CellGrid{
+		cell: cell,
+		gx0:  int(math.Floor(hull.Min.X / cell)),
+		gy0:  int(math.Floor(hull.Min.Y / cell)),
+	}
+	g.gw = int(math.Floor(hull.Max.X/cell)) - g.gx0 + 1
+	g.gh = int(math.Floor(hull.Max.Y/cell)) - g.gy0 + 1
+
+	cells := g.gw * g.gh
+	g.start = make([]int32, cells+1)
+	for i := range rects {
+		cx0, cx1, cy0, cy1 := g.Span(rects[i], 0)
+		for cy := cy0; cy <= cy1; cy++ {
+			for cx := cx0; cx <= cx1; cx++ {
+				g.start[cy*g.gw+cx+1]++
+			}
+		}
+	}
+	for c := 0; c < cells; c++ {
+		g.start[c+1] += g.start[c]
+	}
+	g.items = make([]int32, g.start[cells])
+	fill := make([]int32, cells)
+	for i := range rects {
+		cx0, cx1, cy0, cy1 := g.Span(rects[i], 0)
+		for cy := cy0; cy <= cy1; cy++ {
+			for cx := cx0; cx <= cx1; cx++ {
+				c := cy*g.gw + cx
+				g.items[g.start[c]+fill[c]] = int32(i)
+				fill[c]++
+			}
+		}
+	}
+	return g
+}
+
+// Cell returns the (possibly coarsened) cell size.
+func (g *CellGrid) Cell() float64 { return g.cell }
+
+// Span returns r inflated by margin as a grid-local cell range,
+// clamped to the grid. Iterate cy over [cy0, cy1] and cx over
+// [cx0, cx1] and fetch members with ItemsIn.
+func (g *CellGrid) Span(r Rect, margin float64) (cx0, cx1, cy0, cy1 int) {
+	cx0 = max(int(math.Floor((r.Min.X-margin)/g.cell))-g.gx0, 0)
+	cx1 = min(int(math.Floor((r.Max.X+margin)/g.cell))-g.gx0, g.gw-1)
+	cy0 = max(int(math.Floor((r.Min.Y-margin)/g.cell))-g.gy0, 0)
+	cy1 = min(int(math.Floor((r.Max.Y+margin)/g.cell))-g.gy0, g.gh-1)
+	return
+}
+
+// ItemsIn returns the rect ids overlapping grid-local cell (cx, cy).
+func (g *CellGrid) ItemsIn(cx, cy int) []int32 {
+	c := cy*g.gw + cx
+	return g.items[g.start[c]:g.start[c+1]]
+}
+
+// CellCenter returns the world-space center of grid-local cell (cx, cy).
+func (g *CellGrid) CellCenter(cx, cy int) Point {
+	return Pt((float64(cx+g.gx0)+0.5)*g.cell, (float64(cy+g.gy0)+0.5)*g.cell)
+}

@@ -44,6 +44,15 @@ func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
 // Dist returns the Euclidean distance between p and q in metres.
 func (p Point) Dist(q Point) float64 { return math.Hypot(p.X-q.X, p.Y-q.Y) }
 
+// Dist2 returns the squared Euclidean distance between p and q.
+// Threshold comparisons on the hot paths (viewmap proximity checks,
+// per-second contact detection) compare against the squared radius to
+// skip math.Hypot's overflow-safe sqrt.
+func (p Point) Dist2(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
 // Lerp returns the point a fraction t of the way from p to q.
 // t=0 yields p, t=1 yields q; t outside [0,1] extrapolates.
 func (p Point) Lerp(q Point, t float64) Point {
@@ -119,14 +128,21 @@ func (s Segment) Intersects(t Segment) bool {
 
 // DistToPoint returns the shortest distance from point p to the segment.
 func (s Segment) DistToPoint(p Point) float64 {
+	return math.Sqrt(s.Dist2ToPoint(p))
+}
+
+// Dist2ToPoint returns the squared shortest distance from point p to the
+// segment; the spatial-index cell prune compares it against a squared
+// radius to avoid a sqrt per visited cell.
+func (s Segment) Dist2ToPoint(p Point) float64 {
 	d := s.B.Sub(s.A)
 	l2 := d.Dot(d)
 	if l2 == 0 {
-		return p.Dist(s.A)
+		return p.Dist2(s.A)
 	}
 	t := p.Sub(s.A).Dot(d) / l2
 	t = math.Max(0, math.Min(1, t))
-	return p.Dist(s.At(t))
+	return p.Dist2(s.At(t))
 }
 
 // Rect is an axis-aligned rectangle, used as a building footprint or a

@@ -1,16 +1,38 @@
 package geo
 
-import "math"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // IndexedObstacles is a uniform-grid spatial index over rectangular
 // building footprints. City-scale simulations issue millions of
 // line-of-sight queries per simulated minute; a linear scan over
 // thousands of buildings per query would dominate the run time, so the
 // index walks only the grid cells the sight line passes through.
+//
+// The grid is a dense CSR CellGrid over the inserted footprints, built
+// lazily on the first query after an insertion and published through
+// an atomic pointer. Queries deduplicate footprints spanning several
+// cells with an epoch-stamped visited array drawn from a pool, so the
+// query path performs no map operations and no allocations in steady
+// state. LOS is safe for concurrent use once the footprints are
+// inserted.
 type IndexedObstacles struct {
-	cell  float64
-	cells map[[2]int][]Rect
-	count int
+	cell float64
+
+	mu    sync.Mutex // guards rects growth and grid rebuild
+	rects []Rect
+	grid  atomic.Pointer[CellGrid] // nil until built; cleared on insert
+
+	scratch sync.Pool // *losScratch
+}
+
+// losScratch is the per-query dedup state: visited[id] == epoch marks
+// footprint id as already tested this query.
+type losScratch struct {
+	visited []uint32
+	epoch   uint32
 }
 
 // NewIndexedObstacles creates an index with the given cell size in
@@ -20,65 +42,98 @@ func NewIndexedObstacles(cellSize float64) *IndexedObstacles {
 	if cellSize <= 0 {
 		cellSize = 100
 	}
-	return &IndexedObstacles{cell: cellSize, cells: make(map[[2]int][]Rect)}
+	return &IndexedObstacles{cell: cellSize}
 }
 
 // AddBuilding inserts a rectangular footprint.
 func (ix *IndexedObstacles) AddBuilding(r Rect) {
-	x0 := int(math.Floor(r.Min.X / ix.cell))
-	x1 := int(math.Floor(r.Max.X / ix.cell))
-	y0 := int(math.Floor(r.Min.Y / ix.cell))
-	y1 := int(math.Floor(r.Max.Y / ix.cell))
-	for cx := x0; cx <= x1; cx++ {
-		for cy := y0; cy <= y1; cy++ {
-			ix.cells[[2]int{cx, cy}] = append(ix.cells[[2]int{cx, cy}], r)
-		}
-	}
-	ix.count++
+	ix.mu.Lock()
+	ix.rects = append(ix.rects, r)
+	ix.grid.Store(nil)
+	ix.mu.Unlock()
 }
 
 // Len returns the number of buildings indexed.
-func (ix *IndexedObstacles) Len() int { return ix.count }
+func (ix *IndexedObstacles) Len() int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return len(ix.rects)
+}
+
+// ensure returns the grid and the footprint snapshot it was built
+// over, (re)building after insertions. The grid is nil while the index
+// is empty.
+func (ix *IndexedObstacles) ensure() (*CellGrid, []Rect) {
+	if g := ix.grid.Load(); g != nil {
+		return g, ix.rects
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if g := ix.grid.Load(); g != nil {
+		return g, ix.rects
+	}
+	if len(ix.rects) == 0 {
+		return nil, nil
+	}
+	g := NewCellGrid(ix.rects, ix.cell, DefaultMaxGridCells)
+	ix.grid.Store(g)
+	return g, ix.rects
+}
 
 // LOS reports whether the straight line between a and b avoids every
 // indexed footprint. It implements the same geometry as
 // ObstacleSet.LOS but visits only cells along the segment.
 func (ix *IndexedObstacles) LOS(a, b Point) bool {
-	if ix == nil || ix.count == 0 {
+	if ix == nil {
 		return true
 	}
+	grid, rects := ix.ensure()
+	if grid == nil {
+		return true
+	}
+	sc, _ := ix.scratch.Get().(*losScratch)
+	if sc == nil || len(sc.visited) < len(rects) {
+		sc = &losScratch{visited: make([]uint32, len(rects))}
+	}
+	sc.epoch++
+	if sc.epoch == 0 { // wrapped: stamps are stale, reset
+		clear(sc.visited)
+		sc.epoch = 1
+	}
+	epoch := sc.epoch
 	seg := Seg(a, b)
 	// Conservative cell walk: visit every cell in the segment's
 	// bounding box row range, clipped per row to the segment's span.
 	// Segments in these simulations are short relative to the grid, so
 	// the loss over exact traversal is negligible, and correctness is
-	// easy to see.
-	x0 := int(math.Floor(math.Min(a.X, b.X)/ix.cell)) - 1
-	x1 := int(math.Floor(math.Max(a.X, b.X)/ix.cell)) + 1
-	y0 := int(math.Floor(math.Min(a.Y, b.Y)/ix.cell)) - 1
-	y1 := int(math.Floor(math.Max(a.Y, b.Y)/ix.cell)) + 1
-	seen := make(map[*Rect]bool)
-	for cx := x0; cx <= x1; cx++ {
-		for cy := y0; cy <= y1; cy++ {
+	// easy to see. The walk is clamped to the populated grid range;
+	// cells outside it hold no footprints.
+	cell := grid.Cell()
+	cx0, cx1, cy0, cy1 := grid.Span(NewRect(a, b), cell)
+	prune2 := 2 * cell * cell // (cell*sqrt2)^2
+	unobstructed := true
+scan:
+	for cy := cy0; cy <= cy1; cy++ {
+		for cx := cx0; cx <= cx1; cx++ {
 			// Skip cells whose box is farther from the segment than one
 			// cell diagonal.
-			cellCenter := Pt((float64(cx)+0.5)*ix.cell, (float64(cy)+0.5)*ix.cell)
-			if seg.DistToPoint(cellCenter) > ix.cell*math.Sqrt2 {
+			if seg.Dist2ToPoint(grid.CellCenter(cx, cy)) > prune2 {
 				continue
 			}
-			for i := range ix.cells[[2]int{cx, cy}] {
-				r := &ix.cells[[2]int{cx, cy}][i]
-				if seen[r] {
+			for _, id := range grid.ItemsIn(cx, cy) {
+				if sc.visited[id] == epoch {
 					continue
 				}
-				seen[r] = true
-				if r.IntersectsSegment(seg) {
-					return false
+				sc.visited[id] = epoch
+				if rects[id].IntersectsSegment(seg) {
+					unobstructed = false
+					break scan
 				}
 			}
 		}
 	}
-	return true
+	ix.scratch.Put(sc)
+	return unobstructed
 }
 
 // Blocks makes IndexedObstacles usable as a single Obstacle inside an

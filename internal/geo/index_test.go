@@ -2,6 +2,7 @@ package geo
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 )
 
@@ -60,6 +61,36 @@ func TestIndexedObstaclesDefaultCell(t *testing.T) {
 	}
 }
 
+// TestIndexedObstaclesConcurrentFirstQuery pins down the lazy grid
+// build: many goroutines issue the very first LOS queries at once, so
+// the build-and-publish must be properly synchronized. Run under -race
+// in CI.
+func TestIndexedObstaclesConcurrentFirstQuery(t *testing.T) {
+	ix := NewIndexedObstacles(100)
+	for i := 0; i < 50; i++ {
+		min := Pt(float64(i%10)*100+20, float64(i/10)*100+20)
+		ix.AddBuilding(NewRect(min, min.Add(Pt(60, 60))))
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for q := 0; q < 200; q++ {
+				y := float64((g*200+q)%500) * 2
+				ix.LOS(Pt(0, y), Pt(1000, y))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if ix.LOS(Pt(0, 50), Pt(1000, 50)) {
+		t.Error("row through the building grid should be blocked")
+	}
+	if !ix.LOS(Pt(0, 0), Pt(1000, 0)) {
+		t.Error("street row should be clear")
+	}
+}
+
 func BenchmarkIndexedLOSCityScale(b *testing.B) {
 	ix := NewIndexedObstacles(200)
 	// 39x39 city blocks like the 8x8 km simulation.
@@ -70,10 +101,30 @@ func BenchmarkIndexedLOSCityScale(b *testing.B) {
 		}
 	}
 	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		a := Pt(rng.Float64()*7800, rng.Float64()*7800)
 		c := a.Add(Pt(rng.Float64()*800-400, rng.Float64()*800-400))
 		ix.LOS(a, c)
+	}
+}
+
+// BenchmarkIndexedLOSBlocked measures the obstructed case: sight lines
+// straight through a dense block row, terminating at the first hit.
+func BenchmarkIndexedLOSBlocked(b *testing.B) {
+	ix := NewIndexedObstacles(200)
+	for cx := 0; cx < 39; cx++ {
+		for cy := 0; cy < 39; cy++ {
+			min := Pt(float64(cx)*200+20, float64(cy)*200+20)
+			ix.AddBuilding(NewRect(min, min.Add(Pt(160, 160))))
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ix.LOS(Pt(0, 100), Pt(7800, 100)) {
+			b.Fatal("line through the block row should be blocked")
+		}
 	}
 }

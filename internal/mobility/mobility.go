@@ -144,12 +144,13 @@ func driveTrips(city *roadnet.City, rng *rand.Rand, speed float64, seconds, numN
 func ContactIntervals(tr *Trace, obstacles *geo.ObstacleSet, rangeM float64) []int {
 	var intervals []int
 	n := tr.NumVehicles()
+	range2 := rangeM * rangeM
 	for a := 0; a < n; a++ {
 		for b := a + 1; b < n; b++ {
 			run := 0
 			for t := 0; t < tr.Seconds; t++ {
 				pa, pb := tr.Positions[a][t], tr.Positions[b][t]
-				inContact := pa.Dist(pb) <= rangeM && obstacles.LOS(pa, pb)
+				inContact := pa.Dist2(pb) <= range2 && obstacles.LOS(pa, pb)
 				if inContact {
 					run++
 				} else if run > 0 {
@@ -171,12 +172,13 @@ func ContactIntervals(tr *Trace, obstacles *geo.ObstacleSet, rangeM float64) []i
 func NeighborsAt(tr *Trace, obstacles *geo.ObstacleSet, v VehicleID, t int, rangeM float64) []VehicleID {
 	var out []VehicleID
 	p := tr.Positions[v][t]
+	range2 := rangeM * rangeM
 	for u := 0; u < tr.NumVehicles(); u++ {
 		if VehicleID(u) == v {
 			continue
 		}
 		q := tr.Positions[u][t]
-		if p.Dist(q) <= rangeM && obstacles.LOS(p, q) {
+		if p.Dist2(q) <= range2 && obstacles.LOS(p, q) {
 			out = append(out, VehicleID(u))
 		}
 	}

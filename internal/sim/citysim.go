@@ -128,9 +128,10 @@ func (cr *CityRun) neighborPairs(m int) map[[2]int]int {
 			grid[[2]int{int(math.Floor(p.X / cell)), int(math.Floor(p.Y / cell))}] = append(
 				grid[[2]int{int(math.Floor(p.X / cell)), int(math.Floor(p.Y / cell))}], v)
 		}
+		range2 := cr.Cfg.DSRCRangeM * cr.Cfg.DSRCRangeM
 		check := func(a, b int) {
 			pa, pb := cr.Trace.Positions[a][t], cr.Trace.Positions[b][t]
-			if pa.Dist(pb) > cr.Cfg.DSRCRangeM || !cr.Index.LOS(pa, pb) {
+			if pa.Dist2(pb) > range2 || !cr.Index.LOS(pa, pb) {
 				return
 			}
 			k := [2]int{a, b}
@@ -339,7 +340,7 @@ func (cr *CityRun) checkContact(a, b, t int, inContact map[[2]int]bool) {
 		return
 	}
 	pa, pb := cr.Trace.Positions[a][t], cr.Trace.Positions[b][t]
-	if pa.Dist(pb) > cr.Cfg.DSRCRangeM || !cr.Index.LOS(pa, pb) {
+	if pa.Dist2(pb) > cr.Cfg.DSRCRangeM*cr.Cfg.DSRCRangeM || !cr.Index.LOS(pa, pb) {
 		return
 	}
 	k := [2]int{a, b}

@@ -82,8 +82,13 @@ type Profile struct {
 	vdDigests  [][2]uint32
 }
 
-// digests returns the cached Bloom digests of the profile's VDs.
-func (p *Profile) digests() [][2]uint32 {
+// Digests returns the cached Bloom digests of the profile's VDs,
+// computing them on first use. Viewmap construction fetches the slice
+// once per profile per link run and threads it through
+// MutualNeighborsDigests so candidate-pair testing never re-derives
+// (or even re-checks the cache of) the 16-byte digest pairs. Safe for
+// concurrent use.
+func (p *Profile) Digests() [][2]uint32 {
 	p.digestOnce.Do(func() {
 		p.vdDigests = make([][2]uint32, len(p.VDs))
 		for i := range p.VDs {
@@ -206,8 +211,9 @@ const MaxSpeedMS = 70
 // PlausibleTrajectory reports whether consecutive samples never exceed
 // MaxSpeedMS.
 func (p *Profile) PlausibleTrajectory() bool {
+	const maxStep2 = MaxSpeedMS * MaxSpeedMS
 	for i := 1; i < len(p.VDs); i++ {
-		if p.VDs[i-1].L.Dist(p.VDs[i].L) > MaxSpeedMS {
+		if p.VDs[i-1].L.Dist2(p.VDs[i].L) > maxStep2 {
 			return false
 		}
 	}
@@ -229,6 +235,15 @@ func (p *Profile) PlausibleTrajectory() bool {
 // cost is that a contact which delivered only one beacon total is not
 // linkable — a sub-second encounter that carries no evidential weight.
 func MutualNeighbors(a, b *Profile, dsrcRange float64) bool {
+	return MutualNeighborsDigests(a, b, a.Digests(), b.Digests(), dsrcRange)
+}
+
+// MutualNeighborsDigests is MutualNeighbors with both profiles' Bloom
+// digest slices (see Digests) supplied by the caller. Viewmap
+// construction prefetches every member's digests once and passes them
+// here for each candidate pair, keeping digest derivation off the
+// per-pair path.
+func MutualNeighborsDigests(a, b *Profile, aDigests, bDigests [][2]uint32, dsrcRange float64) bool {
 	if a.Minute() != b.Minute() {
 		return false
 	}
@@ -240,8 +255,9 @@ func MutualNeighbors(a, b *Profile, dsrcRange float64) bool {
 		n = len(b.VDs)
 	}
 	near := false
+	range2 := dsrcRange * dsrcRange
 	for i := 0; i < n; i++ {
-		if a.VDs[i].L.Dist(b.VDs[i].L) <= dsrcRange {
+		if a.VDs[i].L.Dist2(b.VDs[i].L) <= range2 {
 			near = true
 			break
 		}
@@ -249,7 +265,7 @@ func MutualNeighbors(a, b *Profile, dsrcRange float64) bool {
 	if !near {
 		return false
 	}
-	return containsAtLeast(a.Neighbors, b.digests(), 2) && containsAtLeast(b.Neighbors, a.digests(), 2)
+	return containsAtLeast(a.Neighbors, bDigests, 2) && containsAtLeast(b.Neighbors, aDigests, 2)
 }
 
 func containsAtLeast(f *bloom.Filter, digests [][2]uint32, want int) bool {
@@ -257,15 +273,20 @@ func containsAtLeast(f *bloom.Filter, digests [][2]uint32, want int) bool {
 		return false
 	}
 	hits := 0
-	for _, d := range digests {
-		if f.TestDigest(d[0], d[1]) {
-			hits++
-			if hits >= want {
-				return true
-			}
+	// Probe the first and last digests before the interior: linkage
+	// stores a neighbor's first and last heard VDs, which for a
+	// full-minute contact are exactly elements 0 and len-1, so an
+	// honestly linked pair resolves in two probes instead of scanning
+	// the whole minute. The hit count over the full set is unchanged;
+	// only the evaluation order differs.
+	if n := len(digests); n >= 2 && want == 2 {
+		hits = f.CountDigestHits(digests[:1], 1) + f.CountDigestHits(digests[n-1:], 1)
+		if hits >= want {
+			return true
 		}
+		digests = digests[1 : n-1]
 	}
-	return false
+	return f.CountDigestHits(digests, want-hits) >= want-hits
 }
 
 // neighborRecord keeps the first and last VD heard from one neighbor.
