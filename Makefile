@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet test check race bench-smoke bench-micro
+.PHONY: build vet test check race bench-smoke bench-micro lint-docs
 
 build:
 	$(GO) build ./...
@@ -15,11 +15,20 @@ test:
 
 check: build vet test
 
-# The viewmap linker tests candidate pairs across a worker pool, and
-# the LOS index builds its grid lazily under concurrent queries; keep
-# both race-clean.
+# The viewmap linker tests candidate pairs across a worker pool, the
+# LOS index builds its grid lazily under concurrent queries, and the
+# server's sharded store takes concurrent ingest against concurrent
+# investigations; keep all three race-clean.
 race:
-	$(GO) test -race ./internal/core/... ./internal/geo/...
+	$(GO) test -race ./internal/core/... ./internal/geo/... ./internal/server/...
+
+# Documentation hygiene: formatting, vet, complete doc comments on the
+# exported surface of the service-facing packages, resolvable relative
+# links in every Markdown file.
+lint-docs:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt -l:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) run ./cmd/repolint
 
 # One-iteration pass over the figure-level benchmark suite: catches
 # regressions that only surface at experiment scale without paying for a

@@ -1,0 +1,175 @@
+// Command repolint enforces the repository's documentation hygiene in
+// CI (the docs job in .github/workflows/ci.yml):
+//
+//   - every exported identifier in the service-facing packages
+//     (internal/core, internal/server, internal/client, internal/vp)
+//     carries a doc comment, and
+//   - every relative link in the repository's Markdown files resolves
+//     to an existing file.
+//
+// Usage:
+//
+//	repolint [-root .]
+//
+// It prints one finding per line and exits non-zero when any exist.
+// gofmt and go vet cover formatting and correctness; repolint covers
+// only what they do not.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// docPackages lists the directories whose exported identifiers must
+// all be documented. These are the packages other code programs
+// against — the construction core, the service, its client, and the
+// view-profile format.
+var docPackages = []string{
+	"internal/core",
+	"internal/server",
+	"internal/client",
+	"internal/vp",
+}
+
+func main() {
+	root := flag.String("root", ".", "repository root")
+	flag.Parse()
+
+	var findings []string
+	for _, dir := range docPackages {
+		f, err := lintDocs(filepath.Join(*root, dir))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		findings = append(findings, f...)
+	}
+	mdFindings, err := lintMarkdownLinks(*root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	findings = append(findings, mdFindings...)
+
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "repolint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// lintDocs reports exported package-level identifiers (functions,
+// methods, types, consts, vars) that carry no doc comment. A grouped
+// const/var/type declaration's comment covers its specs, matching the
+// usual godoc convention.
+func lintDocs(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("repolint: parsing %s: %w", dir, err)
+	}
+	var findings []string
+	report := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		findings = append(findings, fmt.Sprintf("%s:%d: exported %s %s has no doc comment", p.Filename, p.Line, kind, name))
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Name.IsExported() && d.Doc == nil {
+						kind := "function"
+						if d.Recv != nil {
+							kind = "method"
+						}
+						report(d.Pos(), kind, d.Name.Name)
+					}
+				case *ast.GenDecl:
+					for _, spec := range d.Specs {
+						switch s := spec.(type) {
+						case *ast.TypeSpec:
+							if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+								report(s.Pos(), "type", s.Name.Name)
+							}
+						case *ast.ValueSpec:
+							for _, name := range s.Names {
+								if name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+									report(name.Pos(), kindOf(d.Tok), name.Name)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return findings, nil
+}
+
+// kindOf names a GenDecl token for a finding.
+func kindOf(tok token.Token) string {
+	if tok == token.CONST {
+		return "const"
+	}
+	return "var"
+}
+
+// mdLink matches inline Markdown links; images and autolinks are out
+// of scope.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// lintMarkdownLinks reports relative links in *.md files that do not
+// resolve to an existing file or directory.
+func lintMarkdownLinks(root string) ([]string, error) {
+	var findings []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".md") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+					continue
+				}
+				target, _, _ = strings.Cut(target, "#")
+				if target == "" {
+					continue
+				}
+				resolved := filepath.Join(filepath.Dir(path), target)
+				if _, err := os.Stat(resolved); err != nil {
+					findings = append(findings, fmt.Sprintf("%s:%d: broken relative link %q", path, i+1, m[1]))
+				}
+			}
+		}
+		return nil
+	})
+	return findings, err
+}

@@ -28,7 +28,7 @@ type experiment struct {
 }
 
 func main() {
-	runName := flag.String("run", "all", "experiment to run (all, ablation, table1, fig8, fig9, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17, table2, fig20, fig21, fig22ab, fig22c, fig22d, fig22e, fig22f, overhead)")
+	runName := flag.String("run", "all", "experiment to run (all, ablation, serving, table1, fig8, fig9, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17, table2, fig20, fig21, fig22ab, fig22c, fig22d, fig22e, fig22f, overhead)")
 	scale := flag.String("scale", "quick", "quick or full")
 	seed := flag.Int64("seed", 42, "base random seed")
 	flag.Parse()
@@ -79,6 +79,7 @@ func experiments() []experiment {
 		{"fig22e", "city-scale concentration attacks", runFig22E},
 		{"fig22f", "viewmap member VP percentage", runFig22F},
 		{"overhead", "VD/VP communication and storage overhead", runOverhead},
+		{"serving", "sustained-ingest serving: cached viewmaps vs rebuild-per-request (not in the paper)", runServing},
 		{"ablation", "damping and guard-alpha ablations (not in the paper)", runAblation},
 	}
 }
@@ -346,6 +347,23 @@ func runFig22F(scale string, seed int64) error {
 
 func runOverhead(string, int64) error {
 	fmt.Println(sim.Overhead())
+	return nil
+}
+
+func runServing(scale string, seed int64) error {
+	res, err := sim.Serving(sim.ServingConfig{
+		VehiclesPerMinute: pick(scale, 200, 1000),
+		Minutes:           pick(scale, 2, 5),
+		BatchSize:         64,
+		WarmRequests:      pick(scale, 20, 100),
+		Seed:              seed,
+	})
+	if err != nil {
+		return err
+	}
+	for _, r := range res.Rows() {
+		fmt.Println(r)
+	}
 	return nil
 }
 

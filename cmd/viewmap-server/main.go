@@ -6,10 +6,18 @@
 // Usage:
 //
 //	viewmap-server [-addr :8440] [-authority-token TOKEN] [-bank-bits 2048]
+//	               [-db PATH] [-dsrc-range 400] [-no-viewmap-cache]
 //
 // If no authority token is supplied a random one is generated and
 // printed at startup; authorities pass it in the X-Viewmap-Authority
 // header for trusted uploads, investigations and reviews.
+//
+// The store shards by unit-time window and links every uploaded VP
+// into its minute's viewmap at ingest, so investigations are answered
+// from cached, already-linked viewmaps. -no-viewmap-cache disables
+// that path and rebuilds the viewmap on every investigation — the
+// baseline the serving benchmark (viewmap-bench -run serving)
+// compares against; leave it off in production.
 package main
 
 import (
@@ -29,11 +37,17 @@ func main() {
 	token := flag.String("authority-token", "", "authority token (random if empty)")
 	bankBits := flag.Int("bank-bits", 2048, "RSA key size for the reward bank")
 	dbPath := flag.String("db", "", "VP database file: loaded at startup, saved on SIGINT/SIGTERM")
+	dsrcRange := flag.Float64("dsrc-range", 0, "viewlink proximity radius in metres (0 = the 400 m default)")
+	noCache := flag.Bool("no-viewmap-cache", false, "rebuild viewmaps per investigation instead of serving cached incremental ones (benchmark baseline)")
 	flag.Parse()
 
 	sys, err := server.NewSystem(server.Config{
 		AuthorityToken: *token,
 		BankBits:       *bankBits,
+		Store: server.StoreConfig{
+			DSRCRange:           *dsrcRange,
+			DisableViewmapCache: *noCache,
+		},
 	})
 	if err != nil {
 		log.Fatalf("starting system: %v", err)

@@ -119,6 +119,41 @@ func (a *API) UploadVP(p *vp.Profile) error {
 	return nil
 }
 
+// BatchUploadResult reports the per-profile outcome of one batched
+// upload, as counted by the server.
+type BatchUploadResult struct {
+	// Stored counts profiles the server accepted.
+	Stored int `json:"stored"`
+	// Duplicates counts profiles whose identifier was already stored.
+	Duplicates int `json:"duplicates"`
+	// Rejected counts profiles the server failed to parse or validate.
+	Rejected int `json:"rejected"`
+}
+
+// UploadVPBatch submits several VPs in one anonymous request over a
+// single circuit (POST /v1/vp/batch). Per-profile failures do not sink
+// the batch; the returned counts say how each profile fared. Vehicles
+// that accumulate a minute's actual and guard VPs upload them together
+// this way instead of paying one circuit per profile.
+func (a *API) UploadVPBatch(profiles []*vp.Profile) (BatchUploadResult, error) {
+	var res BatchUploadResult
+	if len(profiles) == 0 {
+		return res, errors.New("client: empty batch")
+	}
+	resp, err := a.do("POST", "/v1/vp/batch", "application/octet-stream", vp.MarshalBatch(profiles), "")
+	if err != nil {
+		return res, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return res, apiError(resp)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
 // UploadTrustedVP submits an authority VP with the authority token.
 func (a *API) UploadTrustedVP(token string, p *vp.Profile) error {
 	resp, err := a.do("POST", "/v1/vp/trusted", "application/octet-stream", p.Marshal(), token)

@@ -1,0 +1,309 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"viewmap/internal/geo"
+	"viewmap/internal/vd"
+	"viewmap/internal/vp"
+)
+
+// This file moves viewmap construction online. Build (viewmap.go) is
+// the batch formulation: given every profile of a minute, link all
+// pairs at once. The system service, however, absorbs a continuous
+// stream of anonymous VP uploads and must answer investigations at any
+// point in between; rebuilding the whole minute per request repeats
+// the full pairwise linkage work the PR-1 linker already spent. The
+// IncrementalBuilder maintains the minute's full visibility graph as
+// profiles arrive — each new VP is tested only against its candidate
+// neighbors, discovered through the same dense CellGrid the batch
+// linker uses — so an investigation reduces to extracting the induced
+// subgraph over the coverage members, which is O(members + edges)
+// instead of O(candidate pairs x Bloom probes).
+
+// gridRebuildMin is the smallest ungridded tail that triggers a grid
+// rebuild. Below it, the linear tail scan is cheaper than rebuilding.
+const gridRebuildMin = 32
+
+// IncrementalConfig parameterizes an IncrementalBuilder. The fields
+// mirror the construction-relevant subset of BuildConfig; the
+// site-dependent fields (Site, CoverageMargin) move to ViewmapFor,
+// which is where a site first becomes known.
+type IncrementalConfig struct {
+	// Minute is the unit-time window this builder maintains; profiles
+	// from any other minute are rejected by Add.
+	Minute int64
+	// DSRCRange is the viewlink proximity radius; zero selects the
+	// 400 m default.
+	DSRCRange float64
+	// RequirePlausible drops profiles whose trajectories exceed
+	// drivable speeds at ingest, exactly as Build does before linking.
+	RequirePlausible bool
+}
+
+// IncrementalBuilder maintains one minute's viewmap online: every
+// accepted profile is linked against the existing members at ingest
+// ("link-on-ingest"), so the minute's visibility graph is always
+// current and investigations never pay for a from-scratch rebuild.
+//
+// Candidates are enumerated from the same dense geo.CellGrid the batch
+// linker uses, over trajectory bounding boxes. The grid is immutable,
+// so it is rebuilt with amortized O(1) cost per ingest: profiles added
+// since the last rebuild are scanned linearly, and once that ungridded
+// tail outgrows the gridded prefix the grid is rebuilt over everything.
+//
+// The zero value is not usable; construct with NewIncrementalBuilder.
+// An IncrementalBuilder is NOT safe for concurrent use — the server's
+// store serializes access per minute shard (one builder per shard).
+type IncrementalBuilder struct {
+	cfg IncrementalConfig
+
+	profiles []*vp.Profile
+	digests  [][][2]uint32
+	boxes    []geo.Rect
+	adj      [][]int
+	trusted  []int
+	index    map[vd.VPID]int
+
+	grid  *geo.CellGrid
+	gridN int // profiles[0:gridN] are covered by grid
+
+	// visited/visitStamp dedup grid candidates per Add (a box spanning
+	// several cells is reported once per cell).
+	visited    []uint64
+	visitStamp uint64
+
+	epoch uint64
+}
+
+// NewIncrementalBuilder creates an empty builder for one unit-time
+// window.
+func NewIncrementalBuilder(cfg IncrementalConfig) *IncrementalBuilder {
+	if cfg.DSRCRange <= 0 {
+		cfg.DSRCRange = DefaultDSRCRange
+	}
+	return &IncrementalBuilder{
+		cfg:   cfg,
+		index: make(map[vd.VPID]int),
+	}
+}
+
+// Minute returns the unit-time window the builder maintains.
+func (b *IncrementalBuilder) Minute() int64 { return b.cfg.Minute }
+
+// Len returns the number of linked member profiles.
+func (b *IncrementalBuilder) Len() int { return len(b.profiles) }
+
+// Epoch returns a counter that increments on every accepted ingest.
+// Callers cache viewmaps keyed by epoch: an unchanged epoch guarantees
+// the underlying graph has not changed.
+func (b *IncrementalBuilder) Epoch() uint64 { return b.epoch }
+
+// NumEdges returns the number of viewlinks in the maintained graph.
+func (b *IncrementalBuilder) NumEdges() int {
+	total := 0
+	for _, a := range b.adj {
+		total += len(a)
+	}
+	return total / 2
+}
+
+// Add ingests one profile, linking it against the existing members.
+// It returns true when the profile joined the graph; implausible
+// trajectories (when RequirePlausible is set) and duplicate
+// identifiers are dropped with (false, nil), matching Build's
+// admission rules. A profile from a different minute is an error.
+func (b *IncrementalBuilder) Add(p *vp.Profile) (bool, error) {
+	if m := p.Minute(); m != b.cfg.Minute {
+		return false, fmt.Errorf("core: profile minute %d, builder maintains %d", m, b.cfg.Minute)
+	}
+	if b.cfg.RequirePlausible && !p.PlausibleTrajectory() {
+		return false, nil
+	}
+	id := p.ID()
+	if _, dup := b.index[id]; dup {
+		return false, nil
+	}
+
+	node := len(b.profiles)
+	box := geo.Rect{Min: p.VDs[0].L, Max: p.VDs[0].L}
+	for i := range p.VDs {
+		box = expand(box, p.VDs[i].L)
+	}
+	digests := p.Digests()
+
+	// Link the newcomer against the existing graph: grid candidates
+	// from the gridded prefix, then a linear scan of the ungridded
+	// tail. Each existing node's adjacency stays sorted because the
+	// newcomer's id is the largest so far.
+	neighbors := b.linkCandidates(p, digests, box)
+	sort.Ints(neighbors)
+	for _, nb := range neighbors {
+		b.adj[nb] = append(b.adj[nb], node)
+	}
+
+	b.index[id] = node
+	b.profiles = append(b.profiles, p)
+	b.digests = append(b.digests, digests)
+	b.boxes = append(b.boxes, box)
+	b.adj = append(b.adj, neighbors)
+	if p.Trusted {
+		b.trusted = append(b.trusted, node)
+	}
+	b.maybeRebuildGrid()
+	b.epoch++
+	return true, nil
+}
+
+// AddBatch ingests profiles in order and returns how many joined the
+// graph. It stops at the first hard error (wrong minute), which leaves
+// the already-ingested prefix linked and usable.
+func (b *IncrementalBuilder) AddBatch(ps []*vp.Profile) (added int, err error) {
+	for _, p := range ps {
+		ok, err := b.Add(p)
+		if err != nil {
+			return added, err
+		}
+		if ok {
+			added++
+		}
+	}
+	return added, nil
+}
+
+// linkCandidates returns the existing node ids that pass the two-way
+// linkage test against the incoming profile.
+func (b *IncrementalBuilder) linkCandidates(p *vp.Profile, digests [][2]uint32, box geo.Rect) []int {
+	var out []int
+	rangeM := b.cfg.DSRCRange
+	range2 := rangeM * rangeM
+	test := func(cand int) {
+		if boxDist2(box, b.boxes[cand]) > range2 {
+			return
+		}
+		if vp.MutualNeighborsDigests(p, b.profiles[cand], digests, b.digests[cand], rangeM) {
+			out = append(out, cand)
+		}
+	}
+	if b.grid != nil {
+		b.visitStamp++
+		if len(b.visited) < b.gridN {
+			b.visited = make([]uint64, len(b.profiles))
+		}
+		cx0, cx1, cy0, cy1 := b.grid.Span(box, rangeM)
+		for cy := cy0; cy <= cy1; cy++ {
+			for cx := cx0; cx <= cx1; cx++ {
+				for _, c32 := range b.grid.ItemsIn(cx, cy) {
+					c := int(c32)
+					if b.visited[c] == b.visitStamp {
+						continue
+					}
+					b.visited[c] = b.visitStamp
+					test(c)
+				}
+			}
+		}
+	}
+	for c := b.gridN; c < len(b.profiles); c++ {
+		test(c)
+	}
+	return out
+}
+
+// maybeRebuildGrid rebuilds the candidate grid once the ungridded tail
+// outgrows the gridded prefix (doubling schedule: amortized O(1)
+// rebuild work per ingest).
+func (b *IncrementalBuilder) maybeRebuildGrid() {
+	tail := len(b.profiles) - b.gridN
+	if tail < gridRebuildMin || tail < b.gridN {
+		return
+	}
+	b.grid = geo.NewCellGrid(b.boxes, b.cfg.DSRCRange, geo.DefaultMaxGridCells)
+	b.gridN = len(b.profiles)
+}
+
+// ViewmapFor extracts the viewmap for an investigation site from the
+// maintained graph, replicating Build's member selection exactly:
+// select the trusted VP nearest the site, span a coverage area
+// encompassing both (inflated by margin; margin <= 0 selects the DSRC
+// range), admit the members whose trajectories enter the coverage, and
+// take the induced subgraph over them. Because the two-way linkage
+// test is pairwise and independent of coverage, the result's edge set
+// is identical to core.Build over the same profiles — the equivalence
+// property test in incremental_test.go holds the two together.
+//
+// The returned viewmap shares the member Profile pointers with the
+// builder but owns its adjacency; it remains valid and immutable after
+// further Adds.
+func (b *IncrementalBuilder) ViewmapFor(site geo.Rect, margin float64) (*Viewmap, error) {
+	if margin <= 0 {
+		margin = b.cfg.DSRCRange
+	}
+
+	// Nearest trusted VP, by trajectory-sample distance to the site
+	// center. Scanning trusted nodes in insertion order with a strict
+	// less keeps tie-breaking identical to Build's scan.
+	siteCenter := site.Center()
+	bestDist := -1.0
+	nearestTrusted := -1
+	for _, t := range b.trusted {
+		p := b.profiles[t]
+		for i := range p.VDs {
+			if d := p.VDs[i].L.Dist(siteCenter); nearestTrusted < 0 || d < bestDist {
+				bestDist = d
+				nearestTrusted = t
+			}
+		}
+	}
+	if nearestTrusted < 0 {
+		return nil, ErrNoTrusted
+	}
+
+	cover := site
+	for i := range b.profiles[nearestTrusted].VDs {
+		cover = expand(cover, b.profiles[nearestTrusted].VDs[i].L)
+	}
+	cover = cover.Inflate(margin)
+
+	vm := &Viewmap{
+		Coverage: cover,
+		Minute:   b.cfg.Minute,
+		index:    make(map[vd.VPID]int),
+	}
+	// remap[old] is the member's node id in the extracted viewmap, -1
+	// for non-members. Membership preserves insertion order, so the
+	// remapping is monotone and remapped adjacency stays sorted.
+	remap := make([]int, len(b.profiles))
+	for i, p := range b.profiles {
+		remap[i] = -1
+		if !p.EntersArea(cover) {
+			continue
+		}
+		remap[i] = len(vm.Profiles)
+		vm.index[p.ID()] = len(vm.Profiles)
+		vm.Profiles = append(vm.Profiles, p)
+		if p.Trusted {
+			vm.Trusted = append(vm.Trusted, remap[i])
+		}
+	}
+	vm.Adj = make([][]int, len(vm.Profiles))
+	for old, n := range remap {
+		if n < 0 {
+			continue
+		}
+		for _, nb := range b.adj[old] {
+			if m := remap[nb]; m >= 0 {
+				vm.Adj[n] = append(vm.Adj[n], m)
+			}
+		}
+	}
+	vm.ensureCSR()
+	return vm, nil
+}
+
+// ErrNoTrusted is returned by Build and by ViewmapFor when the minute
+// holds no trusted VP to seed trust propagation — one sentinel for
+// both construction paths, so callers can treat them uniformly.
+var ErrNoTrusted = errors.New("core: no trusted VP available for this minute")

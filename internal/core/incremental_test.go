@@ -1,0 +1,203 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"viewmap/internal/geo"
+	"viewmap/internal/vp"
+)
+
+// TestIncrementalEquivalenceProperty is the acceptance property of the
+// online construction path: for arbitrary interleavings of single and
+// batch ingest over a randomized arena, the incremental viewmap for a
+// site must have an edge set identical — node for node — to a one-shot
+// core.Build over the same profiles in the same order. Arenas include
+// the stress shapes of the batch-linker property test: co-located
+// stacked clusters and Bloom false-positive-heavy filters.
+func TestIncrementalEquivalenceProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("equivalence sweep is not short")
+	}
+	type scenario struct {
+		n       int
+		side    float64
+		rangeM  float64
+		cluster int
+		fpHeavy bool
+	}
+	var scenarios []scenario
+	for seed := 0; seed < 14; seed++ {
+		scenarios = append(scenarios, scenario{
+			n:       30 + (seed*41)%220,
+			side:    1200 + float64(seed%5)*800,
+			rangeM:  150 + float64(seed%4)*125,
+			cluster: (seed % 3) * 12,
+			fpHeavy: seed%2 == 1,
+		})
+	}
+	for si, sc := range scenarios {
+		sc := sc
+		t.Run(fmt.Sprintf("seed=%d/n=%d/fp=%v", si, sc.n, sc.fpHeavy), func(t *testing.T) {
+			t.Parallel()
+			seed := int64(4000 + si)
+			rng := rand.New(rand.NewSource(seed))
+			area := geo.NewRect(geo.Pt(0, 0), geo.Pt(sc.side, sc.side))
+			profiles, err := SynthesizeLegitimate(SynthConfig{
+				N: sc.n, Area: area, Seed: seed, DSRCRange: sc.rangeM,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sc.cluster > 0 {
+				profiles = append(profiles, stackedCluster(t, area.Center(), sc.cluster, 0, rng)...)
+			}
+			if sc.fpHeavy {
+				for _, p := range profiles {
+					pollute(p, 1500, rng)
+				}
+			}
+			MarkTrustedNearest(profiles, area.Center())
+
+			// Arbitrary interleaving: a random permutation of the
+			// profiles, ingested through a random mix of Add and
+			// AddBatch calls with random batch sizes.
+			perm := make([]*vp.Profile, len(profiles))
+			for i, j := range rng.Perm(len(profiles)) {
+				perm[i] = profiles[j]
+			}
+			b := NewIncrementalBuilder(IncrementalConfig{Minute: 0, DSRCRange: sc.rangeM})
+			for off := 0; off < len(perm); {
+				if rng.Intn(2) == 0 {
+					if _, err := b.Add(perm[off]); err != nil {
+						t.Fatal(err)
+					}
+					off++
+					continue
+				}
+				size := 1 + rng.Intn(17)
+				if off+size > len(perm) {
+					size = len(perm) - off
+				}
+				if _, err := b.AddBatch(perm[off : off+size]); err != nil {
+					t.Fatal(err)
+				}
+				off += size
+			}
+			if b.Len() != len(perm) {
+				t.Fatalf("builder holds %d profiles, ingested %d", b.Len(), len(perm))
+			}
+
+			site := geo.RectAround(area.Center(), 200)
+			inc, err := b.ViewmapFor(site, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batch, err := Build(perm, BuildConfig{Site: site, Minute: 0, DSRCRange: sc.rangeM})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if inc.Len() != batch.Len() {
+				t.Fatalf("incremental admits %d members, batch %d", inc.Len(), batch.Len())
+			}
+			for i := range batch.Profiles {
+				if inc.Profiles[i] != batch.Profiles[i] {
+					t.Fatalf("member order diverges at node %d", i)
+				}
+			}
+			adjEqual(t, "incremental vs batch", inc.Adj, batch.Adj)
+			if fmt.Sprint(inc.Trusted) != fmt.Sprint(batch.Trusted) {
+				t.Fatalf("trusted sets diverge: %v vs %v", inc.Trusted, batch.Trusted)
+			}
+			if inc.Coverage != batch.Coverage {
+				t.Fatalf("coverage diverges: %+v vs %+v", inc.Coverage, batch.Coverage)
+			}
+		})
+	}
+}
+
+// TestIncrementalAdmissionRules pins the ingest-side admission rules to
+// Build's: wrong minutes are hard errors, duplicates and implausible
+// trajectories are silently dropped.
+func TestIncrementalAdmissionRules(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	b := NewIncrementalBuilder(IncrementalConfig{Minute: 3, RequirePlausible: true})
+
+	track := make([]geo.Point, 60)
+	for i := range track {
+		track[i] = geo.Pt(float64(i)*10, 0)
+	}
+	p, err := FabricateProfile(track, 3, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := b.Add(p); err != nil || !ok {
+		t.Fatalf("Add = (%v, %v), want accepted", ok, err)
+	}
+	if ok, err := b.Add(p); err != nil || ok {
+		t.Fatalf("duplicate Add = (%v, %v), want dropped without error", ok, err)
+	}
+
+	wrong, err := FabricateProfile(track, 4, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Add(wrong); err == nil {
+		t.Fatal("wrong-minute Add must error")
+	}
+
+	teleport := make([]geo.Point, 60)
+	for i := range teleport {
+		teleport[i] = geo.Pt(float64(i)*1000, 0) // 1000 m/s
+	}
+	tp, err := FabricateProfile(teleport, 3, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := b.Add(tp); err != nil || ok {
+		t.Fatalf("implausible Add = (%v, %v), want dropped without error", ok, err)
+	}
+	if b.Len() != 1 {
+		t.Fatalf("builder holds %d profiles, want 1", b.Len())
+	}
+	if b.Epoch() != 1 {
+		t.Fatalf("epoch = %d, want 1 (only accepted ingests advance it)", b.Epoch())
+	}
+}
+
+// TestIncrementalViewmapImmutableAfterAdd verifies that a viewmap
+// extracted from the builder is unaffected by later ingests — the
+// property the server's epoch-keyed cache relies on.
+func TestIncrementalViewmapImmutableAfterAdd(t *testing.T) {
+	area := geo.NewRect(geo.Pt(0, 0), geo.Pt(2000, 2000))
+	profiles, err := SynthesizeLegitimate(SynthConfig{N: 120, Area: area, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	MarkTrustedNearest(profiles[:100], area.Center())
+	b := NewIncrementalBuilder(IncrementalConfig{Minute: 0})
+	if _, err := b.AddBatch(profiles[:100]); err != nil {
+		t.Fatal(err)
+	}
+	site := geo.RectAround(area.Center(), 300)
+	vm, err := b.ViewmapFor(site, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members, edges := vm.Len(), vm.NumEdges()
+	snapshot := fmt.Sprint(vm.Adj)
+	if _, err := b.AddBatch(profiles[100:]); err != nil {
+		t.Fatal(err)
+	}
+	if vm.Len() != members || vm.NumEdges() != edges || fmt.Sprint(vm.Adj) != snapshot {
+		t.Fatal("extracted viewmap mutated by later ingest")
+	}
+	vm2, err := b.ViewmapFor(site, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm2.Len() < vm.Len() {
+		t.Fatalf("re-extracted viewmap shrank: %d -> %d", vm.Len(), vm2.Len())
+	}
+}

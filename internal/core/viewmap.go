@@ -15,7 +15,6 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -140,7 +139,7 @@ func Build(profiles []*vp.Profile, cfg BuildConfig) (*Viewmap, error) {
 		}
 	}
 	if nearestTrusted == nil {
-		return nil, errors.New("core: no trusted VP available for this minute")
+		return nil, ErrNoTrusted
 	}
 
 	// Coverage: hull of the site and the trusted trajectory, inflated.

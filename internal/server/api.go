@@ -25,6 +25,7 @@ const authorityHeader = "X-Viewmap-Authority"
 // Handler returns the system's HTTP API.
 //
 //	POST /v1/vp               binary VP upload (anonymous)
+//	POST /v1/vp/batch         batched binary VP upload (anonymous)
 //	POST /v1/vp/trusted       binary VP upload (authority)
 //	POST /v1/investigate      {"site":{...},"minute":N} (authority)
 //	GET  /v1/solicitations    {"ids":["hex",...]}
@@ -51,6 +52,21 @@ func Handler(sys *System) http.Handler {
 			return
 		}
 		w.WriteHeader(http.StatusCreated)
+	})
+	mux.HandleFunc("POST /v1/vp/batch", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxUploadBytes))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		res, err := sys.UploadVPBatch(body)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, batchResponse{
+			Stored: res.Stored, Duplicates: res.Duplicates, Rejected: res.Rejected,
+		})
 	})
 	mux.HandleFunc("POST /v1/vp/trusted", func(w http.ResponseWriter, r *http.Request) {
 		body, err := io.ReadAll(io.LimitReader(r.Body, maxUploadBytes))
@@ -219,6 +235,7 @@ func Handler(sys *System) http.Handler {
 			VPs:         sys.Store().Len(),
 			Trusted:     sys.Store().TrustedCount(),
 			ReviewQueue: sys.ReviewQueueLen(),
+			Minutes:     sys.Store().MinuteCount(),
 		})
 	})
 	return mux
@@ -256,6 +273,12 @@ type investigatePeriodResponse struct {
 	// Minutes holds one report per minute of the period; null entries
 	// mark minutes for which no viewmap could be built.
 	Minutes []*investigateResponse `json:"minutes"`
+}
+
+type batchResponse struct {
+	Stored     int `json:"stored"`
+	Duplicates int `json:"duplicates"`
+	Rejected   int `json:"rejected"`
 }
 
 type idsResponse struct {
@@ -300,6 +323,7 @@ type statsResponse struct {
 	VPs         int `json:"vps"`
 	Trusted     int `json:"trusted"`
 	ReviewQueue int `json:"reviewQueue"`
+	Minutes     int `json:"minutes"`
 }
 
 // Helpers.

@@ -123,13 +123,17 @@ func TestEndToEndIncidentPipeline(t *testing.T) {
 
 	vehicles, police, _ := driveConvoy(t)
 
-	// Phase 1: uploads. Vehicles upload anonymously (actual + guards);
-	// police uploads as trusted.
+	// Phase 1: uploads. Vehicles upload anonymously — one batched
+	// request per vehicle covering the actual VP and its guards —
+	// and police uploads as trusted.
 	for _, v := range vehicles {
-		for _, p := range v.PendingUploads() {
-			if err := api.UploadVP(p); err != nil {
-				t.Fatalf("uploading VP: %v", err)
-			}
+		pending := v.PendingUploads()
+		res, err := api.UploadVPBatch(pending)
+		if err != nil {
+			t.Fatalf("uploading VP batch: %v", err)
+		}
+		if res.Stored != len(pending) || res.Duplicates != 0 || res.Rejected != 0 {
+			t.Fatalf("batch result %+v, want all %d stored", res, len(pending))
 		}
 	}
 	for _, p := range police.PendingUploads() {

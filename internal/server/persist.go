@@ -26,12 +26,10 @@ func (s *Store) SaveTo(w io.Writer) error {
 	if _, err := bw.Write(persistMagic[:]); err != nil {
 		return err
 	}
-	s.mu.RLock()
-	profiles := make([]*vp.Profile, 0, len(s.byID))
-	for _, p := range s.byID {
-		profiles = append(profiles, p)
-	}
-	s.mu.RUnlock()
+	// One consistent cut of the database (see snapshot): a save racing
+	// ongoing ingest persists a state the store actually held at some
+	// moment, never a torn batch.
+	profiles := s.snapshot()
 	var count [4]byte
 	binary.BigEndian.PutUint32(count[:], uint32(len(profiles)))
 	if _, err := bw.Write(count[:]); err != nil {

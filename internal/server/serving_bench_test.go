@@ -1,0 +1,90 @@
+package server
+
+import (
+	"testing"
+
+	"viewmap/internal/core"
+	"viewmap/internal/geo"
+	"viewmap/internal/vp"
+)
+
+// benchInvestigate measures repeated investigations of one warm minute
+// against a system loaded through the batched wire path. With the
+// viewmap cache enabled this is the incremental serving path (cache
+// hit + cached verdict); disabled, it is the rebuild-per-request
+// baseline the serving benchmark compares against.
+func benchInvestigate(b *testing.B, disableCache bool) {
+	area := geo.NewRect(geo.Pt(0, 0), geo.Pt(2000, 2000))
+	profiles, err := core.SynthesizeLegitimate(core.SynthConfig{N: 300, Area: area, Seed: 17})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ti := core.MarkTrustedNearest(profiles, area.Center())
+	sys, err := NewSystem(Config{
+		AuthorityToken: "tok", Bank: sharedBankInternal(b),
+		Store: StoreConfig{DisableViewmapCache: disableCache},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.UploadTrustedVP("tok", profiles[ti].Marshal()); err != nil {
+		b.Fatal(err)
+	}
+	anon := make([]*vp.Profile, 0, len(profiles)-1)
+	for i, p := range profiles {
+		if i != ti {
+			anon = append(anon, p)
+		}
+	}
+	if _, err := sys.UploadVPBatch(vp.MarshalBatch(anon)); err != nil {
+		b.Fatal(err)
+	}
+	site := geo.RectAround(area.Center(), 300)
+	if _, err := sys.Investigate("tok", site, 0); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Investigate("tok", site, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInvestigateWarmCached is the incremental serving path end
+// to end: viewmap cache hit plus verdict cache hit.
+func BenchmarkInvestigateWarmCached(b *testing.B) { benchInvestigate(b, false) }
+
+// BenchmarkInvestigateRebuildPerRequest is the pre-incremental
+// baseline: core.Build plus TrustRank on every request.
+func BenchmarkInvestigateRebuildPerRequest(b *testing.B) { benchInvestigate(b, true) }
+
+// BenchmarkVerifySiteCachedViewmap runs the full TrustRank VerifySite
+// every iteration over the cached, already-linked viewmap of a warm
+// minute — the middle regime between the two above, isolating what
+// link-on-ingest saves when the verdict itself cannot be reused.
+func BenchmarkVerifySiteCachedViewmap(b *testing.B) {
+	area := geo.NewRect(geo.Pt(0, 0), geo.Pt(2000, 2000))
+	profiles, err := core.SynthesizeLegitimate(core.SynthConfig{N: 300, Area: area, Seed: 17})
+	if err != nil {
+		b.Fatal(err)
+	}
+	core.MarkTrustedNearest(profiles, area.Center())
+	s := NewStore()
+	if res := s.PutBatch(profiles); res.Stored != len(profiles) {
+		b.Fatalf("stored %d of %d", res.Stored, len(profiles))
+	}
+	site := geo.RectAround(area.Center(), 300)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vm, err := s.ViewmapFor(site, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := vm.VerifySite(vm.InSite(site), core.TrustRankConfig{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -7,84 +7,376 @@ package server
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 
+	"viewmap/internal/core"
+	"viewmap/internal/geo"
 	"viewmap/internal/vd"
 	"viewmap/internal/vp"
 )
 
 // Store is the VP database: anonymized, self-contained view profiles
-// indexed by identifier and unit-time window. It is safe for
-// concurrent use.
+// indexed by identifier and sharded by unit-time window. Each minute
+// shard owns its lock, a dense slab of profiles in ingest order, and
+// an incremental viewmap builder that links every accepted profile
+// against the minute's existing members as it arrives — so the
+// minute's visibility graph is always current and investigations
+// never rebuild it from scratch. Extracted site viewmaps are cached
+// per shard and invalidated by the builder's ingest epoch.
+//
+// Identifier lookups and duplicate rejection go through a single
+// concurrent index; everything else is per-shard, so ingest into one
+// minute never contends with ingest or investigation in another. The
+// Store is safe for concurrent use.
 type Store struct {
-	mu       sync.RWMutex
-	byID     map[vd.VPID]*vp.Profile
-	byMinute map[int64][]*vp.Profile
+	cfg StoreConfig
+
+	// mu guards the shard map. Lock order: mu may be held while
+	// acquiring shard mutexes (only the persistence snapshot does, to
+	// freeze one atomic cut), never the reverse; ingest holds mu just
+	// long enough for a map lookup/insert, so one minute's slow
+	// extraction never stalls traffic to other minutes.
+	mu     sync.RWMutex
+	shards map[int64]*minuteShard
+
+	// ids maps VPID -> *vp.Profile across all shards. An ingest claims
+	// its identifier here first, with one atomic LoadOrStore: losers
+	// drop out before any shard is created (a replayed identifier
+	// carries an attacker-chosen minute and must not allocate
+	// anything). The claim makes the profile Get-visible a moment
+	// before its slab insertion completes; a persistence snapshot cut
+	// in that window omits the in-flight profile, which is
+	// indistinguishable from the upload arriving just after the cut.
+	ids sync.Map
+
+	count        atomic.Int64
+	trustedCount atomic.Int64
 }
 
-// NewStore creates an empty database.
-func NewStore() *Store {
+// StoreConfig parameterizes the VP database.
+type StoreConfig struct {
+	// DSRCRange is the viewlink proximity radius used by the
+	// incremental linker; zero selects the 400 m default.
+	DSRCRange float64
+	// DisableViewmapCache turns off the incremental serving path
+	// entirely: ingest skips link-on-ingest, and every ViewmapFor
+	// call rebuilds the viewmap from scratch with core.Build. This is
+	// the rebuild-per-request baseline the serving benchmark compares
+	// against; production configurations leave it false.
+	DisableViewmapCache bool
+}
+
+// minuteShard holds one unit-time window's profiles and its
+// incrementally maintained viewmap.
+type minuteShard struct {
+	mu sync.Mutex
+	// profiles is the dense slab of every stored profile of the
+	// minute, in ingest order — including profiles the linker rejected
+	// as implausible (they are in the database; construction decides
+	// what to link).
+	profiles []*vp.Profile
+	builder  *core.IncrementalBuilder
+	// cache holds site viewmaps extracted from the builder, keyed by
+	// site rectangle and valid while the stamped epoch matches the
+	// builder's. Bounded by viewmapCacheMax.
+	cache map[geo.Rect]cachedViewmap
+}
+
+// cachedViewmap is one cache entry: the viewmap extracted at epoch.
+type cachedViewmap struct {
+	epoch uint64
+	vm    *core.Viewmap
+}
+
+// viewmapCacheMax bounds the per-shard site-viewmap cache. Distinct
+// investigation sites per minute are few (an incident has one site;
+// period investigations reuse it across minutes), so a handful of
+// entries suffices.
+const viewmapCacheMax = 8
+
+// NewStore creates an empty database with default configuration.
+func NewStore() *Store { return NewStoreWith(StoreConfig{}) }
+
+// NewStoreWith creates an empty database with the given configuration.
+func NewStoreWith(cfg StoreConfig) *Store {
 	return &Store{
-		byID:     make(map[vd.VPID]*vp.Profile),
-		byMinute: make(map[int64][]*vp.Profile),
+		cfg:    cfg,
+		shards: make(map[int64]*minuteShard),
 	}
 }
 
 // ErrDuplicate is returned when a VP identifier is already stored.
 var ErrDuplicate = errors.New("server: VP already stored")
 
+// shard returns the shard for minute m, or nil when none exists.
+func (s *Store) shard(m int64) *minuteShard {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.shards[m]
+}
+
+// ensureShard returns the shard for minute m, creating it if needed.
+// Only callers that have already claimed a profile's identifier for
+// this minute may create shards.
+func (s *Store) ensureShard(m int64) *minuteShard {
+	if sh := s.shard(m); sh != nil {
+		return sh
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sh := s.shards[m]
+	if sh == nil {
+		sh = &minuteShard{
+			builder: core.NewIncrementalBuilder(core.IncrementalConfig{
+				Minute:           m,
+				DSRCRange:        s.cfg.DSRCRange,
+				RequirePlausible: true,
+			}),
+			cache: make(map[geo.Rect]cachedViewmap),
+		}
+		s.shards[m] = sh
+	}
+	return sh
+}
+
+// ingestLocked links one claimed, validated profile into sh — whose
+// mutex the caller holds — and appends it to the slab. Put and
+// PutBatch share this sequence so the rollback subtleties live in
+// exactly one place.
+func (s *Store) ingestLocked(sh *minuteShard, p *vp.Profile) error {
+	if !s.cfg.DisableViewmapCache {
+		// Link-on-ingest. An Add error is unreachable (the shard is
+		// selected by the same Minute() the builder checks), but if it
+		// ever fires, release the identifier claim: nothing
+		// half-ingested.
+		if _, err := sh.builder.Add(p); err != nil {
+			s.ids.Delete(p.ID())
+			return err
+		}
+	}
+	sh.profiles = append(sh.profiles, p)
+	s.count.Add(1)
+	if p.Trusted {
+		s.trustedCount.Add(1)
+	}
+	return nil
+}
+
 // Put validates and stores a profile. Duplicate identifiers are
 // rejected: an identifier is the hash of a secret only its owner
-// holds, so a collision is either a replay or an attack.
+// holds, so a collision is either a replay or an attack — and it is
+// rejected before the minute shard is even created, since the minute
+// a replay claims is attacker-chosen. The accepted profile is linked
+// into its minute's viewmap before Put returns.
 func (s *Store) Put(p *vp.Profile) error {
 	if err := p.Validate(); err != nil {
 		return fmt.Errorf("server: rejecting VP: %w", err)
 	}
-	id := p.ID()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, dup := s.byID[id]; dup {
+	if _, dup := s.ids.LoadOrStore(p.ID(), p); dup {
 		return ErrDuplicate
 	}
-	s.byID[id] = p
-	s.byMinute[p.Minute()] = append(s.byMinute[p.Minute()], p)
-	return nil
+	sh := s.ensureShard(p.Minute())
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return s.ingestLocked(sh, p)
+}
+
+// BatchResult summarizes one batched ingest.
+type BatchResult struct {
+	// Stored counts profiles accepted into the database.
+	Stored int
+	// Duplicates counts profiles rejected for an already-stored
+	// identifier.
+	Duplicates int
+	// Rejected counts profiles that failed validation (or, on the
+	// HTTP path, failed to parse).
+	Rejected int
+}
+
+// PutBatch validates and stores a batch of profiles, grouping them by
+// minute so each shard's lock is taken once per batch rather than
+// once per profile. Per-profile failures are counted, not fatal: the
+// rest of the batch still lands.
+func (s *Store) PutBatch(ps []*vp.Profile) BatchResult {
+	var res BatchResult
+	byMinute := make(map[int64][]*vp.Profile)
+	for _, p := range ps {
+		if err := p.Validate(); err != nil {
+			res.Rejected++
+			continue
+		}
+		byMinute[p.Minute()] = append(byMinute[p.Minute()], p)
+	}
+	for m, group := range byMinute {
+		// Claim the group's identifiers first: duplicates (from other
+		// uploads or within the batch) drop out before a shard is
+		// created for an attacker-chosen minute, as in Put.
+		accepted := make([]*vp.Profile, 0, len(group))
+		for _, p := range group {
+			if _, dup := s.ids.LoadOrStore(p.ID(), p); dup {
+				res.Duplicates++
+				continue
+			}
+			accepted = append(accepted, p)
+		}
+		if len(accepted) == 0 {
+			continue
+		}
+		sh := s.ensureShard(m)
+		sh.mu.Lock()
+		for _, p := range accepted {
+			if err := s.ingestLocked(sh, p); err != nil {
+				res.Rejected++
+			} else {
+				res.Stored++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return res
 }
 
 // Get returns the profile with the given identifier.
 func (s *Store) Get(id vd.VPID) (*vp.Profile, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	p, ok := s.byID[id]
-	return p, ok
+	v, ok := s.ids.Load(id)
+	if !ok {
+		return nil, false
+	}
+	return v.(*vp.Profile), true
 }
 
 // Minute returns the profiles recorded during the given unit-time
-// window. The returned slice is a copy and safe to retain.
+// window, in ingest order. The returned slice is a copy and safe to
+// retain.
 func (s *Store) Minute(m int64) []*vp.Profile {
+	sh := s.shard(m)
+	if sh == nil {
+		return nil
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	out := make([]*vp.Profile, len(sh.profiles))
+	copy(out, sh.profiles)
+	return out
+}
+
+// Minutes returns the unit-time windows with at least one stored
+// profile, ascending.
+func (s *Store) Minutes() []int64 {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]*vp.Profile, len(s.byMinute[m]))
-	copy(out, s.byMinute[m])
+	out := make([]int64, 0, len(s.shards))
+	for m := range s.shards {
+		out = append(out, m)
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// snapshot returns every stored profile in (minute, ingest) order as
+// one atomic cut: it freezes the shard map and then holds every
+// shard's lock simultaneously while copying, so a save racing ongoing
+// ingest can never tear a multi-minute batch (observe a later
+// insertion while missing an earlier one). Uploads whose identifier
+// claim is in flight but whose insertion has not started are omitted,
+// exactly as if they arrived just after the cut (see ids).
+func (s *Store) snapshot() []*vp.Profile {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	minutes := make([]int64, 0, len(s.shards))
+	for m := range s.shards {
+		minutes = append(minutes, m)
+	}
+	sort.Slice(minutes, func(i, j int) bool { return minutes[i] < minutes[j] })
+	for _, m := range minutes {
+		s.shards[m].mu.Lock()
+	}
+	var out []*vp.Profile
+	for _, m := range minutes {
+		out = append(out, s.shards[m].profiles...)
+	}
+	for _, m := range minutes {
+		s.shards[m].mu.Unlock()
+	}
 	return out
 }
 
 // Len returns the number of stored profiles.
-func (s *Store) Len() int {
+func (s *Store) Len() int { return int(s.count.Load()) }
+
+// MinuteCount returns the number of unit-time windows holding at
+// least one profile, without materializing the minute list.
+func (s *Store) MinuteCount() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return len(s.byID)
+	return len(s.shards)
 }
 
 // TrustedCount returns the number of stored trusted profiles.
-func (s *Store) TrustedCount() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	n := 0
-	for _, p := range s.byID {
-		if p.Trusted {
-			n++
+func (s *Store) TrustedCount() int { return int(s.trustedCount.Load()) }
+
+// MinuteEpoch returns the ingest epoch of a minute's incremental
+// builder (zero for an empty minute). The epoch advances on every
+// linked ingest; an unchanged epoch guarantees cached viewmaps for
+// the minute are still current.
+func (s *Store) MinuteEpoch(m int64) uint64 {
+	sh := s.shard(m)
+	if sh == nil {
+		return 0
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.builder.Epoch()
+}
+
+// ViewmapFor returns the viewmap for an investigation site and
+// minute. On the incremental path (the default) the minute's
+// maintained graph is already linked, so this is an induced-subgraph
+// extraction — and a repeated site on an unchanged minute is a pure
+// cache hit returning the previously extracted viewmap. With
+// DisableViewmapCache set, the viewmap is rebuilt from scratch with
+// core.Build on every call (the rebuild-per-request baseline).
+//
+// The returned viewmap is immutable; later ingests produce new
+// viewmaps rather than mutating published ones, so callers may use it
+// without locking, concurrently with further uploads.
+func (s *Store) ViewmapFor(site geo.Rect, minute int64) (*core.Viewmap, error) {
+	sh := s.shard(minute)
+	if sh == nil {
+		return nil, fmt.Errorf("server: no profiles stored for minute %d", minute)
+	}
+	if s.cfg.DisableViewmapCache {
+		// Baseline: snapshot the slab under the lock, relink outside it.
+		sh.mu.Lock()
+		profiles := make([]*vp.Profile, len(sh.profiles))
+		copy(profiles, sh.profiles)
+		sh.mu.Unlock()
+		return core.Build(profiles, core.BuildConfig{
+			Site: site, Minute: minute,
+			DSRCRange:        s.cfg.DSRCRange,
+			RequirePlausible: true,
+		})
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	epoch := sh.builder.Epoch()
+	if c, ok := sh.cache[site]; ok && c.epoch == epoch {
+		return c.vm, nil
+	}
+	vm, err := sh.builder.ViewmapFor(site, 0)
+	if err != nil {
+		return nil, err
+	}
+	if len(sh.cache) >= viewmapCacheMax {
+		// Evict any stale or arbitrary entry; the cache is tiny and
+		// entries from older epochs are dead weight anyway.
+		for k := range sh.cache {
+			delete(sh.cache, k)
+			break
 		}
 	}
-	return n
+	sh.cache[site] = cachedViewmap{epoch: epoch, vm: vm}
+	return vm, nil
 }

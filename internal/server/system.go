@@ -30,7 +30,32 @@ type System struct {
 	solicitations map[vd.VPID]*Solicitation
 	rewardsPosted map[vd.VPID]*RewardOffer
 	reviewQueue   []*Submission
+
+	// verdicts caches TrustRank verification results per investigated
+	// (site, minute). An entry is valid only while the store still
+	// serves the identical cached viewmap it was computed from —
+	// pointer identity doubles as the epoch check, so ingest into the
+	// minute (which refreshes the store's cached viewmap) invalidates
+	// the verdict with it. Bounded by verdictCacheMax.
+	verdictMu sync.Mutex
+	verdicts  map[investigationKey]verdictEntry
 }
+
+// investigationKey identifies one repeated investigation.
+type investigationKey struct {
+	site   geo.Rect
+	minute int64
+}
+
+// verdictEntry pairs a cached verdict with the viewmap it scored.
+type verdictEntry struct {
+	vm      *core.Viewmap
+	verdict *core.Verdict
+}
+
+// verdictCacheMax bounds the verdict cache; investigations target few
+// distinct (site, minute) pairs at a time.
+const verdictCacheMax = 64
 
 // Solicitation is a posted request for the video behind a VP
 // identifier. Only identifiers are public; the system never reveals
@@ -66,6 +91,9 @@ type Config struct {
 	// Bank allows injecting a pre-generated bank (tests); otherwise a
 	// fresh key is generated.
 	Bank *reward.Bank
+	// Store parameterizes the sharded VP database (DSRC range,
+	// rebuild-per-request baseline mode).
+	Store StoreConfig
 }
 
 // NewSystem creates a system service.
@@ -91,11 +119,12 @@ func NewSystem(cfg Config) (*System, error) {
 		}
 	}
 	return &System{
-		store:          NewStore(),
+		store:          NewStoreWith(cfg.Store),
 		bank:           bank,
 		authorityToken: token,
 		solicitations:  make(map[vd.VPID]*Solicitation),
 		rewardsPosted:  make(map[vd.VPID]*RewardOffer),
+		verdicts:       make(map[investigationKey]verdictEntry),
 	}, nil
 }
 
@@ -128,6 +157,36 @@ func (sys *System) UploadVP(data []byte) error {
 	return sys.store.Put(p)
 }
 
+// maxBatchRecords bounds one batched upload; at ~5 KB per VP this
+// stays well under the request-body cap.
+const maxBatchRecords = 1 << 14
+
+// UploadVPBatch ingests a batched anonymous upload (the POST /v1/vp/batch
+// wire format of vp.MarshalBatch). Malformed records are counted as
+// rejected without sinking the rest of the batch; a corrupted frame
+// (truncated length or body, trailing bytes, oversized batch) aborts
+// with an error.
+func (sys *System) UploadVPBatch(data []byte) (BatchResult, error) {
+	records, err := vp.SplitBatch(data, maxBatchRecords)
+	if err != nil {
+		return BatchResult{}, err
+	}
+	var res BatchResult
+	profiles := make([]*vp.Profile, 0, len(records))
+	for _, rec := range records {
+		p, err := vp.Unmarshal(rec)
+		if err != nil {
+			res.Rejected++
+			continue
+		}
+		profiles = append(profiles, p)
+	}
+	put := sys.store.PutBatch(profiles)
+	res.Stored, res.Duplicates = put.Stored, put.Duplicates
+	res.Rejected += put.Rejected
+	return res, nil
+}
+
 // UploadTrustedVP ingests a VP from an authority vehicle; the profile
 // is marked trusted and becomes a trust seed for viewmaps.
 func (sys *System) UploadTrustedVP(token string, data []byte) error {
@@ -152,21 +211,19 @@ type InvestigationReport struct {
 	NewlySolicited int
 }
 
-// Investigate builds and verifies the viewmap for an incident minute
-// and site, then posts solicitations for the legitimate VPs. Authority
-// only.
+// Investigate fetches (or, on first sight of the site, extracts from
+// the minute's incrementally maintained graph) the viewmap for an
+// incident minute and site, verifies it with TrustRank, and posts
+// solicitations for the legitimate VPs. Authority only.
 func (sys *System) Investigate(token string, site geo.Rect, minute int64) (*InvestigationReport, error) {
 	if err := sys.checkAuthority(token); err != nil {
 		return nil, err
 	}
-	profiles := sys.store.Minute(minute)
-	vm, err := core.Build(profiles, core.BuildConfig{
-		Site: site, Minute: minute, RequirePlausible: true,
-	})
+	vm, err := sys.store.ViewmapFor(site, minute)
 	if err != nil {
 		return nil, err
 	}
-	verdict, err := vm.VerifySite(vm.InSite(site), core.TrustRankConfig{})
+	verdict, err := sys.verifiedSite(vm, site, minute)
 	if err != nil {
 		return nil, err
 	}
@@ -186,6 +243,36 @@ func (sys *System) Investigate(token string, site geo.Rect, minute int64) (*Inve
 		}
 	}
 	return report, nil
+}
+
+// verifiedSite returns the TrustRank verdict for a viewmap and site,
+// reusing a cached verdict while the store keeps serving the identical
+// viewmap (the verdict is a deterministic function of the two). With
+// the store's viewmap cache disabled every call sees a fresh viewmap
+// pointer, so this degrades gracefully to verify-per-request.
+func (sys *System) verifiedSite(vm *core.Viewmap, site geo.Rect, minute int64) (*core.Verdict, error) {
+	key := investigationKey{site: site, minute: minute}
+	sys.verdictMu.Lock()
+	if e, ok := sys.verdicts[key]; ok && e.vm == vm {
+		sys.verdictMu.Unlock()
+		return e.verdict, nil
+	}
+	sys.verdictMu.Unlock()
+
+	verdict, err := vm.VerifySite(vm.InSite(site), core.TrustRankConfig{})
+	if err != nil {
+		return nil, err
+	}
+	sys.verdictMu.Lock()
+	if len(sys.verdicts) >= verdictCacheMax {
+		for k := range sys.verdicts {
+			delete(sys.verdicts, k)
+			break
+		}
+	}
+	sys.verdicts[key] = verdictEntry{vm: vm, verdict: verdict}
+	sys.verdictMu.Unlock()
+	return verdict, nil
 }
 
 // InvestigatePeriod runs Investigate for every unit-time window of an

@@ -1,0 +1,27 @@
+package sim
+
+import "testing"
+
+// TestServingSmoke drives the serving system through the online path
+// end to end at a tiny scale: batched wire uploads into the sharded
+// store, link-on-ingest, and repeated investigations answered from the
+// cached viewmaps, cross-checked against the rebuild-per-request
+// baseline inside Serving itself.
+func TestServingSmoke(t *testing.T) {
+	res, err := Serving(ServingConfig{
+		VehiclesPerMinute: 40, Minutes: 2, BatchSize: 16, WarmRequests: 3, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ingested != 2*40 {
+		t.Errorf("ingested %d profiles, want 80", res.Ingested)
+	}
+	if res.Members == 0 || res.Legitimate == 0 {
+		t.Errorf("investigation saw %d members / %d legitimate, want non-zero", res.Members, res.Legitimate)
+	}
+	if res.WarmLatency <= 0 || res.RebuildLatency <= 0 || res.VerifyLatency <= 0 {
+		t.Errorf("non-positive latencies: warm %v, verify %v, rebuild %v",
+			res.WarmLatency, res.VerifyLatency, res.RebuildLatency)
+	}
+}

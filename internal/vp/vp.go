@@ -558,6 +558,76 @@ func (p *Profile) Marshal() []byte {
 	return out
 }
 
+// MarshalBatch serializes profiles for the batched anonymous upload
+// (POST /v1/vp/batch): a 4-byte big-endian record count followed by
+// the Marshal wire records, each prefixed with its 4-byte big-endian
+// length. Like the single-record format it carries no owner- or
+// batch-identifying data beyond the grouping itself; vehicles that
+// batch across minutes trade a little upload-time unlinkability for
+// fewer circuits, which is their call to make.
+func MarshalBatch(ps []*Profile) []byte {
+	size := 4
+	recs := make([][]byte, len(ps))
+	for i, p := range ps {
+		recs[i] = p.Marshal()
+		size += 4 + len(recs[i])
+	}
+	out := make([]byte, 0, size)
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(recs)))
+	out = append(out, hdr[:]...)
+	for _, rec := range recs {
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(rec)))
+		out = append(out, hdr[:]...)
+		out = append(out, rec...)
+	}
+	return out
+}
+
+// SplitBatch parses the MarshalBatch framing and returns the raw
+// per-record byte slices (views into b), leaving per-record profile
+// parsing — and its failure policy — to the caller. It errors on a
+// corrupt frame: a record count above maxRecords (<= 0 means
+// unlimited), a truncated length or body, or trailing bytes.
+func SplitBatch(b []byte, maxRecords int) ([][]byte, error) {
+	if len(b) < 4 {
+		return nil, errors.New("vp: truncated batch header")
+	}
+	// Lengths are compared in uint64 before any int conversion: the
+	// wire fields are untrusted, and a uint32 cast to a 32-bit int
+	// can go negative and slip past a signed bounds check.
+	count := binary.BigEndian.Uint32(b[:4])
+	if maxRecords > 0 && uint64(count) > uint64(maxRecords) {
+		return nil, fmt.Errorf("vp: batch of %d records exceeds the %d cap", count, maxRecords)
+	}
+	b = b[4:]
+	// Preallocation is bounded by what the payload could actually
+	// frame (4 bytes of length prefix per record), not by the
+	// untrusted count — in unlimited mode a bogus count must not
+	// demand gigabytes before the truncation check rejects it.
+	prealloc := uint64(len(b) / 4)
+	if uint64(count) < prealloc {
+		prealloc = uint64(count)
+	}
+	records := make([][]byte, 0, prealloc)
+	for i := 0; i < int(count); i++ {
+		if len(b) < 4 {
+			return nil, fmt.Errorf("vp: batch record %d: truncated length", i)
+		}
+		size := binary.BigEndian.Uint32(b[:4])
+		b = b[4:]
+		if uint64(size) > uint64(len(b)) {
+			return nil, fmt.Errorf("vp: batch record %d claims %d bytes, %d remain", i, size, len(b))
+		}
+		records = append(records, b[:size])
+		b = b[size:]
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("vp: %d trailing bytes after batch", len(b))
+	}
+	return records, nil
+}
+
 // Unmarshal parses a profile uploaded by a vehicle.
 func Unmarshal(b []byte) (*Profile, error) {
 	if len(b) < 6 {
