@@ -16,11 +16,15 @@ test:
 check: build vet test
 
 # The viewmap linker tests candidate pairs across a worker pool, the
-# LOS index builds its grid lazily under concurrent queries, and the
+# LOS index builds its grid lazily under concurrent queries, the
 # server's sharded store takes concurrent ingest against concurrent
-# investigations; keep all three race-clean.
+# investigations, and the evidence board takes concurrent deliveries
+# and payouts (the server package includes the e2e evidence flow, the
+# sim package the concurrent delivery benchmark); keep them all
+# race-clean.
 race:
-	$(GO) test -race ./internal/core/... ./internal/geo/... ./internal/server/...
+	$(GO) test -race ./internal/core/... ./internal/geo/... ./internal/server/... ./internal/evidence/...
+	$(GO) test -race -run TestEvidencePipelineSmall ./internal/sim/
 
 # Documentation hygiene: formatting, vet, complete doc comments on the
 # exported surface of the service-facing packages, resolvable relative
@@ -32,9 +36,11 @@ lint-docs:
 
 # One-iteration pass over the figure-level benchmark suite: catches
 # regressions that only surface at experiment scale without paying for a
-# full benchmark run.
+# full benchmark run. The second line smokes the evidence pipeline
+# through the viewmap-bench binary itself (quick scale, one run).
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x .
+	$(GO) run ./cmd/viewmap-bench -run evidence -scale quick
 
 # Hot-path micro-benchmarks with allocation reporting.
 bench-micro:

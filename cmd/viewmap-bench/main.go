@@ -28,7 +28,7 @@ type experiment struct {
 }
 
 func main() {
-	runName := flag.String("run", "all", "experiment to run (all, ablation, serving, table1, fig8, fig9, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17, table2, fig20, fig21, fig22ab, fig22c, fig22d, fig22e, fig22f, overhead)")
+	runName := flag.String("run", "all", "experiment to run (all, ablation, serving, evidence, table1, fig8, fig9, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17, table2, fig20, fig21, fig22ab, fig22c, fig22d, fig22e, fig22f, overhead)")
 	scale := flag.String("scale", "quick", "quick or full")
 	seed := flag.Int64("seed", 42, "base random seed")
 	flag.Parse()
@@ -80,6 +80,7 @@ func experiments() []experiment {
 		{"fig22f", "viewmap member VP percentage", runFig22F},
 		{"overhead", "VD/VP communication and storage overhead", runOverhead},
 		{"serving", "sustained-ingest serving: cached viewmaps vs rebuild-per-request (not in the paper)", runServing},
+		{"evidence", "evidence pipeline: solicit, anonymous deliver + cascade verify, payout, blurred release (not in the paper)", runEvidence},
 		{"ablation", "damping and guard-alpha ablations (not in the paper)", runAblation},
 	}
 }
@@ -357,6 +358,24 @@ func runServing(scale string, seed int64) error {
 		BatchSize:         64,
 		WarmRequests:      pick(scale, 20, 100),
 		Seed:              seed,
+	})
+	if err != nil {
+		return err
+	}
+	for _, r := range res.Rows() {
+		fmt.Println(r)
+	}
+	return nil
+}
+
+func runEvidence(scale string, seed int64) error {
+	res, err := sim.Evidence(sim.EvidenceConfig{
+		Convoys:            pick(scale, 4, 12),
+		CiviliansPerConvoy: pick(scale, 3, 6),
+		TamperEvery:        4,
+		Units:              2,
+		Workers:            pick(scale, 8, 16),
+		Seed:               seed,
 	})
 	if err != nil {
 		return err

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"crypto/rsa"
 	"flag"
 	"fmt"
 	"log"
@@ -122,6 +123,47 @@ func run(serverURL, name string, minutes int, trustedToken string, seed int64) e
 		if err := collect(api, id, q); err != nil {
 			fmt.Fprintf(os.Stderr, "collecting reward for %x: %v\n", id[:4], err)
 		}
+	}
+
+	// Answer the evidence board: deliver solicited videos, collect the
+	// payout, and spend one unit to prove the cash works.
+	board, err := api.EvidenceBoard()
+	if err != nil {
+		return err
+	}
+	boardIDs := make([]vd.VPID, len(board))
+	for i, o := range board {
+		boardIDs[i] = o.ID
+	}
+	matchedEvidence := vehicle.MatchSolicitations(boardIDs)
+	var pub *rsa.PublicKey
+	if len(matchedEvidence) > 0 {
+		// The bank key is immutable; fetch it once for all payouts.
+		if pub, err = api.BankKey(); err != nil {
+			return err
+		}
+	}
+	for id, chunks := range matchedEvidence {
+		q, ok := vehicle.Secret(id)
+		if !ok {
+			continue
+		}
+		units, err := api.DeliverEvidence(id, q, chunks)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "evidence delivery for %x rejected: %v\n", id[:4], err)
+			continue
+		}
+		fmt.Printf("delivered evidence for VP %x… (%d units entitled)\n", id[:4], units)
+		cash, err := api.WithdrawPayout(id, q, units, pub)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "payout for %x: %v\n", id[:4], err)
+			continue
+		}
+		if err := api.RedeemPayout(cash[0]); err != nil {
+			fmt.Fprintf(os.Stderr, "redeeming a unit: %v\n", err)
+			continue
+		}
+		fmt.Printf("collected %d payout units for VP %x… and redeemed one\n", len(cash), id[:4])
 	}
 	return nil
 }

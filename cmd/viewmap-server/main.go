@@ -6,11 +6,17 @@
 // Usage:
 //
 //	viewmap-server [-addr :8440] [-authority-token TOKEN] [-bank-bits 2048]
-//	               [-db PATH] [-dsrc-range 400] [-no-viewmap-cache]
+//	               [-db PATH] [-state PATH] [-dsrc-range 400] [-no-viewmap-cache]
 //
 // If no authority token is supplied a random one is generated and
 // printed at startup; authorities pass it in the X-Viewmap-Authority
 // header for trusted uploads, investigations and reviews.
+//
+// -state persists the full system — VP database, reward bank (signing
+// keypair and double-spend ledger), and evidence board — so a restart
+// resumes open solicitations, keeps minted cash verifiable, and still
+// refuses double spends. -db persists the VP database alone (the
+// legacy format, which -state also accepts when loading).
 //
 // The store shards by unit-time window and links every uploaded VP
 // into its minute's viewmap at ingest, so investigations are answered
@@ -21,7 +27,9 @@
 package main
 
 import (
+	"errors"
 	"flag"
+	"io/fs"
 	"log"
 	"net/http"
 	"os"
@@ -37,6 +45,7 @@ func main() {
 	token := flag.String("authority-token", "", "authority token (random if empty)")
 	bankBits := flag.Int("bank-bits", 2048, "RSA key size for the reward bank")
 	dbPath := flag.String("db", "", "VP database file: loaded at startup, saved on SIGINT/SIGTERM")
+	statePath := flag.String("state", "", "full system state file (store + bank + evidence board): loaded at startup, saved on SIGINT/SIGTERM")
 	dsrcRange := flag.Float64("dsrc-range", 0, "viewlink proximity radius in metres (0 = the 400 m default)")
 	noCache := flag.Bool("no-viewmap-cache", false, "rebuild viewmaps per investigation instead of serving cached incremental ones (benchmark baseline)")
 	flag.Parse()
@@ -52,25 +61,30 @@ func main() {
 	if err != nil {
 		log.Fatalf("starting system: %v", err)
 	}
+	if *dbPath != "" && *statePath != "" {
+		log.Fatal("use either -db or -state, not both")
+	}
+	if *statePath != "" {
+		if shouldLoad(*statePath) {
+			n, err := sys.LoadStateFile(*statePath)
+			if err != nil {
+				log.Fatalf("loading system state: %v", err)
+			}
+			log.Printf("loaded system state (%d VPs) from %s", n, *statePath)
+		}
+		saveOnSignal(func() error { return sys.SaveStateFile(*statePath) },
+			func() { log.Printf("saved system state to %s", *statePath) })
+	}
 	if *dbPath != "" {
-		if _, err := os.Stat(*dbPath); err == nil {
+		if shouldLoad(*dbPath) {
 			n, err := sys.Store().LoadFile(*dbPath)
 			if err != nil {
 				log.Fatalf("loading VP database: %v", err)
 			}
 			log.Printf("loaded %d VPs from %s", n, *dbPath)
 		}
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		go func() {
-			<-sig
-			if err := sys.Store().SaveFile(*dbPath); err != nil {
-				log.Printf("saving VP database: %v", err)
-			} else {
-				log.Printf("saved %d VPs to %s", sys.Store().Len(), *dbPath)
-			}
-			os.Exit(0)
-		}()
+		saveOnSignal(func() error { return sys.Store().SaveFile(*dbPath) },
+			func() { log.Printf("saved %d VPs to %s", sys.Store().Len(), *dbPath) })
 	}
 	log.Printf("ViewMap system service listening on %s", *addr)
 	log.Printf("authority token: %s", sys.AuthorityToken())
@@ -81,6 +95,39 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	log.Fatal(srv.ListenAndServe())
+}
+
+// shouldLoad reports whether a persistence file exists and must be
+// loaded. Only a clean not-exist is a fresh start; any other stat
+// error (permissions, I/O) is fatal — silently skipping the load
+// would start a fresh bank keypair and then overwrite the real state
+// on shutdown.
+func shouldLoad(path string) bool {
+	_, err := os.Stat(path)
+	if err == nil {
+		return true
+	}
+	if errors.Is(err, fs.ErrNotExist) {
+		return false
+	}
+	log.Fatalf("checking %s: %v", path, err)
+	return false
+}
+
+// saveOnSignal installs a SIGINT/SIGTERM handler that runs the save
+// and exits.
+func saveOnSignal(save func() error, logOK func()) {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		if err := save(); err != nil {
+			log.Printf("saving: %v", err)
+		} else {
+			logOK()
+		}
+		os.Exit(0)
+	}()
 }
 
 // logRequests is a minimal access log. Session ids rotate per request

@@ -1,0 +1,185 @@
+// Evidence delivery: the full sharing lifecycle of Sections 5.1–5.3
+// across the HTTP API — a verified investigation opens a solicitation,
+// an anonymous owner proves ownership and delivers the minute's video,
+// the VD hash cascade accepts honest bytes and rejects a tampered
+// copy, the payout mints untraceable cash (with a double spend
+// bouncing off the durable ledger), and the investigator receives only
+// the plate-redacted copy.
+//
+// Run with: go run ./examples/evidence-delivery
+package main
+
+import (
+	"fmt"
+	"image"
+	"log"
+	"net/http/httptest"
+
+	"viewmap/internal/blur"
+	"viewmap/internal/client"
+	"viewmap/internal/evidence"
+	"viewmap/internal/geo"
+	"viewmap/internal/server"
+	"viewmap/internal/vd"
+)
+
+const (
+	frameW = 160
+	frameH = 90
+)
+
+var plate = image.Rect(55, 40, 105, 56)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	sys, err := server.NewSystem(server.Config{
+		AuthorityToken: "tok", BankBits: 1024,
+		Evidence: evidence.Config{FrameWidth: frameW, FrameHeight: frameH},
+	})
+	if err != nil {
+		return err
+	}
+	ts := httptest.NewServer(server.Handler(sys))
+	defer ts.Close()
+	api, err := client.NewAPI(ts.URL, ts.Client())
+	if err != nil {
+		return err
+	}
+
+	// A civilian dashcam and a police car drive side by side for one
+	// minute, exchanging view digests. The civilian's camera renders
+	// plate-bearing frames — one frame per recorded second.
+	cars := make([]*client.Vehicle, 2)
+	for i, name := range []string{"owner", "police"} {
+		v, err := client.NewVehicle(client.VehicleConfig{
+			Name: name, Seed: int64(i + 1),
+			Source: &blur.CameraSource{
+				W: frameW, H: frameH, Seed: uint64(i + 1),
+				Plates: []blur.Plate{{Rect: plate}},
+			},
+		})
+		if err != nil {
+			return err
+		}
+		if err := v.BeginMinute(0); err != nil {
+			return err
+		}
+		cars[i] = v
+	}
+	for s := 1; s <= 60; s++ {
+		vds := make([]vd.VD, 2)
+		for i, v := range cars {
+			d, err := v.Tick(geo.Pt(float64(s)*10+float64(i)*60, 0))
+			if err != nil {
+				return err
+			}
+			vds[i] = d
+		}
+		for i, v := range cars {
+			if err := v.Hear(vds[1-i], int64(s)); err != nil {
+				return err
+			}
+		}
+	}
+	for _, v := range cars {
+		if _, _, err := v.EndMinute(nil); err != nil {
+			return err
+		}
+	}
+	owner, police := cars[0], cars[1]
+	if _, err := api.UploadVPBatch(owner.PendingUploads()); err != nil {
+		return err
+	}
+	for _, p := range police.PendingUploads() {
+		if err := api.UploadTrustedVP("tok", p); err != nil {
+			return err
+		}
+	}
+	fmt.Println("1. VPs uploaded: owner anonymously, police as trusted")
+
+	// The investigation verifies the viewmap and opens a solicitation
+	// at 3 units per video.
+	sol, err := api.OpenSolicitation("tok", 0, -50, 800, 50, 0, 3)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("2. investigation verified %d members; solicitation lists %d VP(s) at %d units\n",
+		sol.Members, sol.Listed, sol.Units)
+
+	// The owner polls the board anonymously and recognizes its VP.
+	board, err := api.EvidenceBoard()
+	if err != nil {
+		return err
+	}
+	ids := make([]vd.VPID, len(board))
+	for i, o := range board {
+		ids[i] = o.ID
+	}
+	matched := owner.MatchSolicitations(ids)
+	var ownID vd.VPID
+	var chunks [][]byte
+	for id, c := range matched {
+		ownID, chunks = id, c
+	}
+	q, _ := owner.Secret(ownID)
+
+	// A tampered copy bounces off the VD cascade.
+	tampered := make([][]byte, len(chunks))
+	for i, c := range chunks {
+		tampered[i] = append([]byte(nil), c...)
+	}
+	tampered[12][34] ^= 1
+	if _, err := api.DeliverEvidence(ownID, q, tampered); err != nil {
+		fmt.Printf("3. tampered delivery rejected: %v\n", err)
+	} else {
+		return fmt.Errorf("tampered delivery was accepted")
+	}
+
+	// The honest bytes are accepted.
+	units, err := api.DeliverEvidence(ownID, q, chunks)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("4. honest delivery accepted; %d units entitled\n", units)
+
+	// Payout: blind-signed cash, verified against the public key.
+	pub, err := api.BankKey()
+	if err != nil {
+		return err
+	}
+	cash, err := api.WithdrawPayout(ownID, q, units, pub)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("5. withdrew %d blind-signed units; all verify: %v\n",
+		len(cash), cash[0].Verify(pub))
+	if err := api.RedeemPayout(cash[0]); err != nil {
+		return err
+	}
+	if err := api.RedeemPayout(cash[0]); err != nil {
+		fmt.Printf("6. double spend refused: %v\n", err)
+	} else {
+		return fmt.Errorf("double spend was accepted")
+	}
+
+	// The investigator fetches the footage — blurred.
+	rel, err := api.FetchEvidence("tok", ownID)
+	if err != nil {
+		return err
+	}
+	frame := &image.Gray{Pix: rel.Chunks[0], Stride: frameW, Rect: image.Rect(0, 0, frameW, frameH)}
+	fmt.Printf("7. released %d redacted frames (%d plate regions); plate contrast now %d\n",
+		rel.RedactedFrames, rel.RedactedRegions, blur.Contrast(frame, plate.Inset(7)))
+
+	st, err := api.StatsFull()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("8. stats: %+v\n", st.Evidence)
+	return nil
+}

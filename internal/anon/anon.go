@@ -245,3 +245,63 @@ func (s *Sessions) Count() int {
 	defer s.mu.Unlock()
 	return len(s.issued)
 }
+
+// ErrSessionReused is returned by Guard.Use when a session identifier
+// is presented a second time.
+var ErrSessionReused = errors.New("anon: session id already used")
+
+// ErrSessionMissing is returned by Guard.Use for an empty session id.
+var ErrSessionMissing = errors.New("anon: missing session id")
+
+// Guard is the system-side counterpart of Sessions: it enforces that
+// every anonymous exchange arrives under a session identifier the
+// server has never seen before. Vehicles rotate ids per request, so a
+// replayed id is either a client bug or an attempt to correlate or
+// replay an exchange — both are refused. The guard deliberately
+// remembers only opaque ids, never who presented them.
+type Guard struct {
+	mu   sync.Mutex
+	seen map[string]bool
+	// cap bounds memory; when reached, the seen set is reset wholesale.
+	// A reset re-admits old ids, trading perfect replay rejection for a
+	// hard memory bound — acceptable because honest clients never reuse
+	// ids and the ids are 128-bit random values an attacker cannot
+	// predictably "age out".
+	cap int
+}
+
+// DefaultGuardCap bounds the remembered session ids of a Guard built
+// by NewGuard.
+const DefaultGuardCap = 1 << 20
+
+// NewGuard creates a session guard remembering up to DefaultGuardCap
+// ids.
+func NewGuard() *Guard {
+	return &Guard{seen: make(map[string]bool), cap: DefaultGuardCap}
+}
+
+// Use consumes a single-use session id: the first presentation
+// succeeds, every later one fails with ErrSessionReused.
+func (g *Guard) Use(id string) error {
+	if id == "" {
+		return ErrSessionMissing
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.seen[id] {
+		return ErrSessionReused
+	}
+	if len(g.seen) >= g.cap {
+		g.seen = make(map[string]bool)
+	}
+	g.seen[id] = true
+	return nil
+}
+
+// Seen returns how many distinct session ids the guard currently
+// remembers.
+func (g *Guard) Seen() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.seen)
+}

@@ -230,3 +230,66 @@ func BenchmarkWrapTraverse3Hops(b *testing.B) {
 		}
 	}
 }
+
+func TestGuardSingleUse(t *testing.T) {
+	g := NewGuard()
+	if err := g.Use(""); err != ErrSessionMissing {
+		t.Fatalf("empty id: got %v, want ErrSessionMissing", err)
+	}
+	s := NewSessions()
+	id, err := s.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Use(id); err != nil {
+		t.Fatalf("first use: %v", err)
+	}
+	if err := g.Use(id); err != ErrSessionReused {
+		t.Fatalf("second use: got %v, want ErrSessionReused", err)
+	}
+	if g.Seen() != 1 {
+		t.Fatalf("seen = %d, want 1", g.Seen())
+	}
+}
+
+func TestGuardCapResets(t *testing.T) {
+	g := &Guard{seen: make(map[string]bool), cap: 3}
+	for i := 0; i < 3; i++ {
+		if err := g.Use(string(rune('a' + i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The fourth id trips the cap: the set resets and the id is
+	// admitted fresh.
+	if err := g.Use("d"); err != nil {
+		t.Fatal(err)
+	}
+	if g.Seen() != 1 {
+		t.Fatalf("seen after reset = %d, want 1", g.Seen())
+	}
+}
+
+func TestGuardConcurrentUse(t *testing.T) {
+	g := NewGuard()
+	const workers = 8
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			errs <- g.Use("contested-id")
+		}()
+	}
+	ok, reused := 0, 0
+	for w := 0; w < workers; w++ {
+		switch err := <-errs; err {
+		case nil:
+			ok++
+		case ErrSessionReused:
+			reused++
+		default:
+			t.Errorf("unexpected error: %v", err)
+		}
+	}
+	if ok != 1 || reused != workers-1 {
+		t.Fatalf("ok=%d reused=%d, want exactly one winner", ok, reused)
+	}
+}

@@ -1,0 +1,67 @@
+package blur
+
+import (
+	"bytes"
+	"image"
+	"testing"
+)
+
+func TestRedactChunksBlursPlateFrames(t *testing.T) {
+	const w, h = 160, 90
+	plate := image.Rect(55, 40, 105, 56) // 50x16: plate-like area and aspect
+	cam := &CameraSource{W: w, H: h, Plates: []Plate{{Rect: plate}}, Seed: 7}
+	chunks := [][]byte{
+		cam.SecondChunk(0, 1),
+		cam.SecondChunk(0, 2),
+		[]byte("opaque non-frame payload"), // passes through untouched
+	}
+	orig := make([][]byte, len(chunks))
+	for i, c := range chunks {
+		orig[i] = append([]byte(nil), c...)
+	}
+
+	out, frames, regions, err := RedactChunks(chunks, w, h, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frames != 2 {
+		t.Fatalf("redacted frames = %d, want 2", frames)
+	}
+	if regions < 2 {
+		t.Fatalf("blurred regions = %d, want at least one per frame", regions)
+	}
+	// Inputs are untouched (the stored evidence copy must stay
+	// bit-exact for later cascade re-verification).
+	for i := range chunks {
+		if !bytes.Equal(chunks[i], orig[i]) {
+			t.Fatalf("input chunk %d was modified", i)
+		}
+	}
+	if !bytes.Equal(out[2], orig[2]) {
+		t.Fatal("non-frame chunk must pass through verbatim")
+	}
+	// The released frames destroyed glyph contrast. Measure the plate
+	// interior, inset past the blur radius, so car-body bleed at the
+	// plate edge does not dominate the reading (as in the blur tests).
+	inner := plate.Inset(7)
+	for i := 0; i < 2; i++ {
+		before := &image.Gray{Pix: orig[i], Stride: w, Rect: image.Rect(0, 0, w, h)}
+		after := &image.Gray{Pix: out[i], Stride: w, Rect: image.Rect(0, 0, w, h)}
+		if c := Contrast(before, inner); c < 15 {
+			t.Fatalf("frame %d: original glyph contrast %d, expected a readable plate", i, c)
+		}
+		if c := Contrast(after, inner); c >= 15 {
+			t.Fatalf("frame %d: redacted glyph contrast still %d", i, c)
+		}
+	}
+}
+
+func TestRedactChunksValidation(t *testing.T) {
+	if _, _, _, err := RedactChunks(nil, 0, 10, Params{}); err == nil {
+		t.Fatal("zero width must be rejected")
+	}
+	out, frames, regions, err := RedactChunks(nil, 10, 10, Params{})
+	if err != nil || len(out) != 0 || frames != 0 || regions != 0 {
+		t.Fatalf("empty input: out=%v frames=%d regions=%d err=%v", out, frames, regions, err)
+	}
+}

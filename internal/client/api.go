@@ -301,10 +301,12 @@ func (a *API) ClaimReward(id vd.VPID, q vd.Secret) (int, error) {
 	return out.Units, nil
 }
 
-// WithdrawCash runs the full blind-signature withdrawal for n units:
-// blind fresh notes, have the system sign them against the reward
-// offer, unblind, and return spendable cash.
-func (a *API) WithdrawCash(id vd.VPID, q vd.Secret, n int, pub *rsa.PublicKey) ([]*reward.Cash, error) {
+// withdrawBlindSigned runs the client side of one blind-signature
+// withdrawal against the given signing endpoint: blind fresh notes,
+// obtain signatures, unblind into spendable cash. Shared by the
+// legacy reward flow and the evidence payout flow, which differ only
+// in the endpoint.
+func (a *API) withdrawBlindSigned(path string, id vd.VPID, q vd.Secret, n int, pub *rsa.PublicKey) ([]*reward.Cash, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("client: unit count must be positive, got %d", n)
 	}
@@ -326,7 +328,7 @@ func (a *API) WithdrawCash(id vd.VPID, q vd.Secret, n int, pub *rsa.PublicKey) (
 	if err != nil {
 		return nil, err
 	}
-	resp, err := a.do("POST", "/v1/reward/blind", "application/json", reqBody, "")
+	resp, err := a.do("POST", path, "application/json", reqBody, "")
 	if err != nil {
 		return nil, err
 	}
@@ -358,15 +360,15 @@ func (a *API) WithdrawCash(id vd.VPID, q vd.Secret, n int, pub *rsa.PublicKey) (
 	return cash, nil
 }
 
-// Redeem spends one unit of cash at the system.
-func (a *API) Redeem(c *reward.Cash) error {
+// redeemAt spends one unit of cash at the given redemption endpoint.
+func (a *API) redeemAt(path string, c *reward.Cash) error {
 	reqBody, err := json.Marshal(map[string]string{
 		"m": base64.StdEncoding.EncodeToString(c.M), "sig": c.Sig.String(),
 	})
 	if err != nil {
 		return err
 	}
-	resp, err := a.do("POST", "/v1/reward/redeem", "application/json", reqBody, "")
+	resp, err := a.do("POST", path, "application/json", reqBody, "")
 	if err != nil {
 		return err
 	}
@@ -375,6 +377,18 @@ func (a *API) Redeem(c *reward.Cash) error {
 	}
 	resp.Body.Close()
 	return nil
+}
+
+// WithdrawCash runs the full blind-signature withdrawal for n units:
+// blind fresh notes, have the system sign them against the reward
+// offer, unblind, and return spendable cash.
+func (a *API) WithdrawCash(id vd.VPID, q vd.Secret, n int, pub *rsa.PublicKey) ([]*reward.Cash, error) {
+	return a.withdrawBlindSigned("/v1/reward/blind", id, q, n, pub)
+}
+
+// Redeem spends one unit of cash at the system.
+func (a *API) Redeem(c *reward.Cash) error {
+	return a.redeemAt("/v1/reward/redeem", c)
 }
 
 // Stats fetches the service's database counters.

@@ -1,0 +1,235 @@
+package client
+
+import (
+	"crypto/rsa"
+	"encoding/base64"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"viewmap/internal/reward"
+	"viewmap/internal/vd"
+)
+
+// Evidence-subsystem client flows. The owner side (poll the board,
+// deliver a solicited video, withdraw and spend the payout) runs
+// entirely over the anonymous channel with a fresh single-use session
+// id per exchange; the investigator side (open a solicitation, fetch
+// the blurred release) authenticates with the authority token.
+
+// EvidenceOffer is one public solicitation-board line.
+type EvidenceOffer struct {
+	// ID is the solicited VP identifier.
+	ID vd.VPID
+	// Units is the cash offered for the video behind it.
+	Units int
+}
+
+// SolicitationResult reports one opened (or extended) solicitation.
+type SolicitationResult struct {
+	// Members and InSite describe the verified viewmap.
+	Members int `json:"members"`
+	// InSite counts viewmap members inside the investigation site.
+	InSite int `json:"inSite"`
+	// Legitimate is the TrustRank-verified identifier set (hex).
+	Legitimate []string `json:"legitimate"`
+	// Listed and NewlyListed count board entries after the call and
+	// how many it added.
+	Listed int `json:"listed"`
+	// NewlyListed is how many identifiers this call added.
+	NewlyListed int `json:"newlyListed"`
+	// Units is the per-video offer.
+	Units int `json:"units"`
+}
+
+// OpenSolicitation verifies (site, minute) and posts its evidence
+// solicitation at the given per-video offer. Authority only.
+func (a *API) OpenSolicitation(token string, minX, minY, maxX, maxY float64, minute int64, units int) (*SolicitationResult, error) {
+	reqBody, err := json.Marshal(map[string]interface{}{
+		"site":   map[string]float64{"minX": minX, "minY": minY, "maxX": maxX, "maxY": maxY},
+		"minute": minute,
+		"units":  units,
+	})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := a.do("POST", "/v1/evidence/solicit", "application/json", reqBody, token)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	defer resp.Body.Close()
+	var out SolicitationResult
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// EvidenceBoard fetches the open solicitation offers. Vehicles poll
+// this anonymously; the response names identifiers and prices only.
+func (a *API) EvidenceBoard() ([]EvidenceOffer, error) {
+	resp, err := a.do("GET", "/v1/evidence/solicitations", "", nil, "")
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Offers []struct {
+			ID    string `json:"id"`
+			Units int    `json:"units"`
+		} `json:"offers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	offers := make([]EvidenceOffer, 0, len(out.Offers))
+	for _, o := range out.Offers {
+		b, err := hex.DecodeString(o.ID)
+		if err != nil || len(b) != len(vd.VPID{}) {
+			return nil, fmt.Errorf("client: bad id %q on the board", o.ID)
+		}
+		var id vd.VPID
+		copy(id[:], b)
+		offers = append(offers, EvidenceOffer{ID: id, Units: o.Units})
+	}
+	return offers, nil
+}
+
+// DeliverEvidence uploads a solicited video with its ownership proof
+// and returns the payout entitlement in units. The request rides a
+// fresh single-use session id; the server refuses replays.
+func (a *API) DeliverEvidence(id vd.VPID, q vd.Secret, chunks [][]byte) (int, error) {
+	enc := make([]string, len(chunks))
+	for i, c := range chunks {
+		enc[i] = base64.StdEncoding.EncodeToString(c)
+	}
+	reqBody, err := json.Marshal(map[string]interface{}{
+		"id":     hex.EncodeToString(id[:]),
+		"secret": hex.EncodeToString(q[:]),
+		"chunks": enc,
+	})
+	if err != nil {
+		return 0, err
+	}
+	resp, err := a.do("POST", "/v1/evidence/deliver", "application/json", reqBody, "")
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, apiError(resp)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Units int `json:"units"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, err
+	}
+	return out.Units, nil
+}
+
+// WithdrawPayout runs the blind-signature withdrawal of n units
+// against an accepted delivery's entitlement: blind fresh notes, have
+// the evidence desk sign them, unblind into spendable cash.
+func (a *API) WithdrawPayout(id vd.VPID, q vd.Secret, n int, pub *rsa.PublicKey) ([]*reward.Cash, error) {
+	return a.withdrawBlindSigned("/v1/evidence/payout", id, q, n, pub)
+}
+
+// RedeemPayout spends one unit at the evidence redemption desk.
+func (a *API) RedeemPayout(c *reward.Cash) error {
+	return a.redeemAt("/v1/evidence/redeem", c)
+}
+
+// ReleasedVideo is the investigator-facing copy of a delivery.
+type ReleasedVideo struct {
+	// Chunks are the redacted per-second bytes.
+	Chunks [][]byte
+	// RedactedFrames and RedactedRegions count the frames processed
+	// and the plate regions blurred.
+	RedactedFrames, RedactedRegions int
+}
+
+// FetchEvidence retrieves the blurred release of an accepted
+// delivery. Authority only; the raw bytes are never served.
+func (a *API) FetchEvidence(token string, id vd.VPID) (*ReleasedVideo, error) {
+	resp, err := a.do("GET", "/v1/evidence/video?id="+hex.EncodeToString(id[:]), "", nil, token)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Chunks          []string `json:"chunks"`
+		RedactedFrames  int      `json:"redactedFrames"`
+		RedactedRegions int      `json:"redactedRegions"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	rv := &ReleasedVideo{RedactedFrames: out.RedactedFrames, RedactedRegions: out.RedactedRegions}
+	rv.Chunks = make([][]byte, len(out.Chunks))
+	for i, c := range out.Chunks {
+		rv.Chunks[i], err = base64.StdEncoding.DecodeString(c)
+		if err != nil {
+			return nil, fmt.Errorf("client: chunk %d: %w", i, err)
+		}
+	}
+	return rv, nil
+}
+
+// EvidenceStats are the evidence counters of GET /v1/stats.
+type EvidenceStats struct {
+	// OpenSolicitations counts board entries awaiting delivery.
+	OpenSolicitations int `json:"openSolicitations"`
+	// DeliveriesAccepted counts cascade-verified uploads.
+	DeliveriesAccepted int `json:"deliveriesAccepted"`
+	// DeliveriesRejected counts uploads refused at verification.
+	DeliveriesRejected int `json:"deliveriesRejected"`
+	// UnitsMinted counts blind signatures issued.
+	UnitsMinted int `json:"unitsMinted"`
+	// UnitsRedeemed counts cash units burned.
+	UnitsRedeemed int `json:"unitsRedeemed"`
+	// Released counts redacted videos handed to investigators.
+	Released int `json:"released"`
+}
+
+// ServiceStats is the full GET /v1/stats response.
+type ServiceStats struct {
+	// VPs and Trusted count stored profiles.
+	VPs int `json:"vps"`
+	// Trusted counts stored trusted profiles.
+	Trusted int `json:"trusted"`
+	// ReviewQueue is the legacy review queue's depth.
+	ReviewQueue int `json:"reviewQueue"`
+	// Minutes counts unit-time windows with stored profiles.
+	Minutes int `json:"minutes"`
+	// Evidence carries the evidence-subsystem counters.
+	Evidence EvidenceStats `json:"evidence"`
+}
+
+// StatsFull fetches every service counter, including the evidence
+// lifecycle counters. Stats remains for the legacy triple.
+func (a *API) StatsFull() (*ServiceStats, error) {
+	resp, err := a.do("GET", "/v1/stats", "", nil, "")
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	defer resp.Body.Close()
+	var out ServiceStats
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

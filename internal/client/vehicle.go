@@ -32,12 +32,17 @@ type VehicleConfig struct {
 	DSRCRangeM float64
 	// Seed drives guard selection and trajectory jitter.
 	Seed int64
+	// Source overrides the camera content generator; nil selects a
+	// pseudorandom video.SyntheticSource keyed by Name. Evidence tests
+	// and simulations install a blur.CameraSource here so released
+	// videos contain blurrable plates.
+	Source video.ChunkSource
 }
 
 // Vehicle is one ViewMap-enabled dashcam.
 type Vehicle struct {
 	cfg     VehicleConfig
-	src     *video.SyntheticSource
+	src     video.ChunkSource
 	storage *video.Storage
 	rng     *rand.Rand
 
@@ -71,9 +76,13 @@ func NewVehicle(cfg VehicleConfig) (*Vehicle, error) {
 	if cfg.DSRCRangeM == 0 {
 		cfg.DSRCRangeM = 400
 	}
-	src, err := video.NewSyntheticSource(cfg.Name, cfg.BytesPerSecond)
-	if err != nil {
-		return nil, err
+	src := cfg.Source
+	if src == nil {
+		s, err := video.NewSyntheticSource(cfg.Name, cfg.BytesPerSecond)
+		if err != nil {
+			return nil, err
+		}
+		src = s
 	}
 	st, err := video.NewStorage(cfg.StorageBytes)
 	if err != nil {

@@ -1,0 +1,281 @@
+package evidence
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"viewmap/internal/geo"
+	"viewmap/internal/vd"
+)
+
+// Board persistence: the solicitation board — postings, per-entry
+// lifecycle state, payout entitlements, and the accepted evidence
+// bytes — is snapshotted alongside the VP store so a restarted system
+// resumes the lifecycle exactly where it stopped: open offers stay
+// open, accepted deliveries stay payable and releasable, and issued
+// entitlements cannot be re-minted. The bank (keypair + double-spend
+// ledger) persists separately via reward.Bank.SaveTo.
+
+// boardMagic guards against feeding arbitrary files to LoadFrom.
+var boardMagic = [8]byte{'V', 'M', 'E', 'V', 'B', 'D', '0', '1'}
+
+// maxPersistChunk bounds one persisted chunk; matches the largest
+// per-second chunk a 50 MB-minute video can carry, with headroom.
+const maxPersistChunk = 16 << 20
+
+func writeU32(w io.Writer, v uint32) error {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	_, err := w.Write(b[:])
+	return err
+}
+
+func writeU64(w io.Writer, v uint64) error {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	_, err := w.Write(b[:])
+	return err
+}
+
+func readU32(r io.Reader) (uint32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(b[:]), nil
+}
+
+func readU64(r io.Reader) (uint64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint64(b[:]), nil
+}
+
+// SaveTo streams one consistent cut of the board. As in the VP store's
+// snapshot, the shard map is frozen and every shard lock held
+// simultaneously while copying, so a save racing an ongoing delivery
+// observes the board either before or after that delivery, never a
+// torn intermediate.
+func (s *Service) SaveTo(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(boardMagic[:]); err != nil {
+		return err
+	}
+
+	s.mu.Lock()
+	minutes := make([]int64, 0, len(s.shards))
+	for m := range s.shards {
+		minutes = append(minutes, m)
+	}
+	for _, m := range minutes {
+		s.shards[m].mu.Lock()
+	}
+	counters := [5]int64{
+		s.deliveredOK.Load(), s.deliveredBad.Load(),
+		s.minted.Load(), s.redeemed.Load(), s.released.Load(),
+	}
+	err := s.saveShardsLocked(bw, minutes, counters)
+	for _, m := range minutes {
+		s.shards[m].mu.Unlock()
+	}
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// saveShardsLocked writes counters and shards; every involved lock is
+// held by SaveTo.
+func (s *Service) saveShardsLocked(w io.Writer, minutes []int64, counters [5]int64) error {
+	for _, c := range counters {
+		if err := writeU64(w, uint64(c)); err != nil {
+			return err
+		}
+	}
+	if err := writeU32(w, uint32(len(minutes))); err != nil {
+		return err
+	}
+	for _, m := range minutes {
+		sh := s.shards[m]
+		if err := writeU64(w, uint64(m)); err != nil {
+			return err
+		}
+		if err := writeU32(w, uint32(len(sh.solicitations))); err != nil {
+			return err
+		}
+		for _, sol := range sh.solicitations {
+			for _, f := range []float64{sol.site.Min.X, sol.site.Min.Y, sol.site.Max.X, sol.site.Max.Y} {
+				if err := writeU64(w, math.Float64bits(f)); err != nil {
+					return err
+				}
+			}
+			if err := writeU32(w, uint32(sol.units)); err != nil {
+				return err
+			}
+			if err := writeU32(w, uint32(len(sol.entries))); err != nil {
+				return err
+			}
+			for _, e := range sol.entries {
+				if _, err := w.Write(e.id[:]); err != nil {
+					return err
+				}
+				if err := writeU32(w, uint32(e.units)); err != nil {
+					return err
+				}
+				if err := writeU32(w, uint32(e.state)); err != nil {
+					return err
+				}
+				if err := writeU32(w, uint32(e.remaining)); err != nil {
+					return err
+				}
+				if err := writeU32(w, uint32(len(e.chunks))); err != nil {
+					return err
+				}
+				for _, c := range e.chunks {
+					if err := writeU32(w, uint32(len(c))); err != nil {
+						return err
+					}
+					if _, err := w.Write(c); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// LoadFrom restores a board snapshot written by SaveTo into an empty
+// service. Loading over live board state is rejected: the snapshot is
+// a full-state restore, not a merge.
+func (s *Service) LoadFrom(r io.Reader) error {
+	s.mu.RLock()
+	dirty := len(s.shards) != 0
+	s.mu.RUnlock()
+	if dirty {
+		return errors.New("evidence: board not empty; load into a fresh service")
+	}
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return fmt.Errorf("evidence: reading board header: %w", err)
+	}
+	if magic != boardMagic {
+		return errors.New("evidence: not an evidence-board file")
+	}
+	var counters [5]int64
+	for i := range counters {
+		v, err := readU64(br)
+		if err != nil {
+			return err
+		}
+		counters[i] = int64(v)
+	}
+	nShards, err := readU32(br)
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < nShards; i++ {
+		if err := s.loadShard(br); err != nil {
+			return fmt.Errorf("evidence: shard %d: %w", i, err)
+		}
+	}
+	s.deliveredOK.Store(counters[0])
+	s.deliveredBad.Store(counters[1])
+	s.minted.Store(counters[2])
+	s.redeemed.Store(counters[3])
+	s.released.Store(counters[4])
+	return nil
+}
+
+// loadShard reads one shard record into the service.
+func (s *Service) loadShard(r io.Reader) error {
+	mRaw, err := readU64(r)
+	if err != nil {
+		return err
+	}
+	sh := s.ensureShard(int64(mRaw))
+	nSols, err := readU32(r)
+	if err != nil {
+		return err
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for i := uint32(0); i < nSols; i++ {
+		var coords [4]float64
+		for j := range coords {
+			bits, err := readU64(r)
+			if err != nil {
+				return err
+			}
+			coords[j] = math.Float64frombits(bits)
+		}
+		units, err := readU32(r)
+		if err != nil {
+			return err
+		}
+		nEntries, err := readU32(r)
+		if err != nil {
+			return err
+		}
+		sol := &solicitation{
+			site:   geo.NewRect(geo.Pt(coords[0], coords[1]), geo.Pt(coords[2], coords[3])),
+			minute: int64(mRaw),
+			units:  int(units),
+		}
+		sh.solicitations[sol.site] = sol
+		for j := uint32(0); j < nEntries; j++ {
+			e := &entry{}
+			if _, err := io.ReadFull(r, e.id[:]); err != nil {
+				return err
+			}
+			eu, err := readU32(r)
+			if err != nil {
+				return err
+			}
+			st, err := readU32(r)
+			if err != nil {
+				return err
+			}
+			if st > uint32(stateDelivered) {
+				return fmt.Errorf("entry %x carries unknown state %d", e.id[:4], st)
+			}
+			rem, err := readU32(r)
+			if err != nil {
+				return err
+			}
+			nChunks, err := readU32(r)
+			if err != nil {
+				return err
+			}
+			if nChunks > vd.SegmentSeconds {
+				return fmt.Errorf("entry %x claims %d chunks", e.id[:4], nChunks)
+			}
+			e.units, e.state, e.remaining = int(eu), entryState(st), int(rem)
+			for k := uint32(0); k < nChunks; k++ {
+				size, err := readU32(r)
+				if err != nil {
+					return err
+				}
+				if size > maxPersistChunk {
+					return fmt.Errorf("entry %x chunk %d claims %d bytes", e.id[:4], k, size)
+				}
+				c := make([]byte, size)
+				if _, err := io.ReadFull(r, c); err != nil {
+					return err
+				}
+				e.chunks = append(e.chunks, c)
+			}
+			sol.entries = append(sol.entries, e)
+			sh.byID[e.id] = e
+		}
+	}
+	return nil
+}

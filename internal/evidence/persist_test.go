@@ -1,0 +1,110 @@
+package evidence
+
+import (
+	"bytes"
+	"errors"
+	"math/big"
+	"testing"
+
+	"viewmap/internal/anon"
+	"viewmap/internal/geo"
+	"viewmap/internal/reward"
+	"viewmap/internal/vd"
+)
+
+func TestBoardSaveLoadRoundTrip(t *testing.T) {
+	svc, src := newTestService(t)
+	sessions := anon.NewSessions()
+
+	// Two owners in different minutes: one delivered and partially
+	// paid out, one still open.
+	delivered := recordOwner(t, 0, 40)
+	open := recordOwner(t, 1, 41)
+	src.put(delivered.p)
+	src.put(open.p)
+	site := geo.NewRect(geo.Pt(0, -50), geo.Pt(700, 50))
+	if _, err := svc.Open(site, 0, []vd.VPID{delivered.p.ID()}, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Open(site, 1, []vd.VPID{open.p.ID()}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Deliver(session(t, sessions), delivered.p.ID(), delivered.q, delivered.chunks); err != nil {
+		t.Fatal(err)
+	}
+	// Withdraw one of the three units before the "restart".
+	withdraw(t, svc, sessions, delivered, 1)
+
+	var buf bytes.Buffer
+	if err := svc.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: a fresh service over the same store and bank.
+	restarted, err := NewService(Config{FrameWidth: 160, FrameHeight: 90}, src, svc.bank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restarted.LoadFrom(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+
+	// The open offer survived; the delivered entry did not reopen.
+	board := restarted.Board()
+	if len(board) != 1 || board[0].ID != open.p.ID() || board[0].Units != 2 {
+		t.Fatalf("board after restart = %+v", board)
+	}
+
+	// The accepted delivery is still releasable, and its bytes still
+	// cascade-verify — the stored copy crossed the restart bit-exact.
+	chunks, frames, _, err := restarted.Release(delivered.p.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frames != 60 || len(chunks) != 60 {
+		t.Fatalf("release after restart: %d frames, %d chunks", frames, len(chunks))
+	}
+
+	// The payout entitlement survived with the issued unit debited:
+	// exactly two more units mint, a third is refused.
+	withdraw(t, restarted, sessions, delivered, 2)
+	pub := restarted.bank.PublicKey()
+	note, err := reward.NewNote(pub, bytes.NewReader(bytes.Repeat([]byte{42}, 4096)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := restarted.Payout(session(t, sessions), delivered.p.ID(), delivered.q, []*big.Int{note.Blind(pub)}); err == nil {
+		t.Fatal("entitlement must not re-mint across a restart")
+	}
+
+	// A replayed delivery is still refused.
+	if _, err := restarted.Deliver(session(t, sessions), delivered.p.ID(), delivered.q, delivered.chunks); !errors.Is(err, ErrAlreadyDelivered) {
+		t.Fatalf("replayed delivery after restart: %v", err)
+	}
+
+	// Counters crossed over.
+	st := restarted.StatsSnapshot()
+	if st.DeliveriesAccepted != 1 || st.UnitsMinted != 3 || st.OpenSolicitations != 1 {
+		t.Fatalf("stats after restart: %+v", st)
+	}
+}
+
+func TestBoardLoadValidation(t *testing.T) {
+	svc, _ := newTestService(t)
+	if err := svc.LoadFrom(bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Fatal("garbage must be rejected")
+	}
+	// Loading over a non-empty board is refused.
+	own := recordOwner(t, 0, 50)
+	svc.vps.(*mapSource).put(own.p)
+	if _, err := svc.Open(geo.NewRect(geo.Pt(0, 0), geo.Pt(1, 1)), 0, []vd.VPID{own.p.ID()}, 1); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := svc.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.LoadFrom(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("loading over a live board must be refused")
+	}
+}

@@ -27,6 +27,8 @@ import (
 	"crypto/rand"
 	"crypto/rsa"
 	"crypto/sha256"
+	"crypto/x509"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -130,10 +132,19 @@ func (n *Note) Unblind(pub *rsa.PublicKey, blindSig *big.Int) (*Cash, error) {
 
 // Bank is the system-side signer and double-spending ledger.
 type Bank struct {
-	key *rsa.PrivateKey
-
+	// mu guards both the keypair (replaced wholesale by LoadFrom) and
+	// the spent ledger.
 	mu    sync.Mutex
+	key   *rsa.PrivateKey
 	spent map[[32]byte]bool
+}
+
+// signingKey returns the current keypair under the lock; the key
+// itself is immutable once published, so callers may use it lock-free.
+func (b *Bank) signingKey() *rsa.PrivateKey {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.key
 }
 
 // NewBank generates a bank with a fresh RSA key of the given size
@@ -155,16 +166,17 @@ func NewBankFromKey(key *rsa.PrivateKey) *Bank {
 }
 
 // PublicKey returns the verification key.
-func (b *Bank) PublicKey() *rsa.PublicKey { return &b.key.PublicKey }
+func (b *Bank) PublicKey() *rsa.PublicKey { return &b.signingKey().PublicKey }
 
 // SignBlinded signs a blinded message with the bank's private key. The
 // bank learns nothing about the underlying message. Values outside
 // [0, N) are rejected.
 func (b *Bank) SignBlinded(blinded *big.Int) (*big.Int, error) {
-	if blinded == nil || blinded.Sign() < 0 || blinded.Cmp(b.key.N) >= 0 {
+	key := b.signingKey()
+	if blinded == nil || blinded.Sign() < 0 || blinded.Cmp(key.N) >= 0 {
 		return nil, errors.New("reward: blinded message out of range")
 	}
-	return new(big.Int).Exp(blinded, b.key.D, b.key.N), nil
+	return new(big.Int).Exp(blinded, key.D, key.N), nil
 }
 
 // Redeem verifies a unit and records it as spent. The second
@@ -188,6 +200,96 @@ func (b *Bank) SpentCount() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return len(b.spent)
+}
+
+// bankMagic heads a serialized bank so arbitrary files are rejected.
+var bankMagic = [8]byte{'V', 'M', 'B', 'A', 'N', 'K', '0', '1'}
+
+// SaveTo serializes the bank — the RSA signing keypair and the
+// double-spend ledger — so both survive a system restart. Without
+// this, a restarted system would either mint against a fresh key
+// (orphaning every unit in circulation) or forget which units were
+// already spent (re-admitting double spends). The format is the magic,
+// the PKCS#1 DER key prefixed by its length, and the spent-message
+// hashes.
+func (b *Bank) SaveTo(w io.Writer) error {
+	b.mu.Lock()
+	key := b.key
+	spent := make([][32]byte, 0, len(b.spent))
+	for k := range b.spent {
+		spent = append(spent, k)
+	}
+	b.mu.Unlock()
+	if _, err := w.Write(bankMagic[:]); err != nil {
+		return err
+	}
+	der := x509.MarshalPKCS1PrivateKey(key)
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(der)))
+	binary.BigEndian.PutUint32(hdr[4:], uint32(len(spent)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(der); err != nil {
+		return err
+	}
+	for _, k := range spent {
+		if _, err := w.Write(k[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadFrom restores a bank serialized by SaveTo into this bank in
+// place, replacing its keypair and ledger. In-place restoration keeps
+// every handle to the bank (the system, the evidence subsystem) valid
+// across a reload.
+func (b *Bank) LoadFrom(r io.Reader) error {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return fmt.Errorf("reward: reading bank header: %w", err)
+	}
+	if magic != bankMagic {
+		return errors.New("reward: not a bank file")
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	derLen := binary.BigEndian.Uint32(hdr[:4])
+	spentLen := binary.BigEndian.Uint32(hdr[4:])
+	if derLen > 1<<16 {
+		return fmt.Errorf("reward: key of %d bytes implausible", derLen)
+	}
+	der := make([]byte, derLen)
+	if _, err := io.ReadFull(r, der); err != nil {
+		return err
+	}
+	key, err := x509.ParsePKCS1PrivateKey(der)
+	if err != nil {
+		return fmt.Errorf("reward: parsing bank key: %w", err)
+	}
+	// Cap the preallocation hint: spentLen comes from the file, and a
+	// corrupt count must fail on the truncated read below rather than
+	// drive a multi-gigabyte map allocation first.
+	hint := spentLen
+	if hint > 1<<20 {
+		hint = 1 << 20
+	}
+	spent := make(map[[32]byte]bool, hint)
+	for i := uint32(0); i < spentLen; i++ {
+		var k [32]byte
+		if _, err := io.ReadFull(r, k[:]); err != nil {
+			return fmt.Errorf("reward: spent entry %d: %w", i, err)
+		}
+		spent[k] = true
+	}
+	b.mu.Lock()
+	b.key = key
+	b.spent = spent
+	b.mu.Unlock()
+	return nil
 }
 
 // Withdraw runs the full client side for n units against the bank:

@@ -10,6 +10,8 @@ import (
 	"math/big"
 	"net/http"
 
+	"viewmap/internal/anon"
+	"viewmap/internal/evidence"
 	"viewmap/internal/geo"
 	"viewmap/internal/reward"
 	"viewmap/internal/vd"
@@ -22,19 +24,29 @@ const maxUploadBytes = 100 << 20
 // authorityHeader carries the authority token on privileged requests.
 const authorityHeader = "X-Viewmap-Authority"
 
+// sessionHeader carries the single-use anonymous session identifier.
+// Evidence deliveries and payouts refuse a missing or replayed id.
+const sessionHeader = "X-Session"
+
 // Handler returns the system's HTTP API.
 //
-//	POST /v1/vp               binary VP upload (anonymous)
-//	POST /v1/vp/batch         batched binary VP upload (anonymous)
-//	POST /v1/vp/trusted       binary VP upload (authority)
-//	POST /v1/investigate      {"site":{...},"minute":N} (authority)
-//	GET  /v1/solicitations    {"ids":["hex",...]}
-//	POST /v1/video            {"id":"hex","chunks":["b64",...]}
-//	GET  /v1/rewards          {"ids":["hex",...]}
-//	POST /v1/reward/claim     {"id":"hex","secret":"hex"} -> {"units":N}
-//	POST /v1/reward/blind     {"id","secret","blinded":["dec",...]}
-//	POST /v1/reward/redeem    {"m":"b64","sig":"dec"}
-//	GET  /v1/stats            {"vps":N,"trusted":N,...}
+//	POST /v1/vp                      binary VP upload (anonymous)
+//	POST /v1/vp/batch                batched binary VP upload (anonymous)
+//	POST /v1/vp/trusted              binary VP upload (authority)
+//	POST /v1/investigate             {"site":{...},"minute":N} (authority)
+//	GET  /v1/solicitations           {"ids":["hex",...]}
+//	POST /v1/video                   {"id":"hex","chunks":["b64",...]}
+//	GET  /v1/rewards                 {"ids":["hex",...]}
+//	POST /v1/reward/claim            {"id":"hex","secret":"hex"} -> {"units":N}
+//	POST /v1/reward/blind            {"id","secret","blinded":["dec",...]}
+//	POST /v1/reward/redeem           {"m":"b64","sig":"dec"}
+//	POST /v1/evidence/solicit        {"site","minute","units"} (authority)
+//	GET  /v1/evidence/solicitations  {"offers":[{"id","units"},...]}
+//	POST /v1/evidence/deliver        {"id","secret","chunks"} (X-Session, single use)
+//	POST /v1/evidence/payout         {"id","secret","blinded"} (X-Session, single use)
+//	POST /v1/evidence/redeem         {"m":"b64","sig":"dec"}
+//	GET  /v1/evidence/video?id=hex   blurred release (authority)
+//	GET  /v1/stats                   {"vps":N,"trusted":N,...,"evidence":{...}}
 func Handler(sys *System) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/vp", func(w http.ResponseWriter, r *http.Request) {
@@ -230,12 +242,153 @@ func Handler(sys *System) http.Handler {
 		pub := sys.Bank().PublicKey()
 		writeJSON(w, bankResponse{N: pub.N.String(), E: pub.E})
 	})
+
+	// Evidence subsystem: the end-to-end lifecycle of Sections
+	// 5.1–5.3 (solicit → anonymous deliver → cascade verify → payout
+	// → blurred release).
+	mux.HandleFunc("POST /v1/evidence/solicit", func(w http.ResponseWriter, r *http.Request) {
+		var req solicitRequest
+		if err := decodeJSON(r, &req); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		rep, err := sys.OpenSolicitation(r.Header.Get(authorityHeader),
+			geo.NewRect(geo.Pt(req.Site.MinX, req.Site.MinY), geo.Pt(req.Site.MaxX, req.Site.MaxY)),
+			req.Minute, req.Units)
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, solicitResponse{
+			Members: rep.Members, InSite: rep.InSite,
+			Legitimate: encodeIDs(rep.Legitimate),
+			Listed:     rep.Listed, NewlyListed: rep.NewlyListed, Units: rep.Units,
+		})
+	})
+	mux.HandleFunc("GET /v1/evidence/solicitations", func(w http.ResponseWriter, r *http.Request) {
+		board := sys.Evidence().Board()
+		out := offersResponse{Offers: make([]offerJSON, len(board))}
+		for i, o := range board {
+			out.Offers[i] = offerJSON{ID: hex.EncodeToString(o.ID[:]), Units: o.Units}
+		}
+		writeJSON(w, out)
+	})
+	mux.HandleFunc("POST /v1/evidence/deliver", func(w http.ResponseWriter, r *http.Request) {
+		var req deliverRequest
+		if err := decodeJSON(r, &req); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		id, q, err := decodeOwnership(req.ID, req.Secret)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		chunks := make([][]byte, len(req.Chunks))
+		for i, c := range req.Chunks {
+			chunks[i], err = base64.StdEncoding.DecodeString(c)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("chunk %d: %w", i, err))
+				return
+			}
+		}
+		units, err := sys.Evidence().Deliver(r.Header.Get(sessionHeader), id, q, chunks)
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, deliverResponse{Units: units})
+	})
+	mux.HandleFunc("POST /v1/evidence/payout", func(w http.ResponseWriter, r *http.Request) {
+		var req blindRequest
+		if err := decodeJSON(r, &req); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		id, q, err := decodeOwnership(req.ID, req.Secret)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		blinded := make([]*big.Int, len(req.Blinded))
+		for i, s := range req.Blinded {
+			v, ok := new(big.Int).SetString(s, 10)
+			if !ok {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("blinded %d not a decimal integer", i))
+				return
+			}
+			blinded[i] = v
+		}
+		sigs, err := sys.Evidence().Payout(r.Header.Get(sessionHeader), id, q, blinded)
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		out := make([]string, len(sigs))
+		for i, s := range sigs {
+			out[i] = s.String()
+		}
+		writeJSON(w, blindResponse{Signatures: out})
+	})
+	mux.HandleFunc("POST /v1/evidence/redeem", func(w http.ResponseWriter, r *http.Request) {
+		var req redeemRequest
+		if err := decodeJSON(r, &req); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		m, err := base64.StdEncoding.DecodeString(req.M)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		sig, ok := new(big.Int).SetString(req.Sig, 10)
+		if !ok {
+			httpError(w, http.StatusBadRequest, errors.New("sig not a decimal integer"))
+			return
+		}
+		if err := sys.Evidence().Redeem(&reward.Cash{M: m, Sig: sig}); err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("GET /v1/evidence/video", func(w http.ResponseWriter, r *http.Request) {
+		id, err := decodeID(r.URL.Query().Get("id"))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		chunks, frames, regions, err := sys.ReleaseEvidence(r.Header.Get(authorityHeader), id)
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		out := videoResponse{
+			Chunks:          make([]string, len(chunks)),
+			RedactedFrames:  frames,
+			RedactedRegions: regions,
+		}
+		for i, c := range chunks {
+			out.Chunks[i] = base64.StdEncoding.EncodeToString(c)
+		}
+		writeJSON(w, out)
+	})
+
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		ev := sys.Evidence().StatsSnapshot()
 		writeJSON(w, statsResponse{
 			VPs:         sys.Store().Len(),
 			Trusted:     sys.Store().TrustedCount(),
 			ReviewQueue: sys.ReviewQueueLen(),
 			Minutes:     sys.Store().MinuteCount(),
+			Evidence: evidenceStatsJSON{
+				OpenSolicitations:  ev.OpenSolicitations,
+				DeliveriesAccepted: ev.DeliveriesAccepted,
+				DeliveriesRejected: ev.DeliveriesRejected,
+				UnitsMinted:        ev.UnitsMinted,
+				UnitsRedeemed:      ev.UnitsRedeemed,
+				Released:           ev.Released,
+			},
 		})
 	})
 	return mux
@@ -320,10 +473,60 @@ type bankResponse struct {
 }
 
 type statsResponse struct {
-	VPs         int `json:"vps"`
-	Trusted     int `json:"trusted"`
-	ReviewQueue int `json:"reviewQueue"`
-	Minutes     int `json:"minutes"`
+	VPs         int               `json:"vps"`
+	Trusted     int               `json:"trusted"`
+	ReviewQueue int               `json:"reviewQueue"`
+	Minutes     int               `json:"minutes"`
+	Evidence    evidenceStatsJSON `json:"evidence"`
+}
+
+type evidenceStatsJSON struct {
+	OpenSolicitations  int `json:"openSolicitations"`
+	DeliveriesAccepted int `json:"deliveriesAccepted"`
+	DeliveriesRejected int `json:"deliveriesRejected"`
+	UnitsMinted        int `json:"unitsMinted"`
+	UnitsRedeemed      int `json:"unitsRedeemed"`
+	Released           int `json:"released"`
+}
+
+type solicitRequest struct {
+	Site   rectJSON `json:"site"`
+	Minute int64    `json:"minute"`
+	Units  int      `json:"units"`
+}
+
+type solicitResponse struct {
+	Members     int      `json:"members"`
+	InSite      int      `json:"inSite"`
+	Legitimate  []string `json:"legitimate"`
+	Listed      int      `json:"listed"`
+	NewlyListed int      `json:"newlyListed"`
+	Units       int      `json:"units"`
+}
+
+type offerJSON struct {
+	ID    string `json:"id"`
+	Units int    `json:"units"`
+}
+
+type offersResponse struct {
+	Offers []offerJSON `json:"offers"`
+}
+
+type deliverRequest struct {
+	ID     string   `json:"id"`
+	Secret string   `json:"secret"`
+	Chunks []string `json:"chunks"`
+}
+
+type deliverResponse struct {
+	Units int `json:"units"`
+}
+
+type videoResponse struct {
+	Chunks          []string `json:"chunks"`
+	RedactedFrames  int      `json:"redactedFrames"`
+	RedactedRegions int      `json:"redactedRegions"`
 }
 
 // Helpers.
@@ -351,10 +554,18 @@ func httpError(w http.ResponseWriter, status int, err error) {
 // statusFor maps service errors onto HTTP statuses.
 func statusFor(err error) int {
 	switch {
-	case errors.Is(err, ErrNotSolicited):
+	case errors.Is(err, ErrNotSolicited), errors.Is(err, evidence.ErrNotSolicited):
 		return http.StatusForbidden
-	case errors.Is(err, ErrBadOwnership):
+	case errors.Is(err, ErrBadOwnership), errors.Is(err, evidence.ErrBadOwnership):
 		return http.StatusForbidden
+	case errors.Is(err, anon.ErrSessionReused):
+		return http.StatusConflict
+	case errors.Is(err, evidence.ErrAlreadyDelivered):
+		return http.StatusConflict
+	case errors.Is(err, evidence.ErrCascade):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, evidence.ErrNotDelivered):
+		return http.StatusNotFound
 	case errors.Is(err, ErrDuplicate):
 		return http.StatusConflict
 	case errors.Is(err, reward.ErrDoubleSpend):

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -126,4 +127,145 @@ func (s *Store) LoadFile(path string) (int, error) {
 	}
 	defer f.Close()
 	return s.LoadFrom(f)
+}
+
+// Full-system persistence: one file carrying the VP database, the
+// reward bank (blind-signing keypair + double-spend ledger), and the
+// evidence board (solicitations, accepted deliveries, payout
+// entitlements). Restoring it resumes the whole service: units minted
+// before the restart still verify, spent units stay spent, open
+// solicitations stay open, and accepted evidence stays releasable.
+
+// systemMagic heads a full-system state file.
+var systemMagic = [8]byte{'V', 'M', 'A', 'P', 'S', 'Y', 'S', '1'}
+
+// maxSection bounds one state section; the VP store dominates and a
+// million stored VPs is ~5 GB, far above any test or demo deployment.
+const maxSection = int64(8) << 30
+
+// writeSection writes one length-prefixed section.
+func writeSection(w io.Writer, save func(io.Writer) error) error {
+	var buf bytes.Buffer
+	if err := save(&buf); err != nil {
+		return err
+	}
+	var hdr [8]byte
+	binary.BigEndian.PutUint64(hdr[:], uint64(buf.Len()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// readSection reads one length-prefixed section into memory.
+func readSection(r io.Reader) ([]byte, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	size := binary.BigEndian.Uint64(hdr[:])
+	if int64(size) < 0 || int64(size) > maxSection {
+		return nil, fmt.Errorf("server: section claims %d bytes", size)
+	}
+	sec := make([]byte, size)
+	if _, err := io.ReadFull(r, sec); err != nil {
+		return nil, err
+	}
+	return sec, nil
+}
+
+// SaveTo streams the full system state — store, bank, evidence board
+// — to w. Each subsystem snapshots itself consistently; the three
+// sections are cut in sequence, so a save racing ongoing traffic may
+// observe, say, a delivery whose VP arrived just before the store
+// section was cut — the same guarantee a crash-stop would give.
+func (sys *System) SaveTo(w io.Writer) error {
+	if _, err := w.Write(systemMagic[:]); err != nil {
+		return err
+	}
+	if err := writeSection(w, sys.store.SaveTo); err != nil {
+		return fmt.Errorf("server: saving store: %w", err)
+	}
+	if err := writeSection(w, sys.bank.SaveTo); err != nil {
+		return fmt.Errorf("server: saving bank: %w", err)
+	}
+	if err := writeSection(w, sys.evidence.SaveTo); err != nil {
+		return fmt.Errorf("server: saving evidence board: %w", err)
+	}
+	return nil
+}
+
+// LoadFrom restores state written by SaveTo into this (freshly
+// constructed) system. For compatibility it also accepts a bare VP
+// database stream (the Store.SaveTo format): the store is loaded and
+// the bank and board keep their fresh state. Call before serving
+// traffic — the bank keypair is replaced in place.
+func (sys *System) LoadFrom(r io.Reader) (vps int, err error) {
+	br := bufio.NewReader(r)
+	magic, err := br.Peek(8)
+	if err != nil {
+		return 0, fmt.Errorf("server: reading state header: %w", err)
+	}
+	if [8]byte(magic) == persistMagic {
+		return sys.store.LoadFrom(br)
+	}
+	if [8]byte(magic) != systemMagic {
+		return 0, errors.New("server: not a ViewMap state file")
+	}
+	if _, err := br.Discard(8); err != nil {
+		return 0, err
+	}
+	storeSec, err := readSection(br)
+	if err != nil {
+		return 0, fmt.Errorf("server: store section: %w", err)
+	}
+	if vps, err = sys.store.LoadFrom(bytes.NewReader(storeSec)); err != nil {
+		return vps, err
+	}
+	bankSec, err := readSection(br)
+	if err != nil {
+		return vps, fmt.Errorf("server: bank section: %w", err)
+	}
+	if err := sys.bank.LoadFrom(bytes.NewReader(bankSec)); err != nil {
+		return vps, err
+	}
+	evSec, err := readSection(br)
+	if err != nil {
+		return vps, fmt.Errorf("server: evidence section: %w", err)
+	}
+	if err := sys.evidence.LoadFrom(bytes.NewReader(evSec)); err != nil {
+		return vps, err
+	}
+	return vps, nil
+}
+
+// SaveStateFile writes the full system state to path atomically.
+func (sys *System) SaveStateFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := sys.SaveTo(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadStateFile restores a state file written by SaveStateFile (or a
+// bare VP database written by Store.SaveFile).
+func (sys *System) LoadStateFile(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	return sys.LoadFrom(f)
 }

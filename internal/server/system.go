@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"viewmap/internal/core"
+	"viewmap/internal/evidence"
 	"viewmap/internal/geo"
 	"viewmap/internal/reward"
 	"viewmap/internal/vd"
@@ -20,8 +21,9 @@ import (
 // runs investigations, posts solicitations and rewards, validates
 // uploaded videos, and mints untraceable cash.
 type System struct {
-	store *Store
-	bank  *reward.Bank
+	store    *Store
+	bank     *reward.Bank
+	evidence *evidence.Service
 
 	// authorityToken gates trusted-VP uploads and investigations.
 	authorityToken string
@@ -94,6 +96,9 @@ type Config struct {
 	// Store parameterizes the sharded VP database (DSRC range,
 	// rebuild-per-request baseline mode).
 	Store StoreConfig
+	// Evidence parameterizes the evidence subsystem (redaction frame
+	// dimensions, blur parameters, video size cap).
+	Evidence evidence.Config
 }
 
 // NewSystem creates a system service.
@@ -118,9 +123,15 @@ func NewSystem(cfg Config) (*System, error) {
 			return nil, err
 		}
 	}
+	store := NewStoreWith(cfg.Store)
+	ev, err := evidence.NewService(cfg.Evidence, store, bank)
+	if err != nil {
+		return nil, err
+	}
 	return &System{
-		store:          NewStoreWith(cfg.Store),
+		store:          store,
 		bank:           bank,
+		evidence:       ev,
 		authorityToken: token,
 		solicitations:  make(map[vd.VPID]*Solicitation),
 		rewardsPosted:  make(map[vd.VPID]*RewardOffer),
@@ -438,9 +449,11 @@ func (sys *System) SignBlindedForReward(id vd.VPID, q vd.Secret, blinded []*big.
 	for _, b := range blinded {
 		sig, err := sys.bank.SignBlinded(b)
 		if err != nil {
-			// Refund unissued units on malformed input.
+			// Refund the whole batch on malformed input: the error
+			// return discards every signature computed so far, so no
+			// unit was actually issued.
 			sys.mu.Lock()
-			offer.Remaining += len(blinded) - len(out)
+			offer.Remaining += len(blinded)
 			sys.mu.Unlock()
 			return nil, err
 		}
@@ -451,3 +464,67 @@ func (sys *System) SignBlindedForReward(id vd.VPID, q vd.Secret, blinded []*big.
 
 // Redeem verifies and burns one unit of virtual cash.
 func (sys *System) Redeem(c *reward.Cash) error { return sys.bank.Redeem(c) }
+
+// Evidence exposes the evidence subsystem: solicitation board,
+// anonymous delivery, payout, and blurred release.
+func (sys *System) Evidence() *evidence.Service { return sys.evidence }
+
+// SolicitationReport summarizes one OpenSolicitation call.
+type SolicitationReport struct {
+	// Minute is the investigated unit-time window.
+	Minute int64
+	// Members and InSite describe the verified viewmap.
+	Members, InSite int
+	// Legitimate is the TrustRank-verified identifier set posted to
+	// the board.
+	Legitimate []vd.VPID
+	// Listed and NewlyListed count the solicitation's board entries
+	// after this call and how many it added.
+	Listed, NewlyListed int
+	// Units is the per-video offer in cash units.
+	Units int
+}
+
+// OpenSolicitation runs a verified investigation for (site, minute)
+// and posts (or extends) the evidence solicitation for it: the
+// TrustRank-legitimate VP identifiers are listed on the public board
+// at the given per-video offer. Authority only. This is the evidence
+// subsystem's entry point; the legacy per-VP Investigate flow remains
+// for the manual review path.
+func (sys *System) OpenSolicitation(token string, site geo.Rect, minute int64, units int) (*SolicitationReport, error) {
+	if err := sys.checkAuthority(token); err != nil {
+		return nil, err
+	}
+	vm, err := sys.store.ViewmapFor(site, minute)
+	if err != nil {
+		return nil, err
+	}
+	verdict, err := sys.verifiedSite(vm, site, minute)
+	if err != nil {
+		return nil, err
+	}
+	legit := verdict.LegitimateIDs(vm)
+	res, err := sys.evidence.Open(site, minute, legit, units)
+	if err != nil {
+		return nil, err
+	}
+	return &SolicitationReport{
+		Minute:      minute,
+		Members:     vm.Len(),
+		InSite:      len(vm.InSite(site)),
+		Legitimate:  legit,
+		Listed:      res.Listed,
+		NewlyListed: res.NewlyListed,
+		Units:       res.Units,
+	}, nil
+}
+
+// ReleaseEvidence hands the investigator the redacted copy of an
+// accepted delivery. Authority only; the unredacted bytes never leave
+// the evidence subsystem.
+func (sys *System) ReleaseEvidence(token string, id vd.VPID) (chunks [][]byte, frames, regions int, err error) {
+	if err := sys.checkAuthority(token); err != nil {
+		return nil, 0, 0, err
+	}
+	return sys.evidence.Release(id)
+}

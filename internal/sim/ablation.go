@@ -23,6 +23,7 @@ type DampingRow struct {
 	Runs        int
 }
 
+// String formats the row like the other experiment reports.
 func (r DampingRow) String() string {
 	return fmt.Sprintf("delta=%.2f  accuracy %5.1f%%  legit recall %5.1f%%  (%d runs)",
 		r.Damping, r.Accuracy*100, r.LegitRecall*100, r.Runs)
@@ -130,6 +131,7 @@ type AlphaRow struct {
 	GuardsPerVehicleMinute float64
 }
 
+// String formats the row like the other experiment reports.
 func (r AlphaRow) String() string {
 	return fmt.Sprintf("alpha=%.2f  tracking success %.3f  entropy %.2f b  guards/veh-min %.2f",
 		r.Alpha, r.FinalSuccess, r.FinalEntropy, r.GuardsPerVehicleMinute)

@@ -1,0 +1,361 @@
+package sim
+
+import (
+	"crypto/rand"
+	"fmt"
+	"image"
+	"math/big"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"viewmap/internal/anon"
+	"viewmap/internal/blur"
+	"viewmap/internal/client"
+	"viewmap/internal/evidence"
+	"viewmap/internal/geo"
+	"viewmap/internal/reward"
+	"viewmap/internal/server"
+	"viewmap/internal/vd"
+)
+
+// This file benchmarks the evidence subsystem under sustained load:
+// convoys of camera-equipped vehicles record a minute and upload VPs,
+// verified investigations open solicitations over every convoy, and
+// the owners answer concurrently — honest owners deliver bytes that
+// must pass the VD cascade, tampering owners submit corrupted copies
+// that must bounce, and every accepted delivery is paid out in blind-
+// signed cash, partially redeemed (with a double-spend probe), and
+// released to the investigator in redacted form.
+
+// EvidenceConfig parameterizes the evidence-pipeline benchmark.
+type EvidenceConfig struct {
+	// Convoys is the number of independent vehicle clusters (each on
+	// its own lane, with its own police car); zero selects 4.
+	Convoys int
+	// CiviliansPerConvoy is the number of video owners per convoy;
+	// zero selects 3.
+	CiviliansPerConvoy int
+	// TamperEvery makes every n-th owner submit a corrupted copy
+	// before (in place of) an honest delivery; zero selects 4.
+	TamperEvery int
+	// Units is the per-video offer; zero selects 2.
+	Units int
+	// Workers is the delivery concurrency; zero selects 8.
+	Workers int
+	// FrameW, FrameH are the camera frame dimensions (one frame per
+	// second is one chunk); zero selects 160x90 (~864 KB per video).
+	FrameW, FrameH int
+	// Seed keys the synthetic cameras.
+	Seed int64
+}
+
+func (c EvidenceConfig) withDefaults() EvidenceConfig {
+	if c.Convoys <= 0 {
+		c.Convoys = 4
+	}
+	if c.CiviliansPerConvoy <= 0 {
+		c.CiviliansPerConvoy = 3
+	}
+	if c.TamperEvery <= 0 {
+		c.TamperEvery = 4
+	}
+	if c.Units <= 0 {
+		c.Units = 2
+	}
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.FrameW <= 0 {
+		c.FrameW = 160
+	}
+	if c.FrameH <= 0 {
+		c.FrameH = 90
+	}
+	return c
+}
+
+// EvidenceResult reports one evidence-benchmark run.
+type EvidenceResult struct {
+	// Owners is the number of solicited video owners.
+	Owners int
+	// Solicited is the number of identifiers listed across convoys.
+	Solicited int
+	// Accepted and Rejected count cascade outcomes (rejected counts
+	// the tampering owners' corrupted submissions).
+	Accepted, Rejected int
+	// DeliveryWall is the wall-clock time of the concurrent delivery
+	// phase; DeliveriesPerSec and VerifyMBps derive from it.
+	DeliveryWall time.Duration
+	// DeliveriesPerSec is accepted+rejected deliveries per second.
+	DeliveriesPerSec float64
+	// VerifyMBps is cascade-verified payload megabytes per second
+	// (accepted deliveries only).
+	VerifyMBps float64
+	// Minted and Redeemed count payout units; DoubleSpendsRefused
+	// counts the deliberate double-spend probes that bounced.
+	Minted, Redeemed, DoubleSpendsRefused int
+	// Released counts redacted investigator releases; RedactedRegions
+	// the plate regions blurred across them.
+	Released, RedactedRegions int
+}
+
+// Rows formats the result like the other experiment reports.
+func (r *EvidenceResult) Rows() []string {
+	return []string{
+		fmt.Sprintf("owners %d, solicited %d", r.Owners, r.Solicited),
+		fmt.Sprintf("deliveries: %d accepted, %d rejected in %v (%.1f/s, %.1f MB/s verified)",
+			r.Accepted, r.Rejected, r.DeliveryWall.Round(time.Millisecond), r.DeliveriesPerSec, r.VerifyMBps),
+		fmt.Sprintf("payout: %d units minted, %d redeemed, %d double spends refused",
+			r.Minted, r.Redeemed, r.DoubleSpendsRefused),
+		fmt.Sprintf("release: %d videos redacted (%d plate regions blurred)",
+			r.Released, r.RedactedRegions),
+	}
+}
+
+// evidenceOwner is one civilian's deliverable state.
+type evidenceOwner struct {
+	id     vd.VPID
+	q      vd.Secret
+	chunks [][]byte
+	tamper bool
+}
+
+// Evidence runs the evidence-pipeline benchmark. Every stage goes
+// through server.System — the same code the HTTP handlers call — with
+// deliveries spread across a worker pool to exercise the board's
+// sharded locking under -race.
+func Evidence(cfg EvidenceConfig) (*EvidenceResult, error) {
+	cfg = cfg.withDefaults()
+	const laneGap = 2000.0 // lanes far apart: convoys never cross-link
+
+	sys, err := server.NewSystem(server.Config{
+		AuthorityToken: "bench", BankBits: 1024,
+		Evidence: evidence.Config{FrameWidth: cfg.FrameW, FrameHeight: cfg.FrameH},
+	})
+	if err != nil {
+		return nil, err
+	}
+	token := sys.AuthorityToken()
+	sessions := anon.NewSessions()
+	plate := image.Rect(55, 40, 105, 56)
+
+	// Phase 1: drive the convoys and upload every VP.
+	var owners []*evidenceOwner
+	for c := 0; c < cfg.Convoys; c++ {
+		laneY := float64(c) * laneGap
+		n := cfg.CiviliansPerConvoy + 1 // + police
+		vehicles := make([]*client.Vehicle, n)
+		for i := range vehicles {
+			v, err := client.NewVehicle(client.VehicleConfig{
+				Name: fmt.Sprintf("conv%d-car%d", c, i),
+				Seed: cfg.Seed + int64(c*100+i),
+				Source: &blur.CameraSource{
+					W: cfg.FrameW, H: cfg.FrameH,
+					Seed:   uint64(cfg.Seed) + uint64(c*1000+i),
+					Plates: []blur.Plate{{Rect: plate}},
+				},
+			})
+			if err != nil {
+				return nil, err
+			}
+			if err := v.BeginMinute(0); err != nil {
+				return nil, err
+			}
+			vehicles[i] = v
+		}
+		for s := 1; s <= 60; s++ {
+			vds := make([]vd.VD, n)
+			for i, v := range vehicles {
+				d, err := v.Tick(geo.Pt(float64(s)*10+float64(i)*50, laneY))
+				if err != nil {
+					return nil, err
+				}
+				vds[i] = d
+			}
+			for i, v := range vehicles {
+				for j, d := range vds {
+					if i != j {
+						if err := v.Hear(d, int64(s)); err != nil {
+							return nil, err
+						}
+					}
+				}
+			}
+		}
+		for i, v := range vehicles {
+			if _, _, err := v.EndMinute(nil); err != nil {
+				return nil, err
+			}
+			pending := v.PendingUploads()
+			if i == n-1 { // police: trusted upload
+				for _, p := range pending {
+					if err := sys.UploadTrustedVP(token, p.Marshal()); err != nil {
+						return nil, err
+					}
+				}
+				continue
+			}
+			for _, p := range pending {
+				if err := sys.UploadVP(p.Marshal()); err != nil {
+					return nil, err
+				}
+				id := p.ID()
+				q, _ := v.Secret(id)
+				chunks := v.MatchSolicitations([]vd.VPID{id})[id]
+				if chunks == nil {
+					return nil, fmt.Errorf("vehicle lost its recording for %x", id[:4])
+				}
+				owners = append(owners, &evidenceOwner{
+					id: id, q: q, chunks: chunks,
+					tamper: len(owners)%cfg.TamperEvery == cfg.TamperEvery-1,
+				})
+			}
+		}
+	}
+
+	// Phase 2: verified investigations open one solicitation per
+	// convoy lane.
+	res := &EvidenceResult{Owners: len(owners)}
+	for c := 0; c < cfg.Convoys; c++ {
+		laneY := float64(c) * laneGap
+		site := geo.NewRect(geo.Pt(0, laneY-60), geo.Pt(900, laneY+60))
+		rep, err := sys.OpenSolicitation(token, site, 0, cfg.Units)
+		if err != nil {
+			return nil, err
+		}
+		res.Solicited += rep.NewlyListed
+	}
+
+	// Phase 3: concurrent deliveries through the worker pool.
+	var accepted, rejected, verifiedBytes atomic.Int64
+	work := make(chan *evidenceOwner, len(owners))
+	for _, o := range owners {
+		work <- o
+	}
+	close(work)
+	var wg sync.WaitGroup
+	errCh := make(chan error, cfg.Workers)
+	t0 := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for o := range work {
+				chunks := o.chunks
+				if o.tamper {
+					chunks = make([][]byte, len(o.chunks))
+					for i, c := range o.chunks {
+						chunks[i] = append([]byte(nil), c...)
+					}
+					chunks[17][3] ^= 0x20
+				}
+				sid, err := sessions.New()
+				if err != nil {
+					errCh <- err
+					return
+				}
+				_, err = sys.Evidence().Deliver(sid, o.id, o.q, chunks)
+				switch {
+				case o.tamper && err != nil:
+					rejected.Add(1)
+				case o.tamper:
+					errCh <- fmt.Errorf("tampered delivery for %x was accepted", o.id[:4])
+					return
+				case err != nil:
+					errCh <- fmt.Errorf("honest delivery for %x: %w", o.id[:4], err)
+					return
+				default:
+					accepted.Add(1)
+					var total int64
+					for _, c := range chunks {
+						total += int64(len(c))
+					}
+					verifiedBytes.Add(total)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		return nil, err
+	}
+	res.DeliveryWall = time.Since(t0)
+	res.Accepted = int(accepted.Load())
+	res.Rejected = int(rejected.Load())
+	secs := res.DeliveryWall.Seconds()
+	if secs > 0 {
+		res.DeliveriesPerSec = float64(res.Accepted+res.Rejected) / secs
+		res.VerifyMBps = float64(verifiedBytes.Load()) / 1e6 / secs
+	}
+
+	// Phase 4: payout for every accepted delivery; one unit redeemed,
+	// one double-spend probe per owner.
+	for _, o := range owners {
+		if o.tamper {
+			continue
+		}
+		cash, err := withdrawEvidence(sys, sessions, o, cfg.Units)
+		if err != nil {
+			return nil, err
+		}
+		res.Minted += len(cash)
+		if err := sys.Evidence().Redeem(cash[0]); err != nil {
+			return nil, err
+		}
+		res.Redeemed++
+		if err := sys.Evidence().Redeem(cash[0]); err == nil {
+			return nil, fmt.Errorf("double spend for %x was accepted", o.id[:4])
+		}
+		res.DoubleSpendsRefused++
+	}
+
+	// Phase 5: investigator releases.
+	for _, o := range owners {
+		if o.tamper {
+			continue
+		}
+		_, _, regions, err := sys.ReleaseEvidence(token, o.id)
+		if err != nil {
+			return nil, err
+		}
+		res.Released++
+		res.RedactedRegions += regions
+	}
+	return res, nil
+}
+
+// withdrawEvidence runs the client side of one payout: blind fresh
+// notes, have the evidence desk sign them under a single-use session,
+// unblind into spendable cash.
+func withdrawEvidence(sys *server.System, sessions *anon.Sessions, o *evidenceOwner, n int) ([]*reward.Cash, error) {
+	pub := sys.Bank().PublicKey()
+	notes := make([]*reward.Note, n)
+	blinded := make([]*big.Int, n)
+	for i := 0; i < n; i++ {
+		note, err := reward.NewNote(pub, rand.Reader)
+		if err != nil {
+			return nil, err
+		}
+		notes[i] = note
+		blinded[i] = note.Blind(pub)
+	}
+	sid, err := sessions.New()
+	if err != nil {
+		return nil, err
+	}
+	sigs, err := sys.Evidence().Payout(sid, o.id, o.q, blinded)
+	if err != nil {
+		return nil, err
+	}
+	cash := make([]*reward.Cash, n)
+	for i := range sigs {
+		c, err := notes[i].Unblind(pub, sigs[i])
+		if err != nil {
+			return nil, err
+		}
+		cash[i] = c
+	}
+	return cash, nil
+}

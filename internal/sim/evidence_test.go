@@ -1,0 +1,33 @@
+package sim
+
+import "testing"
+
+// A small evidence-pipeline run: every stage must complete, tampered
+// submissions must bounce, and the counters must reconcile. The -race
+// CI job runs this with concurrent deliveries.
+func TestEvidencePipelineSmall(t *testing.T) {
+	res, err := Evidence(EvidenceConfig{
+		Convoys: 2, CiviliansPerConvoy: 2, TamperEvery: 4,
+		Units: 2, Workers: 4, FrameW: 160, FrameH: 90, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Owners != 4 || res.Solicited < 4 {
+		t.Fatalf("owners %d, solicited %d", res.Owners, res.Solicited)
+	}
+	if res.Accepted != 3 || res.Rejected != 1 {
+		t.Fatalf("accepted %d rejected %d, want 3/1", res.Accepted, res.Rejected)
+	}
+	if res.Minted != 6 || res.Redeemed != 3 || res.DoubleSpendsRefused != 3 {
+		t.Fatalf("payout counters %+v", res)
+	}
+	if res.Released != 3 || res.RedactedRegions < res.Released*60 {
+		t.Fatalf("release counters: %d released, %d regions", res.Released, res.RedactedRegions)
+	}
+	for _, row := range res.Rows() {
+		if row == "" {
+			t.Fatal("empty report row")
+		}
+	}
+}

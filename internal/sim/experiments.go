@@ -36,6 +36,7 @@ type Table1Row struct {
 	FPS      float64
 }
 
+// String formats the row like a Table 1 line.
 func (r Table1Row) String() string {
 	return fmt.Sprintf("%-22s blur %7.2f ms   I/O %7.2f ms   %5.1f fps",
 		r.Platform, ms(r.Blur), ms(r.IO), r.FPS)
@@ -82,6 +83,7 @@ type Fig8Row struct {
 	Normal  time.Duration
 }
 
+// String formats the row like a Fig. 8 data point.
 func (r Fig8Row) String() string {
 	return fmt.Sprintf("t=%2ds   cascade %8.3f ms   normal %8.3f ms",
 		r.Second, ms(r.Cascade), ms(r.Normal))
@@ -128,6 +130,7 @@ type Fig9Row struct {
 	VPsPerMin int // 1 actual + ceil(alpha*m) guards
 }
 
+// String formats the row like a Fig. 9 data point.
 func (r Fig9Row) String() string {
 	return fmt.Sprintf("m=%3d neighbors, alpha=%.1f -> %3d VPs/min", r.Neighbors, r.Alpha, r.VPsPerMin)
 }
@@ -230,6 +233,7 @@ type VerifyRow struct {
 	Runs        int
 }
 
+// String formats the row like a Fig. 12/13 data point.
 func (r VerifyRow) String() string {
 	return fmt.Sprintf("%-14s fake=%3d%%  accuracy %5.1f%%  legit recall %5.1f%%  (%d runs)",
 		r.Setting, r.FakePct, r.Accuracy*100, r.LegitRecall*100, r.Runs)
@@ -468,6 +472,7 @@ type Fig14Row struct {
 	FalseLinkage float64
 }
 
+// String formats the row like a Fig. 14 data point.
 func (r Fig14Row) String() string {
 	return fmt.Sprintf("m=%4d bits, n=%3d neighbors -> false linkage %.3e",
 		r.FilterBits, r.Neighbors, r.FalseLinkage)
@@ -501,6 +506,7 @@ type VLRRow struct {
 	Minutes     int
 }
 
+// String formats the row like a Fig. 15/17 data point.
 func (r VLRRow) String() string {
 	return fmt.Sprintf("%-12s d=%3.0fm  VLR %5.1f%%  video %5.1f%%  corr %+5.2f  (%d min)",
 		r.Environment, r.DistanceM, r.VLR*100, r.OnVideo*100, r.Correlation, r.Minutes)
@@ -639,6 +645,7 @@ type Fig16Row struct {
 	PDR  float64
 }
 
+// String formats the row like a Fig. 16 data point.
 func (r Fig16Row) String() string {
 	return fmt.Sprintf("RSSI %6.1f dBm -> PDR %.2f", r.RSSI, r.PDR)
 }

@@ -24,6 +24,7 @@ type Table2Row struct {
 	Minutes   int
 }
 
+// String formats the row like a Table 2 line.
 func (r Table2Row) String() string {
 	return fmt.Sprintf("%-20s %-9s linkage %5.1f%%  on video %5.1f%%  (%d min)",
 		r.Scenario, r.Condition, r.Linkage*100, r.OnVideo*100, r.Minutes)
@@ -204,6 +205,7 @@ type Fig21Row struct {
 	DOT        string // Graphviz rendering of the viewmap
 }
 
+// String formats the row like a Fig. 21 data point.
 func (r Fig21Row) String() string {
 	return fmt.Sprintf("%-8s members %4d  edges %5d  isolated %3d  components %3d  largest %4.1f%%",
 		r.SpeedLabel, r.Members, r.Edges, r.Isolated, r.Components, r.LargestPct)
@@ -278,6 +280,7 @@ type Fig22CRow struct {
 	Intervals   int
 }
 
+// String formats the row like a Fig. 22(c) data point.
 func (r Fig22CRow) String() string {
 	return fmt.Sprintf("%-7s mean contact %5.1f s  (%d intervals)", r.Speed, r.MeanContact, r.Intervals)
 }
@@ -427,6 +430,7 @@ type Fig22FRow struct {
 	MemberPct float64
 }
 
+// String formats the row like a Fig. 22(f) data point.
 func (r Fig22FRow) String() string {
 	return fmt.Sprintf("%-7s viewmap member VPs %5.1f%%", r.Speed, r.MemberPct)
 }
@@ -486,6 +490,7 @@ type OverheadReport struct {
 	BeaconCapacity int // DSRC beacon budget the VD fits into
 }
 
+// String formats the report like the Section 6.1 accounting.
 func (o OverheadReport) String() string {
 	return fmt.Sprintf("VD %d B (beacon budget %d B), VP %d B, video %d B -> overhead %.5f%%",
 		o.VDBytes, o.BeaconCapacity, o.VPBytes, o.VideoBytes, o.OverheadFrac*100)

@@ -102,6 +102,16 @@ func (s *Segment) Bytes() []byte {
 	return out
 }
 
+// ChunkSource produces the camera content recorded during each second
+// of a segment. SyntheticSource is the default pseudorandom
+// implementation; blur.CameraSource renders plate-bearing luminance
+// frames so the evidence-release path exercises real redaction.
+type ChunkSource interface {
+	// SecondChunk returns the content recorded during second i
+	// (1-based) of the segment starting at startUnix.
+	SecondChunk(startUnix int64, i int) []byte
+}
+
 // SyntheticSource produces deterministic pseudorandom camera output,
 // keyed by a seed so tests and simulations can reproduce exact streams.
 // It is NOT a cryptographic source; it only needs to be deterministic
