@@ -28,7 +28,7 @@ type experiment struct {
 }
 
 func main() {
-	runName := flag.String("run", "all", "experiment to run (all, ablation, serving, evidence, table1, fig8, fig9, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17, table2, fig20, fig21, fig22ab, fig22c, fig22d, fig22e, fig22f, overhead)")
+	runName := flag.String("run", "all", "experiment to run (all, ablation, serving, evidence, attack-serving, table1, fig8, fig9, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17, table2, fig20, fig21, fig22ab, fig22c, fig22d, fig22e, fig22f, overhead)")
 	scale := flag.String("scale", "quick", "quick or full")
 	seed := flag.Int64("seed", 42, "base random seed")
 	flag.Parse()
@@ -81,6 +81,7 @@ func experiments() []experiment {
 		{"overhead", "VD/VP communication and storage overhead", runOverhead},
 		{"serving", "sustained-ingest serving: cached viewmaps vs rebuild-per-request (not in the paper)", runServing},
 		{"evidence", "evidence pipeline: solicit, anonymous deliver + cascade verify, payout, blurred release (not in the paper)", runEvidence},
+		{"attack-serving", "online attack campaigns through the live HTTP serving path, cross-checked offline (not in the paper)", runAttackServing},
 		{"ablation", "damping and guard-alpha ablations (not in the paper)", runAblation},
 	}
 }
@@ -376,6 +377,25 @@ func runEvidence(scale string, seed int64) error {
 		Units:              2,
 		Workers:            pick(scale, 8, 16),
 		Seed:               seed,
+	})
+	if err != nil {
+		return err
+	}
+	for _, r := range res.Rows() {
+		fmt.Println(r)
+	}
+	return nil
+}
+
+func runAttackServing(scale string, seed int64) error {
+	res, err := sim.AttackServing(sim.AttackServingConfig{
+		LegitVPs:  pick(scale, 150, 1000),
+		FakePct:   100,
+		Owners:    pick(scale, 3, 5),
+		BatchSize: 64,
+		SweepRuns: pick(scale, 1, 10),
+		SweepPcts: []int{100, 300, 500},
+		Seed:      seed,
 	})
 	if err != nil {
 		return err

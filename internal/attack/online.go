@@ -1,0 +1,192 @@
+package attack
+
+// This file moves the adversary online. Launch and Evaluate exercise
+// campaigns against in-memory populations with batch core.Build; the
+// Online driver pushes the same campaigns through the untrusted wire
+// surface instead — client.API uploads against a live server.System —
+// and scores them through the per-VP verdict report endpoint. The
+// serving path (sharded store, link-on-ingest, cached viewmaps,
+// verdict cache) therefore faces the §6.3/§8 adversary directly, and
+// a campaign becomes a reusable online workload rather than a one-off
+// figure generator (sim.AttackServing orchestrates the scenarios).
+
+import (
+	"fmt"
+
+	"viewmap/internal/client"
+	"viewmap/internal/geo"
+	"viewmap/internal/vp"
+)
+
+// Online drives attack campaigns through the live HTTP serving path.
+type Online struct {
+	// API is the wire client all uploads and reports go through.
+	API *client.API
+	// Token authenticates trusted uploads and report requests.
+	Token string
+	// BatchSize is the number of profiles per batched upload; zero
+	// selects 64.
+	BatchSize int
+}
+
+func (o *Online) batchSize() int {
+	if o.BatchSize <= 0 {
+		return 64
+	}
+	return o.BatchSize
+}
+
+// SeedPopulation uploads an honest population over the wire: trusted
+// profiles go through the authority endpoint (the trusted flag never
+// rides the anonymous format), the rest as batched anonymous uploads.
+// It returns the number of profiles the server accepted.
+func (o *Online) SeedPopulation(pop []*vp.Profile) (int, error) {
+	stored := 0
+	anon := make([]*vp.Profile, 0, len(pop))
+	for _, p := range pop {
+		if p.Trusted {
+			if err := o.API.UploadTrustedVP(o.Token, p); err != nil {
+				return stored, fmt.Errorf("attack: trusted upload: %w", err)
+			}
+			stored++
+			continue
+		}
+		anon = append(anon, p)
+	}
+	res, err := o.Upload(anon)
+	if err != nil {
+		return stored, err
+	}
+	return stored + res.Stored, nil
+}
+
+// Upload pushes profiles through the batched anonymous endpoint and
+// accumulates the per-profile outcome counts.
+func (o *Online) Upload(profiles []*vp.Profile) (client.BatchUploadResult, error) {
+	var total client.BatchUploadResult
+	bs := o.batchSize()
+	for off := 0; off < len(profiles); off += bs {
+		end := min(off+bs, len(profiles))
+		res, err := o.API.UploadVPBatch(profiles[off:end])
+		if err != nil {
+			return total, fmt.Errorf("attack: batch upload: %w", err)
+		}
+		total.Stored += res.Stored
+		total.Duplicates += res.Duplicates
+		total.Rejected += res.Rejected
+	}
+	return total, nil
+}
+
+// Inject uploads a campaign's fakes interleaved batch-by-batch with
+// honest traffic: one honest batch, one fake batch, until both streams
+// drain — the upload pattern a real attacker hides in, and the
+// nastiest interleaving for link-on-ingest (fake chains attach to a
+// half-built honest graph). Pass a nil honest stream for a pure flood.
+func (o *Online) Inject(camp *Campaign, honest []*vp.Profile) (client.BatchUploadResult, error) {
+	var total client.BatchUploadResult
+	bs := o.batchSize()
+	fakes := camp.Fakes
+	for len(fakes) > 0 || len(honest) > 0 {
+		if len(honest) > 0 {
+			end := min(bs, len(honest))
+			res, err := o.Upload(honest[:end])
+			if err != nil {
+				return total, err
+			}
+			honest = honest[end:]
+			total.Stored += res.Stored
+			total.Duplicates += res.Duplicates
+			total.Rejected += res.Rejected
+		}
+		if len(fakes) > 0 {
+			end := min(bs, len(fakes))
+			res, err := o.Upload(fakes[:end])
+			if err != nil {
+				return total, err
+			}
+			fakes = fakes[end:]
+			total.Stored += res.Stored
+			total.Duplicates += res.Duplicates
+			total.Rejected += res.Rejected
+		}
+	}
+	return total, nil
+}
+
+// WireView returns the campaign as the server sees it: every fake
+// round-tripped through the anonymous wire format, which quantizes
+// trajectory positions to float32. An offline Evaluate cross-checked
+// against an online run must grade this view (over an equally
+// round-tripped population) — the in-memory originals differ by
+// sub-metre rounding, which is enough to flip a borderline
+// site-membership or proximity test.
+func (c *Campaign) WireView() (*Campaign, error) {
+	out := &Campaign{Owned: c.Owned, fakeIDs: c.fakeIDs}
+	out.Fakes = make([]*vp.Profile, len(c.Fakes))
+	for i, f := range c.Fakes {
+		w, err := vp.Unmarshal(f.Marshal())
+		if err != nil {
+			return nil, fmt.Errorf("attack: wire view of fake %d: %w", i, err)
+		}
+		out.Fakes[i] = w
+	}
+	return out, nil
+}
+
+// AdmittedWireView is WireView restricted to the fakes that pass the
+// server's §5.1.1 admission validation, with the count turned away.
+// A campaign can trip the admission gate with its own structure: the
+// dense in-site hub of a large chain campaign accumulates so many
+// cluster links that its neighbor filter exceeds the plausible fill
+// cap — the Bloom-poisoning defense firing on the attacker's hub —
+// and the store rejects it at the door. Offline cross-checks against
+// an online run must therefore grade the admitted set; the rejected
+// count is separately asserted against the wire upload result.
+func (c *Campaign) AdmittedWireView() (*Campaign, int, error) {
+	wire, err := c.WireView()
+	if err != nil {
+		return nil, 0, err
+	}
+	admitted := wire.Fakes[:0]
+	rejected := 0
+	for _, f := range wire.Fakes {
+		if f.Validate() != nil {
+			rejected++
+			continue
+		}
+		admitted = append(admitted, f)
+	}
+	wire.Fakes = admitted
+	return wire, rejected, nil
+}
+
+// Score grades the campaign through the wire: it fetches the per-VP
+// verdict report for (site, minute) and counts exactly what Evaluate
+// counts offline — in-site fakes and legitimate VPs, and how many of
+// each the verdict accepted.
+func (o *Online) Score(camp *Campaign, site geo.Rect, minute int64) (Outcome, error) {
+	rep, err := o.API.InvestigateReport(o.Token, site.Min.X, site.Min.Y, site.Max.X, site.Max.Y, minute)
+	if err != nil {
+		return Outcome{}, fmt.Errorf("attack: scoring report: %w", err)
+	}
+	var out Outcome
+	for _, v := range rep.Verdicts {
+		fake := camp.IsFake(v.ID)
+		if v.InSite {
+			if fake {
+				out.InSiteFakes++
+			} else {
+				out.InSiteLegit++
+			}
+		}
+		if v.Legitimate {
+			if fake {
+				out.FakeAccepted++
+			} else {
+				out.LegitAccepted++
+			}
+		}
+	}
+	return out, nil
+}

@@ -194,6 +194,86 @@ func (a *API) Investigate(token string, minX, minY, maxX, maxY float64, minute i
 	return out.NewlySolicited, nil
 }
 
+// VPVerdict is one viewmap member's verdict from the wire report.
+type VPVerdict struct {
+	// ID is the member's VP identifier.
+	ID vd.VPID
+	// Trusted marks authority VPs.
+	Trusted bool
+	// InSite reports whether the member's trajectory enters the site.
+	InSite bool
+	// Legitimate reports whether Algorithm 1 marked it LEGITIMATE.
+	Legitimate bool
+	// Hops is the viewlink distance to the nearest trusted VP (-1
+	// when unreachable).
+	Hops int
+}
+
+// InvestigationOutcome is the parsed POST /v1/investigate/report
+// response: the viewmap's shape plus every member's verdict, in
+// ascending identifier order.
+type InvestigationOutcome struct {
+	// Members and Edges describe the verified viewmap.
+	Members, Edges int
+	// InSite counts members whose trajectories enter the site.
+	InSite int
+	// Verdicts holds one entry per viewmap member.
+	Verdicts []VPVerdict
+}
+
+// InvestigateReport verifies (site, minute) and returns the per-VP
+// verdicts — the scoring surface the online attack campaigns are
+// graded through. Read-only; no solicitations are posted. Authority
+// only.
+func (a *API) InvestigateReport(token string, minX, minY, maxX, maxY float64, minute int64) (*InvestigationOutcome, error) {
+	reqBody, err := json.Marshal(map[string]interface{}{
+		"site":   map[string]float64{"minX": minX, "minY": minY, "maxX": maxX, "maxY": maxY},
+		"minute": minute,
+	})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := a.do("POST", "/v1/investigate/report", "application/json", reqBody, token)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Members  int `json:"members"`
+		Edges    int `json:"edges"`
+		InSite   int `json:"inSite"`
+		Verdicts []struct {
+			ID         string `json:"id"`
+			Trusted    bool   `json:"trusted"`
+			InSite     bool   `json:"inSite"`
+			Legitimate bool   `json:"legitimate"`
+			Hops       int    `json:"hops"`
+		} `json:"verdicts"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	res := &InvestigationOutcome{
+		Members: out.Members, Edges: out.Edges, InSite: out.InSite,
+		Verdicts: make([]VPVerdict, len(out.Verdicts)),
+	}
+	for i, v := range out.Verdicts {
+		b, err := hex.DecodeString(v.ID)
+		if err != nil || len(b) != len(vd.VPID{}) {
+			return nil, fmt.Errorf("client: bad id %q in report", v.ID)
+		}
+		res.Verdicts[i] = VPVerdict{
+			Trusted: v.Trusted, InSite: v.InSite,
+			Legitimate: v.Legitimate, Hops: v.Hops,
+		}
+		copy(res.Verdicts[i].ID[:], b)
+	}
+	return res, nil
+}
+
 // fetchIDs reads an {ids:[hex]} response.
 func (a *API) fetchIDs(path string) ([]vd.VPID, error) {
 	resp, err := a.do("GET", path, "", nil, "")

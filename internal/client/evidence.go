@@ -202,6 +202,32 @@ type EvidenceStats struct {
 	Released int `json:"released"`
 }
 
+// IngestStats are the admission-gate counters of GET /v1/stats: how
+// many uploads were turned away, and at which gate.
+type IngestStats struct {
+	// Rejected counts profiles that failed structural validation.
+	Rejected int `json:"rejected"`
+	// WireRejected counts records that did not parse into profiles.
+	WireRejected int `json:"wireRejected"`
+	// Duplicates counts uploads with an already-claimed identifier.
+	Duplicates int `json:"duplicates"`
+	// Quarantined counts stored-but-unlinked profiles (implausible
+	// trajectories), summed over shards.
+	Quarantined int `json:"quarantined"`
+}
+
+// ShardStats describes one minute shard in GET /v1/stats.
+type ShardStats struct {
+	// Minute is the shard's unit-time window.
+	Minute int64 `json:"minute"`
+	// VPs counts profiles stored in the shard.
+	VPs int `json:"vps"`
+	// Quarantined counts the shard's stored-but-unlinked profiles.
+	Quarantined int `json:"quarantined"`
+	// Epoch is the shard's ingest epoch.
+	Epoch uint64 `json:"epoch"`
+}
+
 // ServiceStats is the full GET /v1/stats response.
 type ServiceStats struct {
 	// VPs and Trusted count stored profiles.
@@ -212,6 +238,10 @@ type ServiceStats struct {
 	ReviewQueue int `json:"reviewQueue"`
 	// Minutes counts unit-time windows with stored profiles.
 	Minutes int `json:"minutes"`
+	// Ingest carries the admission-gate counters.
+	Ingest IngestStats `json:"ingest"`
+	// Shards lists per-minute shard state, ascending by minute.
+	Shards []ShardStats `json:"shards"`
 	// Evidence carries the evidence-subsystem counters.
 	Evidence EvidenceStats `json:"evidence"`
 }

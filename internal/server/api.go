@@ -34,6 +34,7 @@ const sessionHeader = "X-Session"
 //	POST /v1/vp/batch                batched binary VP upload (anonymous)
 //	POST /v1/vp/trusted              binary VP upload (authority)
 //	POST /v1/investigate             {"site":{...},"minute":N} (authority)
+//	POST /v1/investigate/report      {"site":{...},"minute":N} -> per-VP verdicts (authority)
 //	GET  /v1/solicitations           {"ids":["hex",...]}
 //	POST /v1/video                   {"id":"hex","chunks":["b64",...]}
 //	GET  /v1/rewards                 {"ids":["hex",...]}
@@ -46,7 +47,7 @@ const sessionHeader = "X-Session"
 //	POST /v1/evidence/payout         {"id","secret","blinded"} (X-Session, single use)
 //	POST /v1/evidence/redeem         {"m":"b64","sig":"dec"}
 //	GET  /v1/evidence/video?id=hex   blurred release (authority)
-//	GET  /v1/stats                   {"vps":N,"trusted":N,...,"evidence":{...}}
+//	GET  /v1/stats                   {"vps":N,...,"ingest":{...},"shards":[...],"evidence":{...}}
 func Handler(sys *System) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/vp", func(w http.ResponseWriter, r *http.Request) {
@@ -133,6 +134,31 @@ func Handler(sys *System) http.Handler {
 				Members: rep.Members, Edges: rep.Edges, InSite: rep.InSite,
 				Legitimate: encodeIDs(rep.Legitimate), NewlySolicited: rep.NewlySolicited,
 			})
+		}
+		writeJSON(w, out)
+	})
+	mux.HandleFunc("POST /v1/investigate/report", func(w http.ResponseWriter, r *http.Request) {
+		var req investigateRequest
+		if err := decodeJSON(r, &req); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		report, err := sys.InvestigateReport(r.Header.Get(authorityHeader),
+			geo.NewRect(geo.Pt(req.Site.MinX, req.Site.MinY), geo.Pt(req.Site.MaxX, req.Site.MaxY)),
+			req.Minute)
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		out := reportResponse{
+			Members: report.Members, Edges: report.Edges, InSite: report.InSite,
+			Verdicts: make([]verdictJSON, len(report.Verdicts)),
+		}
+		for i, v := range report.Verdicts {
+			out.Verdicts[i] = verdictJSON{
+				ID: hex.EncodeToString(v.ID[:]), Trusted: v.Trusted,
+				InSite: v.InSite, Legitimate: v.Legitimate, Hops: v.Hops,
+			}
 		}
 		writeJSON(w, out)
 	})
@@ -376,11 +402,27 @@ func Handler(sys *System) http.Handler {
 
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		ev := sys.Evidence().StatsSnapshot()
+		shardStats := sys.Store().ShardStats()
+		ingest := sys.Store().IngestStatsFrom(shardStats)
+		shards := make([]shardStatJSON, len(shardStats))
+		for i, sh := range shardStats {
+			shards[i] = shardStatJSON{
+				Minute: sh.Minute, VPs: sh.VPs,
+				Quarantined: sh.Quarantined, Epoch: sh.Epoch,
+			}
+		}
 		writeJSON(w, statsResponse{
 			VPs:         sys.Store().Len(),
 			Trusted:     sys.Store().TrustedCount(),
 			ReviewQueue: sys.ReviewQueueLen(),
 			Minutes:     sys.Store().MinuteCount(),
+			Ingest: ingestStatsJSON{
+				Rejected:     ingest.Rejected,
+				WireRejected: ingest.WireRejected,
+				Duplicates:   ingest.Duplicates,
+				Quarantined:  ingest.Quarantined,
+			},
+			Shards: shards,
 			Evidence: evidenceStatsJSON{
 				OpenSolicitations:  ev.OpenSolicitations,
 				DeliveriesAccepted: ev.DeliveriesAccepted,
@@ -477,7 +519,38 @@ type statsResponse struct {
 	Trusted     int               `json:"trusted"`
 	ReviewQueue int               `json:"reviewQueue"`
 	Minutes     int               `json:"minutes"`
+	Ingest      ingestStatsJSON   `json:"ingest"`
+	Shards      []shardStatJSON   `json:"shards"`
 	Evidence    evidenceStatsJSON `json:"evidence"`
+}
+
+type ingestStatsJSON struct {
+	Rejected     int `json:"rejected"`
+	WireRejected int `json:"wireRejected"`
+	Duplicates   int `json:"duplicates"`
+	Quarantined  int `json:"quarantined"`
+}
+
+type shardStatJSON struct {
+	Minute      int64  `json:"minute"`
+	VPs         int    `json:"vps"`
+	Quarantined int    `json:"quarantined"`
+	Epoch       uint64 `json:"epoch"`
+}
+
+type verdictJSON struct {
+	ID         string `json:"id"`
+	Trusted    bool   `json:"trusted"`
+	InSite     bool   `json:"inSite"`
+	Legitimate bool   `json:"legitimate"`
+	Hops       int    `json:"hops"`
+}
+
+type reportResponse struct {
+	Members  int           `json:"members"`
+	Edges    int           `json:"edges"`
+	InSite   int           `json:"inSite"`
+	Verdicts []verdictJSON `json:"verdicts"`
 }
 
 type evidenceStatsJSON struct {

@@ -1,0 +1,131 @@
+package server_test
+
+// Native fuzz target for the state-restore decoder: System.LoadFrom
+// accepts both the full-system snapshot format and the legacy bare
+// VMAPDB01 store stream, sniffing the magic — a classic confusable
+// surface. Operators restore state files they did not necessarily
+// write, so the decoder must never panic and must refuse hostile
+// length prefixes without allocating what they claim. The hostile-
+// prefix regressions are pinned as unit tests below so they run in
+// every plain `go test`, not only under -fuzz.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"viewmap/internal/core"
+	"viewmap/internal/geo"
+	"viewmap/internal/server"
+)
+
+// savedStateSeeds builds one full-system snapshot and one legacy bare
+// store stream over a small real population.
+func savedStateSeeds(tb testing.TB) (system, legacy []byte) {
+	tb.Helper()
+	sys, err := server.NewSystem(server.Config{AuthorityToken: "seed", Bank: sharedBank(tb)})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	area := geo.NewRect(geo.Pt(0, 0), geo.Pt(1000, 1000))
+	profiles, err := core.SynthesizeLegitimate(core.SynthConfig{N: 3, Area: area, Seed: 4})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	core.MarkTrustedNearest(profiles, area.Center())
+	for _, p := range profiles {
+		trusted := p.Trusted
+		p.Trusted = false
+		if trusted {
+			if err := sys.UploadTrustedVP("seed", p.Marshal()); err != nil {
+				tb.Fatal(err)
+			}
+			p.Trusted = true
+			continue
+		}
+		if err := sys.UploadVP(p.Marshal()); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	var sysBuf, storeBuf bytes.Buffer
+	if err := sys.SaveTo(&sysBuf); err != nil {
+		tb.Fatal(err)
+	}
+	if err := sys.Store().SaveTo(&storeBuf); err != nil {
+		tb.Fatal(err)
+	}
+	return sysBuf.Bytes(), storeBuf.Bytes()
+}
+
+// FuzzSystemLoadFrom hammers the restore path with both formats plus
+// corruptions. Every iteration restores into a fresh system; errors
+// are fine, panics and prefix-sized allocations are not.
+func FuzzSystemLoadFrom(f *testing.F) {
+	system, legacy := savedStateSeeds(f)
+	f.Add(system)
+	f.Add(legacy)
+	f.Add(system[:8])
+	f.Add(legacy[:12])
+	f.Add([]byte("VMAPSYS1"))
+	f.Add([]byte("VMAPDB01garbage"))
+	hostile := append([]byte(nil), system[:8]...)
+	hostile = binary.BigEndian.AppendUint64(hostile, 1<<40) // section claims 1 TB
+	f.Add(hostile)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sys, err := server.NewSystem(server.Config{AuthorityToken: "fuzz", Bank: sharedBank(t)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := sys.LoadFrom(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if loaded != sys.Store().Len() {
+			t.Fatalf("LoadFrom reported %d profiles, store holds %d", loaded, sys.Store().Len())
+		}
+	})
+}
+
+// TestLoadFromHostileSectionLength pins the fix for the snapshot
+// decoder's worst input: a section header claiming terabytes against
+// a stream holding a handful of bytes must error after reading what
+// is actually there — never allocate the claim.
+func TestLoadFromHostileSectionLength(t *testing.T) {
+	sys, err := server.NewSystem(server.Config{AuthorityToken: "t", Bank: sharedBank(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A claim over the hard section cap is refused outright.
+	over := []byte("VMAPSYS1")
+	over = binary.BigEndian.AppendUint64(over, 1<<40)
+	over = append(over, "only a few real bytes"...)
+	if _, err := sys.LoadFrom(bytes.NewReader(over)); err == nil {
+		t.Fatal("section claiming 1 TB must not load")
+	}
+	// A claim under the cap but far beyond the stream must fail on
+	// the truncated read — the buffer grows only with arriving bytes,
+	// so this returns in microseconds instead of allocating 4 GB.
+	under := []byte("VMAPSYS1")
+	under = binary.BigEndian.AppendUint64(under, 1<<32)
+	under = append(under, "only a few real bytes"...)
+	if _, err := sys.LoadFrom(bytes.NewReader(under)); err == nil {
+		t.Fatal("section claiming 4 GB against 21 real bytes must not load")
+	} else if !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestLoadFromHostileRecordLength does the same for the legacy store
+// stream: a record claiming more than the 1 MB cap is refused by the
+// length check before any allocation.
+func TestLoadFromHostileRecordLength(t *testing.T) {
+	data := []byte("VMAPDB01")
+	data = binary.BigEndian.AppendUint32(data, 1) // one record
+	data = binary.BigEndian.AppendUint32(data, 1<<30)
+	data = append(data, 0) // trusted flag
+	store := server.NewStore()
+	if _, err := store.LoadFrom(bytes.NewReader(data)); err == nil {
+		t.Fatal("record claiming 1 GB must not load")
+	}
+}

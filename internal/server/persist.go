@@ -158,7 +158,12 @@ func writeSection(w io.Writer, save func(io.Writer) error) error {
 	return err
 }
 
-// readSection reads one length-prefixed section into memory.
+// readSection reads one length-prefixed section into memory. The
+// length prefix is untrusted input (state files cross trust
+// boundaries: operators restore files they did not write), so the
+// buffer grows only as bytes actually arrive — a crafted prefix
+// claiming gigabytes against a short stream errors out after reading
+// what is really there instead of allocating the claim up front.
 func readSection(r io.Reader) ([]byte, error) {
 	var hdr [8]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -168,11 +173,21 @@ func readSection(r io.Reader) ([]byte, error) {
 	if int64(size) < 0 || int64(size) > maxSection {
 		return nil, fmt.Errorf("server: section claims %d bytes", size)
 	}
-	sec := make([]byte, size)
-	if _, err := io.ReadFull(r, sec); err != nil {
-		return nil, err
+	var buf bytes.Buffer
+	// Pre-grow up to a modest cap: sections that fit it (typical test
+	// and demo deployments) get one allocation, while a hostile prefix
+	// can demand at most the cap before truncation cuts it short.
+	const growCap = 1 << 20
+	if int64(size) < growCap {
+		buf.Grow(int(size))
+	} else {
+		buf.Grow(growCap)
 	}
-	return sec, nil
+	n, err := io.CopyN(&buf, r, int64(size))
+	if err != nil {
+		return nil, fmt.Errorf("server: section truncated at %d of %d bytes: %w", n, size, err)
+	}
+	return buf.Bytes(), nil
 }
 
 // SaveTo streams the full system state — store, bank, evidence board

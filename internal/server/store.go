@@ -53,6 +53,15 @@ type Store struct {
 
 	count        atomic.Int64
 	trustedCount atomic.Int64
+
+	// Attack-facing ingest counters. Rejections and duplicates are
+	// global by construction: both fire before a shard is touched (a
+	// rejected or replayed profile claims an attacker-chosen minute
+	// and must not allocate one), so there is no shard to charge them
+	// to. Quarantines are per-shard (see minuteShard.quarantined).
+	rejectedCount  atomic.Int64
+	duplicateCount atomic.Int64
+	wireRejected   atomic.Int64
 }
 
 // StoreConfig parameterizes the VP database.
@@ -82,6 +91,11 @@ type minuteShard struct {
 	// site rectangle and valid while the stamped epoch matches the
 	// builder's. Bounded by viewmapCacheMax.
 	cache map[geo.Rect]cachedViewmap
+	// quarantined counts profiles stored in the slab that the
+	// incremental linker refused to link (implausible trajectories):
+	// they are in the database — construction decides what to link —
+	// but can never join this minute's viewmap.
+	quarantined int
 }
 
 // cachedViewmap is one cache entry: the viewmap extracted at epoch.
@@ -151,9 +165,15 @@ func (s *Store) ingestLocked(sh *minuteShard, p *vp.Profile) error {
 		// selected by the same Minute() the builder checks), but if it
 		// ever fires, release the identifier claim: nothing
 		// half-ingested.
-		if _, err := sh.builder.Add(p); err != nil {
+		linked, err := sh.builder.Add(p)
+		if err != nil {
 			s.ids.Delete(p.ID())
 			return err
+		}
+		if !linked {
+			// Stored but refused by the linker (implausible
+			// trajectory): the §8 teleport attacker lands here.
+			sh.quarantined++
 		}
 	}
 	sh.profiles = append(sh.profiles, p)
@@ -172,9 +192,11 @@ func (s *Store) ingestLocked(sh *minuteShard, p *vp.Profile) error {
 // into its minute's viewmap before Put returns.
 func (s *Store) Put(p *vp.Profile) error {
 	if err := p.Validate(); err != nil {
+		s.rejectedCount.Add(1)
 		return fmt.Errorf("server: rejecting VP: %w", err)
 	}
 	if _, dup := s.ids.LoadOrStore(p.ID(), p); dup {
+		s.duplicateCount.Add(1)
 		return ErrDuplicate
 	}
 	sh := s.ensureShard(p.Minute())
@@ -205,6 +227,7 @@ func (s *Store) PutBatch(ps []*vp.Profile) BatchResult {
 	for _, p := range ps {
 		if err := p.Validate(); err != nil {
 			res.Rejected++
+			s.rejectedCount.Add(1)
 			continue
 		}
 		byMinute[p.Minute()] = append(byMinute[p.Minute()], p)
@@ -217,6 +240,7 @@ func (s *Store) PutBatch(ps []*vp.Profile) BatchResult {
 		for _, p := range group {
 			if _, dup := s.ids.LoadOrStore(p.ID(), p); dup {
 				res.Duplicates++
+				s.duplicateCount.Add(1)
 				continue
 			}
 			accepted = append(accepted, p)
@@ -316,6 +340,93 @@ func (s *Store) MinuteCount() int {
 
 // TrustedCount returns the number of stored trusted profiles.
 func (s *Store) TrustedCount() int { return int(s.trustedCount.Load()) }
+
+// IngestStats are the store's attack-facing ingest counters: how many
+// uploads the admission pipeline turned away, and at which gate.
+type IngestStats struct {
+	// Rejected counts profiles that failed §5.1.1 structural
+	// validation (truncated minutes, inconsistent identifiers,
+	// poisoned filters).
+	Rejected int
+	// WireRejected counts wire records that did not even parse into a
+	// profile (counted by the System on the HTTP paths).
+	WireRejected int
+	// Duplicates counts uploads rejected for an already-claimed
+	// identifier — replays, whatever minute they pretended to be from.
+	Duplicates int
+	// Quarantined counts stored profiles the incremental linker
+	// refused to link (implausible trajectories), summed over shards.
+	Quarantined int
+}
+
+// IngestStatsSnapshot reads the current ingest counters.
+func (s *Store) IngestStatsSnapshot() IngestStats {
+	return s.IngestStatsFrom(s.ShardStats())
+}
+
+// IngestStatsFrom builds the ingest counters from an already-taken
+// ShardStats pass: callers that surface both (the stats endpoint)
+// lock each shard once, and the quarantine total is consistent with
+// the per-shard counts by construction.
+func (s *Store) IngestStatsFrom(shards []ShardStat) IngestStats {
+	st := IngestStats{
+		Rejected:     int(s.rejectedCount.Load()),
+		WireRejected: int(s.wireRejected.Load()),
+		Duplicates:   int(s.duplicateCount.Load()),
+	}
+	for _, sh := range shards {
+		st.Quarantined += sh.Quarantined
+	}
+	return st
+}
+
+// noteWireRejected records n wire records that failed to parse into
+// profiles; the System's HTTP upload paths call this so the counter
+// sits next to the other admission-gate counters.
+func (s *Store) noteWireRejected(n int) {
+	if n > 0 {
+		s.wireRejected.Add(int64(n))
+	}
+}
+
+// ShardStat describes one minute shard's attack-facing state.
+type ShardStat struct {
+	// Minute is the shard's unit-time window.
+	Minute int64
+	// VPs counts profiles stored in the shard's slab.
+	VPs int
+	// Quarantined counts slab profiles the linker refused to link.
+	Quarantined int
+	// Epoch is the shard builder's ingest epoch (zero with the
+	// viewmap cache disabled).
+	Epoch uint64
+}
+
+// ShardStats returns one ShardStat per minute shard, ascending by
+// minute.
+func (s *Store) ShardStats() []ShardStat {
+	s.mu.RLock()
+	minutes := make([]int64, 0, len(s.shards))
+	shards := make([]*minuteShard, 0, len(s.shards))
+	for m, sh := range s.shards {
+		minutes = append(minutes, m)
+		shards = append(shards, sh)
+	}
+	s.mu.RUnlock()
+	out := make([]ShardStat, len(shards))
+	for i, sh := range shards {
+		sh.mu.Lock()
+		out[i] = ShardStat{
+			Minute:      minutes[i],
+			VPs:         len(sh.profiles),
+			Quarantined: sh.quarantined,
+			Epoch:       sh.builder.Epoch(),
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Minute < out[j].Minute })
+	return out
+}
 
 // MinuteEpoch returns the ingest epoch of a minute's incremental
 // builder (zero for an empty minute). The epoch advances on every

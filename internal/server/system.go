@@ -1,11 +1,13 @@
 package server
 
 import (
+	"bytes"
 	"crypto/rand"
 	"crypto/subtle"
 	"errors"
 	"fmt"
 	"math/big"
+	"sort"
 	"sync"
 	"time"
 
@@ -163,6 +165,7 @@ func (sys *System) checkAuthority(token string) error {
 func (sys *System) UploadVP(data []byte) error {
 	p, err := vp.Unmarshal(data)
 	if err != nil {
+		sys.store.noteWireRejected(1)
 		return err
 	}
 	return sys.store.Put(p)
@@ -188,6 +191,7 @@ func (sys *System) UploadVPBatch(data []byte) (BatchResult, error) {
 		p, err := vp.Unmarshal(rec)
 		if err != nil {
 			res.Rejected++
+			sys.store.noteWireRejected(1)
 			continue
 		}
 		profiles = append(profiles, p)
@@ -253,6 +257,83 @@ func (sys *System) Investigate(token string, site geo.Rect, minute int64) (*Inve
 			report.NewlySolicited++
 		}
 	}
+	return report, nil
+}
+
+// VPVerdict is one viewmap member's wire-visible verdict, as returned
+// by InvestigateReport: enough for an external harness — or an
+// auditor — to score a verification run per VP without access to the
+// in-memory graph.
+type VPVerdict struct {
+	// ID is the member's VP identifier.
+	ID vd.VPID
+	// Trusted marks authority VPs.
+	Trusted bool
+	// InSite reports whether the claimed trajectory enters the
+	// investigated site.
+	InSite bool
+	// Legitimate reports whether Algorithm 1 marked the VP LEGITIMATE.
+	Legitimate bool
+	// Hops is the viewlink distance to the nearest trusted VP (-1
+	// when unreachable).
+	Hops int
+}
+
+// FullReport is an InvestigationReport plus the per-VP verdicts of
+// every viewmap member, in ascending identifier order.
+type FullReport struct {
+	InvestigationReport
+	// Verdicts holds one entry per viewmap member.
+	Verdicts []VPVerdict
+}
+
+// InvestigateReport verifies (site, minute) like Investigate but
+// returns the per-VP verdict of every viewmap member instead of
+// posting solicitations — the scoring surface the online attack
+// campaigns (internal/attack.Online) are graded through. It is
+// read-only: no solicitation state changes. Authority only.
+func (sys *System) InvestigateReport(token string, site geo.Rect, minute int64) (*FullReport, error) {
+	if err := sys.checkAuthority(token); err != nil {
+		return nil, err
+	}
+	vm, err := sys.store.ViewmapFor(site, minute)
+	if err != nil {
+		return nil, err
+	}
+	verdict, err := sys.verifiedSite(vm, site, minute)
+	if err != nil {
+		return nil, err
+	}
+	inSite := vm.InSite(site)
+	report := &FullReport{
+		InvestigationReport: InvestigationReport{
+			Minute:     minute,
+			Members:    vm.Len(),
+			Edges:      vm.NumEdges(),
+			InSite:     len(inSite),
+			Legitimate: verdict.LegitimateIDs(vm),
+		},
+		Verdicts: make([]VPVerdict, vm.Len()),
+	}
+	hops := vm.HopsFromTrusted()
+	for i, p := range vm.Profiles {
+		report.Verdicts[i] = VPVerdict{
+			ID:      p.ID(),
+			Trusted: p.Trusted,
+			Hops:    hops[i],
+		}
+	}
+	for _, i := range inSite {
+		report.Verdicts[i].InSite = true
+	}
+	for _, i := range verdict.Legitimate {
+		report.Verdicts[i].Legitimate = true
+	}
+	// Identifier order makes the wire report independent of ingest
+	// order, so two runs of the same campaign compare byte-for-byte.
+	sort.Slice(report.Verdicts, func(a, b int) bool {
+		return bytes.Compare(report.Verdicts[a].ID[:], report.Verdicts[b].ID[:]) < 0
+	})
 	return report, nil
 }
 

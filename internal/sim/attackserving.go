@@ -1,0 +1,887 @@
+package sim
+
+// This file turns the §6.3/§8 adversary into a permanent online
+// workload: every campaign shape the offline attack experiments
+// evaluate (single fake-VP chains, colluding cross-linked clusters,
+// hop-banded owners) plus online-only scenarios (fake floods into
+// already-verified minutes, stale-minute and duplicate-ID replays,
+// interleaved honest/attacker uploads, tampered evidence deliveries,
+// payout double-spend races) is driven through client.API against a
+// live server.System over the real HTTP endpoints, and scored through
+// the wire via the per-VP verdict report. Every scored scenario is
+// cross-checked against the offline attack.Evaluate numbers — the
+// serving path must agree with the batch pipeline bit for bit — and
+// the whole run is deterministic for a fixed seed, so repeated runs
+// can be compared fingerprint-for-fingerprint.
+
+import (
+	"bytes"
+	crand "crypto/rand"
+	"crypto/rsa"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"time"
+
+	"viewmap/internal/attack"
+	"viewmap/internal/client"
+	"viewmap/internal/core"
+	"viewmap/internal/geo"
+	"viewmap/internal/reward"
+	"viewmap/internal/server"
+	"viewmap/internal/vd"
+	"viewmap/internal/vp"
+)
+
+// AttackServingConfig parameterizes the online attack campaigns.
+type AttackServingConfig struct {
+	// LegitVPs is the honest population per scenario; zero selects 160.
+	LegitVPs int
+	// FakePct is the fake volume as a percentage of the honest
+	// population; zero selects 100.
+	FakePct int
+	// Owners is the number of colluding attackers; zero selects 4.
+	Owners int
+	// BatchSize is the wire upload batch size; zero selects 64.
+	BatchSize int
+	// SweepRuns is the number of arenas per online Fig. 12/13 sweep;
+	// zero selects 1.
+	SweepRuns int
+	// SweepPcts are the fake volumes of the online sweeps; nil selects
+	// {100, 300, 500}.
+	SweepPcts []int
+	// SkipSweeps drops the online Fig. 12/13 sweeps (the scenario
+	// suite still runs).
+	SkipSweeps bool
+	// Seed drives every random choice of the run.
+	Seed int64
+}
+
+func (c AttackServingConfig) withDefaults() AttackServingConfig {
+	if c.LegitVPs <= 0 {
+		c.LegitVPs = 160
+	}
+	if c.FakePct <= 0 {
+		c.FakePct = 100
+	}
+	if c.Owners <= 0 {
+		c.Owners = 4
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 64
+	}
+	if c.SweepRuns <= 0 {
+		c.SweepRuns = 1
+	}
+	if c.SweepPcts == nil {
+		c.SweepPcts = []int{100, 300, 500}
+	}
+	return c
+}
+
+// AttackScenario reports one scored online campaign.
+type AttackScenario struct {
+	// Name identifies the campaign shape.
+	Name string
+	// Outcome is the wire-scored verdict outcome; it is asserted equal
+	// to the offline attack.Evaluate outcome before being reported.
+	Outcome attack.Outcome
+	// Members and Edges describe the investigated viewmap.
+	Members, Edges int
+	// Detail carries scenario-specific counters.
+	Detail string
+}
+
+// AttackServingResult reports one full online-adversary run.
+type AttackServingResult struct {
+	// Scenarios are the scored campaigns, in execution order.
+	Scenarios []AttackScenario
+	// Fig12Online and Fig13Online are the online accuracy sweeps;
+	// every cell was asserted equal to the offline evaluator.
+	Fig12Online, Fig13Online []VerifyRow
+	// DuplicatesRefused counts replayed uploads the store rejected.
+	DuplicatesRefused int
+	// StaleReplaysRefused counts duplicate-identifier replays into a
+	// different (stale) minute that were rejected without creating a
+	// shard.
+	StaleReplaysRefused int
+	// WireRejected counts crafted records that failed wire parsing.
+	WireRejected int
+	// Quarantined counts stored-but-unlinked implausible profiles.
+	Quarantined int
+	// TamperRejected counts tampered evidence deliveries refused by
+	// the VD cascade; DeliveriesAccepted the honest ones accepted.
+	TamperRejected, DeliveriesAccepted int
+	// DoubleSpendRefused counts concurrent re-redemptions refused;
+	// PayoutRaceWinners the winners of the racing final-unit payout
+	// (must be exactly 1).
+	DoubleSpendRefused, PayoutRaceWinners int
+	// Elapsed is the wall-clock time of the run (excluded from the
+	// Fingerprint).
+	Elapsed time.Duration
+}
+
+// Fingerprint renders every deterministic field of the result; two
+// runs with identical configuration must produce identical
+// fingerprints (the determinism guard on the epoch/grid-rebuild
+// scheduling of the serving path).
+func (r *AttackServingResult) Fingerprint() string {
+	var b strings.Builder
+	for _, sc := range r.Scenarios {
+		fmt.Fprintf(&b, "%s|%+v|m%d|e%d|%s\n", sc.Name, sc.Outcome, sc.Members, sc.Edges, sc.Detail)
+	}
+	for _, row := range r.Fig12Online {
+		fmt.Fprintf(&b, "fig12|%s\n", row)
+	}
+	for _, row := range r.Fig13Online {
+		fmt.Fprintf(&b, "fig13|%s\n", row)
+	}
+	fmt.Fprintf(&b, "dup%d|stale%d|wire%d|quar%d|tamper%d|acc%d|ds%d|race%d\n",
+		r.DuplicatesRefused, r.StaleReplaysRefused, r.WireRejected, r.Quarantined,
+		r.TamperRejected, r.DeliveriesAccepted, r.DoubleSpendRefused, r.PayoutRaceWinners)
+	return b.String()
+}
+
+// Rows renders the result in the bench binary's row format.
+func (r *AttackServingResult) Rows() []string {
+	out := make([]string, 0, len(r.Scenarios)+len(r.Fig12Online)+len(r.Fig13Online)+4)
+	for _, sc := range r.Scenarios {
+		out = append(out, fmt.Sprintf("%-22s fakes in site %3d, accepted %d; legit in site %3d, accepted %3d  (viewmap %d members / %d edges) %s",
+			sc.Name, sc.Outcome.InSiteFakes, sc.Outcome.FakeAccepted,
+			sc.Outcome.InSiteLegit, sc.Outcome.LegitAccepted, sc.Members, sc.Edges, sc.Detail))
+	}
+	for _, row := range r.Fig12Online {
+		out = append(out, "fig12-online  "+row.String())
+	}
+	for _, row := range r.Fig13Online {
+		out = append(out, "fig13-online  "+row.String())
+	}
+	out = append(out,
+		fmt.Sprintf("replays refused: %d duplicate, %d stale-minute; %d wire-rejects, %d quarantined",
+			r.DuplicatesRefused, r.StaleReplaysRefused, r.WireRejected, r.Quarantined),
+		fmt.Sprintf("evidence: %d tampered deliveries rejected, %d honest accepted", r.TamperRejected, r.DeliveriesAccepted),
+		fmt.Sprintf("payout: %d double spends refused, %d final-unit race winner(s)", r.DoubleSpendRefused, r.PayoutRaceWinners),
+		fmt.Sprintf("every scored scenario matched the offline attack.Evaluate outcome (ran in %v)", r.Elapsed.Round(time.Millisecond)),
+	)
+	return out
+}
+
+// onlineHarness is one live system behind the real HTTP surface.
+type onlineHarness struct {
+	sys    *server.System
+	srv    *httptest.Server
+	api    *client.API
+	online *attack.Online
+}
+
+const attackToken = "attack-bench"
+
+// newOnlineHarness boots a system (reusing the shared signing key so
+// RSA generation is paid once per run, not per scenario), serves its
+// real HTTP handler, and aims a wire client at it.
+func newOnlineHarness(bank *reward.Bank, batchSize int) (*onlineHarness, error) {
+	sys, err := server.NewSystem(server.Config{AuthorityToken: attackToken, Bank: bank})
+	if err != nil {
+		return nil, err
+	}
+	srv := httptest.NewServer(server.Handler(sys))
+	api, err := client.NewAPI(srv.URL, srv.Client())
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	return &onlineHarness{
+		sys: sys, srv: srv, api: api,
+		online: &attack.Online{API: api, Token: attackToken, BatchSize: batchSize},
+	}, nil
+}
+
+func (h *onlineHarness) Close() { h.srv.Close() }
+
+// wireCopies reproduces the server's view of uploaded profiles: a
+// round-trip through the anonymous wire format plus the trusted flag
+// the authority endpoint would set. Offline cross-checks against a
+// system loaded *before* a campaign mutated the attacker-owned
+// filters must evaluate these copies, not the live objects.
+func wireCopies(ps []*vp.Profile) ([]*vp.Profile, error) {
+	out := make([]*vp.Profile, len(ps))
+	for i, p := range ps {
+		c, err := vp.Unmarshal(p.Marshal())
+		if err != nil {
+			return nil, err
+		}
+		c.Trusted = p.Trusted
+		out[i] = c
+	}
+	return out, nil
+}
+
+// attackArena builds the scenario population: an honestly linked
+// population in a 3x3 km area, trusted VP in one corner, site far
+// across — the geometry of the offline attack tests.
+func attackArena(n int, seed int64) ([]*vp.Profile, geo.Rect, error) {
+	area := geo.NewRect(geo.Pt(0, 0), geo.Pt(3000, 3000))
+	profiles, err := core.SynthesizeLegitimate(core.SynthConfig{N: n, Area: area, Seed: seed})
+	if err != nil {
+		return nil, geo.Rect{}, err
+	}
+	core.MarkTrustedNearest(profiles, geo.Pt(100, 100))
+	return profiles, geo.RectAround(geo.Pt(1500, 1500), 200), nil
+}
+
+// scoreAgainstOffline scores the campaign through the wire and
+// asserts the outcome equals the offline attack.Evaluate over the
+// byte-identical state — the wire view of both the population and the
+// campaign, since the anonymous format quantizes positions to float32
+// — and that the served viewmap has exactly the members and edges of
+// a batch core.Build. offlinePop must be the population as the server
+// saw it (wire copies taken at upload time).
+func scoreAgainstOffline(name string, h *onlineHarness, camp *attack.Campaign,
+	offlinePop []*vp.Profile, site geo.Rect, minute int64) (AttackScenario, error) {
+
+	onOut, err := h.online.Score(camp, site, minute)
+	if err != nil {
+		return AttackScenario{}, err
+	}
+	offCamp, _, err := camp.AdmittedWireView()
+	if err != nil {
+		return AttackScenario{}, err
+	}
+	offOut, err := attack.Evaluate(offlinePop, offCamp, site, minute)
+	if err != nil {
+		return AttackScenario{}, err
+	}
+	if onOut != offOut {
+		return AttackScenario{}, fmt.Errorf("sim: %s: online outcome %+v diverges from offline %+v", name, onOut, offOut)
+	}
+	rep, err := h.api.InvestigateReport(attackToken, site.Min.X, site.Min.Y, site.Max.X, site.Max.Y, minute)
+	if err != nil {
+		return AttackScenario{}, err
+	}
+	all := append(append([]*vp.Profile{}, offlinePop...), offCamp.Fakes...)
+	vmOff, err := core.Build(all, core.BuildConfig{Site: site, Minute: minute})
+	if err != nil {
+		return AttackScenario{}, err
+	}
+	if rep.Members != vmOff.Len() || rep.Edges != vmOff.NumEdges() {
+		return AttackScenario{}, fmt.Errorf("sim: %s: served viewmap %d members/%d edges, offline Build %d/%d",
+			name, rep.Members, rep.Edges, vmOff.Len(), vmOff.NumEdges())
+	}
+	return AttackScenario{Name: name, Outcome: onOut, Members: rep.Members, Edges: rep.Edges}, nil
+}
+
+// requireRejected asserts that a non-colluding (or colluding, the
+// claim holds for both) campaign earned no verdict: FakeAccepted == 0.
+func requireRejected(sc AttackScenario) error {
+	if sc.Outcome.FakeAccepted != 0 {
+		return fmt.Errorf("sim: %s: %d fake VPs were accepted through the serving path", sc.Name, sc.Outcome.FakeAccepted)
+	}
+	if sc.Outcome.InSiteFakes == 0 {
+		return fmt.Errorf("sim: %s: campaign placed no fakes in the site (nothing was tested)", sc.Name)
+	}
+	return nil
+}
+
+// AttackServing drives every campaign shape through the live HTTP
+// serving path and scores it through the wire. Any divergence from
+// the offline evaluator, any accepted fake in a chain/colluding/
+// hop-banded/flood campaign, any replay that slips past the store, or
+// any double-spend with more than one winner returns an error.
+func AttackServing(cfg AttackServingConfig) (*AttackServingResult, error) {
+	cfg = cfg.withDefaults()
+	t0 := time.Now()
+	// One RSA keypair for the whole run: every short-lived system gets
+	// its own bank (fresh double-spend ledger) over the shared key, so
+	// scenario count doesn't multiply key-generation cost.
+	key, err := rsa.GenerateKey(crand.Reader, 1024)
+	if err != nil {
+		return nil, err
+	}
+	freshBank := func() *reward.Bank { return reward.NewBankFromKey(key) }
+	res := &AttackServingResult{}
+
+	if err := runChainScenarios(cfg, freshBank, res); err != nil {
+		return nil, err
+	}
+	if err := runFloodAndReplayScenario(cfg, freshBank, res); err != nil {
+		return nil, err
+	}
+	if err := runEvidenceAdversary(cfg, freshBank, res); err != nil {
+		return nil, err
+	}
+	if !cfg.SkipSweeps {
+		sweepCfg := VerifyConfig{LegitVPs: cfg.LegitVPs, Runs: cfg.SweepRuns, Seed: cfg.Seed}
+		if res.Fig12Online, err = fig12Sweep(sweepCfg, cfg.SweepPcts, onlineEvaluator(freshBank, cfg.BatchSize)); err != nil {
+			return nil, err
+		}
+		if res.Fig13Online, err = fig13Sweep(sweepCfg, cfg.SweepPcts, onlineEvaluator(freshBank, cfg.BatchSize)); err != nil {
+			return nil, err
+		}
+	}
+	res.Elapsed = time.Since(t0)
+	return res, nil
+}
+
+// runChainScenarios drives the offline campaign shapes through the
+// wire: a single fake-VP chain, colluding cross-linked clusters, and
+// hop-banded owners at the near and far quantiles. Honest and
+// attacker batches are interleaved on upload.
+func runChainScenarios(cfg AttackServingConfig, freshBank func() *reward.Bank, res *AttackServingResult) error {
+	fakeCount := cfg.LegitVPs * cfg.FakePct / 100
+	type shape struct {
+		name      string
+		colluding bool
+		pick      func(pop []*vp.Profile, site geo.Rect, rng *rand.Rand) ([]*vp.Profile, error)
+	}
+	firstNonTrusted := func(pop []*vp.Profile, n int) []*vp.Profile {
+		var out []*vp.Profile
+		for _, p := range pop {
+			if !p.Trusted {
+				out = append(out, p)
+				if len(out) == n {
+					break
+				}
+			}
+		}
+		return out
+	}
+	band := func(lo, hi float64) func(pop []*vp.Profile, site geo.Rect, rng *rand.Rand) ([]*vp.Profile, error) {
+		return func(pop []*vp.Profile, site geo.Rect, rng *rand.Rand) ([]*vp.Profile, error) {
+			ordered, _, err := attack.HopQuantiles(pop, site, 0)
+			if err != nil {
+				return nil, err
+			}
+			return attack.PickQuantileBand(ordered, lo, hi, cfg.Owners, rng), nil
+		}
+	}
+	shapes := []shape{
+		{"single-chain", false, func(pop []*vp.Profile, site geo.Rect, rng *rand.Rand) ([]*vp.Profile, error) {
+			return firstNonTrusted(pop, 1), nil
+		}},
+		{"colluding-clusters", true, func(pop []*vp.Profile, site geo.Rect, rng *rand.Rand) ([]*vp.Profile, error) {
+			return firstNonTrusted(pop, cfg.Owners), nil
+		}},
+		{"hop-band-near", true, band(0, 0.25)},
+		{"hop-band-far", true, band(0.75, 1)},
+	}
+	for si, sh := range shapes {
+		seed := cfg.Seed + int64(si)*1009
+		pop, site, err := attackArena(cfg.LegitVPs, seed)
+		if err != nil {
+			return err
+		}
+		rng := rand.New(rand.NewSource(seed))
+		owned, err := sh.pick(pop, site, rng)
+		if err != nil {
+			return err
+		}
+		if len(owned) == 0 {
+			return fmt.Errorf("sim: %s: no attacker-owned VPs selectable", sh.name)
+		}
+		camp, err := attack.Launch(owned, attack.Config{
+			Site: site, FakeCount: fakeCount, Colluding: sh.colluding, Minute: 0, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		h, err := newOnlineHarness(freshBank(), cfg.BatchSize)
+		if err != nil {
+			return err
+		}
+		// Interleaved honest/attacker upload: trusted VP first (the
+		// authority channel), then honest and fake batches alternate.
+		var honest []*vp.Profile
+		for _, p := range pop {
+			if p.Trusted {
+				if err := h.api.UploadTrustedVP(attackToken, p); err != nil {
+					h.Close()
+					return err
+				}
+				continue
+			}
+			honest = append(honest, p)
+		}
+		if _, err := h.online.Inject(camp, honest); err != nil {
+			h.Close()
+			return err
+		}
+		// The campaign launched before any upload, so the server's view
+		// of the population (owned filters included) is the wire copy
+		// taken now.
+		popWire, err := wireCopies(pop)
+		if err != nil {
+			h.Close()
+			return err
+		}
+		sc, err := scoreAgainstOffline(sh.name, h, camp, popWire, site, 0)
+		h.Close()
+		if err != nil {
+			return err
+		}
+		if err := requireRejected(sc); err != nil {
+			return err
+		}
+		res.Scenarios = append(res.Scenarios, sc)
+	}
+	return nil
+}
+
+// runFloodAndReplayScenario exercises the online-only shapes on one
+// system: a fake flood into an already-verified minute (stressing
+// verdict-cache invalidation), duplicate-ID and stale-minute replays,
+// a crafted wire record, and a teleporting (implausible) profile that
+// must be quarantined.
+func runFloodAndReplayScenario(cfg AttackServingConfig, freshBank func() *reward.Bank, res *AttackServingResult) error {
+	seed := cfg.Seed + 7919
+	pop, site, err := attackArena(cfg.LegitVPs, seed)
+	if err != nil {
+		return err
+	}
+	h, err := newOnlineHarness(freshBank(), cfg.BatchSize)
+	if err != nil {
+		return err
+	}
+	defer h.Close()
+	if _, err := h.online.SeedPopulation(pop); err != nil {
+		return err
+	}
+	// The server's view of the population freezes here: the flood
+	// campaign below mutates the attacker-owned profile's in-memory
+	// filter after upload, exactly as a real attacker cannot rewrite
+	// an already-uploaded VP. Offline cross-checks use these copies.
+	popWire, err := wireCopies(pop)
+	if err != nil {
+		return err
+	}
+
+	// Verify the minute before the flood, warming the verdict cache.
+	before, err := h.api.InvestigateReport(attackToken, site.Min.X, site.Min.Y, site.Max.X, site.Max.Y, 0)
+	if err != nil {
+		return err
+	}
+	baselineLegit := 0
+	for _, v := range before.Verdicts {
+		if v.Legitimate {
+			baselineLegit++
+		}
+	}
+
+	// Flood fakes into the verified minute; the cached verdict must be
+	// invalidated and the re-verification must match offline exactly.
+	var owned *vp.Profile
+	for _, p := range pop {
+		if !p.Trusted {
+			owned = p
+			break
+		}
+	}
+	camp, err := attack.Launch([]*vp.Profile{owned}, attack.Config{
+		Site: site, FakeCount: cfg.LegitVPs * cfg.FakePct / 100, Minute: 0, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := h.online.Inject(camp, nil); err != nil {
+		return err
+	}
+	sc, err := scoreAgainstOffline("flood-verified-minute", h, camp, popWire, site, 0)
+	if err != nil {
+		return err
+	}
+	if err := requireRejected(sc); err != nil {
+		return err
+	}
+	if sc.Outcome.LegitAccepted != baselineLegit {
+		return fmt.Errorf("sim: flood changed the legitimate set: %d accepted before, %d after",
+			baselineLegit, sc.Outcome.LegitAccepted)
+	}
+	if sc.Members <= before.Members {
+		return fmt.Errorf("sim: flood did not grow the served viewmap (%d -> %d members): stale verdict cache?",
+			before.Members, sc.Members)
+	}
+	sc.Detail = fmt.Sprintf("(verified minute regrown %d -> %d members, legitimate set unchanged)", before.Members, sc.Members)
+	res.Scenarios = append(res.Scenarios, sc)
+
+	// Duplicate-ID replays: the whole anonymous stream again, plus the
+	// fakes. Every record must bounce off the identifier claim.
+	var anon []*vp.Profile
+	for _, p := range pop {
+		if !p.Trusted {
+			anon = append(anon, p)
+		}
+	}
+	replay := append(append([]*vp.Profile{}, anon...), camp.Fakes...)
+	rres, err := h.online.Upload(replay)
+	if err != nil {
+		return err
+	}
+	// Every record must bounce: stored fakes as duplicates, and any
+	// fake the admission gate already turned away gets turned away
+	// again (validation runs before the identifier claim).
+	if rres.Stored != 0 || rres.Duplicates+rres.Rejected != len(replay) {
+		return fmt.Errorf("sim: replay stored %d and refused %d of %d records",
+			rres.Stored, rres.Duplicates+rres.Rejected, len(replay))
+	}
+	res.DuplicatesRefused += rres.Duplicates
+
+	// Stale-minute replays: same identifiers, shifted one minute — an
+	// attacker-chosen minute must not allocate a shard.
+	statsBefore, err := h.api.StatsFull()
+	if err != nil {
+		return err
+	}
+	stale := make([]*vp.Profile, 0, 8)
+	for _, p := range anon[:min(8, len(anon))] {
+		shift := &vp.Profile{VDs: append([]vd.VD{}, p.VDs...), Neighbors: p.Neighbors}
+		for i := range shift.VDs {
+			shift.VDs[i].T += vd.SegmentSeconds
+		}
+		stale = append(stale, shift)
+	}
+	sres, err := h.online.Upload(stale)
+	if err != nil {
+		return err
+	}
+	if sres.Stored != 0 || sres.Duplicates != len(stale) {
+		return fmt.Errorf("sim: stale-minute replay stored %d of %d records", sres.Stored, len(stale))
+	}
+	res.StaleReplaysRefused += sres.Duplicates
+
+	// A crafted wire record (framed correctly, unparseable inside)
+	// must be counted at the wire gate, not stored.
+	var junk bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 1)
+	junk.Write(hdr[:])
+	binary.BigEndian.PutUint32(hdr[:], 10)
+	junk.Write(hdr[:])
+	junk.Write([]byte("0123456789"))
+	resp, err := http.Post(h.srv.URL+"/v1/vp/batch", "application/octet-stream", &junk)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+
+	// A teleporting trajectory passes structural validation but must
+	// be quarantined by the linker, never joining the viewmap.
+	rng := rand.New(rand.NewSource(seed + 1))
+	track := make([]geo.Point, vd.SegmentSeconds)
+	for i := range track {
+		track[i] = geo.Pt(float64(i%2)*2500, 1500) // 2.5 km jumps each second
+	}
+	tele, err := core.FabricateProfile(track, 0, 0, rng)
+	if err != nil {
+		return err
+	}
+	if _, err := h.online.Upload([]*vp.Profile{tele}); err != nil {
+		return err
+	}
+	after, err := h.api.InvestigateReport(attackToken, site.Min.X, site.Min.Y, site.Max.X, site.Max.Y, 0)
+	if err != nil {
+		return err
+	}
+	if after.Members != sc.Members {
+		return fmt.Errorf("sim: quarantined teleporter changed the viewmap (%d -> %d members)", sc.Members, after.Members)
+	}
+
+	// The stats surface must account for every gate.
+	stats, err := h.api.StatsFull()
+	if err != nil {
+		return err
+	}
+	if stats.Minutes != statsBefore.Minutes {
+		return fmt.Errorf("sim: stale-minute replays allocated shards (%d -> %d minutes)", statsBefore.Minutes, stats.Minutes)
+	}
+	wantDup := res.DuplicatesRefused + res.StaleReplaysRefused
+	if stats.Ingest.Duplicates != wantDup {
+		return fmt.Errorf("sim: stats count %d duplicates, want %d", stats.Ingest.Duplicates, wantDup)
+	}
+	if stats.Ingest.WireRejected != 1 {
+		return fmt.Errorf("sim: stats count %d wire rejects, want 1", stats.Ingest.WireRejected)
+	}
+	if stats.Ingest.Quarantined != 1 {
+		return fmt.Errorf("sim: stats count %d quarantined, want 1", stats.Ingest.Quarantined)
+	}
+	found := false
+	for _, shard := range stats.Shards {
+		if shard.Minute == 0 {
+			found = true
+			if shard.Quarantined != 1 {
+				return fmt.Errorf("sim: shard 0 reports %d quarantined, want 1", shard.Quarantined)
+			}
+			if shard.VPs != stats.VPs {
+				return fmt.Errorf("sim: shard 0 reports %d VPs, stats total %d", shard.VPs, stats.VPs)
+			}
+		}
+	}
+	if !found {
+		return fmt.Errorf("sim: stats report no shard for minute 0")
+	}
+	res.WireRejected += stats.Ingest.WireRejected
+	res.Quarantined += stats.Ingest.Quarantined
+	return nil
+}
+
+// convoyOwner is one straight-lane convoy civilian's delivery state:
+// the VP it uploaded and the recording behind it.
+type convoyOwner struct {
+	id     vd.VPID
+	q      vd.Secret
+	chunks [][]byte
+}
+
+// convoySite is the investigation site covering testConvoyOwners'
+// straight lane.
+var convoySite = geo.NewRect(geo.Pt(0, -60), geo.Pt(900, 60))
+
+// testConvoyOwners records one minute for `civilians` vehicles plus a
+// police car driving a straight lane side by side (all within
+// convoySite), uploading every VP through the given callbacks: the
+// police car's through uploadTrusted, the civilians' through upload.
+// It is the shared convoy for the adversarial-serving scenario (wire
+// callbacks) and the evidence edge-case tests (direct System calls).
+// A small bitrate keeps the VD cascade meaningful (60 hashed chunks)
+// without shoveling the realistic 50 MB per video through every
+// delivery — none of the properties under test depend on payload
+// size.
+func testConvoyOwners(civilians int, seed int64,
+	uploadTrusted, upload func(*vp.Profile) error) ([]convoyOwner, error) {
+
+	n := civilians + 1 // + police
+	vehicles := make([]*client.Vehicle, n)
+	for i := range vehicles {
+		v, err := client.NewVehicle(client.VehicleConfig{
+			Name:           fmt.Sprintf("convoy-car%d", i),
+			Seed:           seed + int64(i),
+			BytesPerSecond: 4000,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := v.BeginMinute(0); err != nil {
+			return nil, err
+		}
+		vehicles[i] = v
+	}
+	for s := 1; s <= vd.SegmentSeconds; s++ {
+		vds := make([]vd.VD, n)
+		for i, v := range vehicles {
+			d, err := v.Tick(geo.Pt(float64(s)*10+float64(i)*50, 0))
+			if err != nil {
+				return nil, err
+			}
+			vds[i] = d
+		}
+		for i, v := range vehicles {
+			for j, d := range vds {
+				if i != j {
+					if err := v.Hear(d, int64(s)); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	var owners []convoyOwner
+	for i, v := range vehicles {
+		if _, _, err := v.EndMinute(nil); err != nil {
+			return nil, err
+		}
+		for _, p := range v.PendingUploads() {
+			if i == n-1 {
+				if err := uploadTrusted(p); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			if err := upload(p); err != nil {
+				return nil, err
+			}
+			id := p.ID()
+			q, _ := v.Secret(id)
+			chunks := v.MatchSolicitations([]vd.VPID{id})[id]
+			if chunks == nil {
+				return nil, fmt.Errorf("sim: convoy vehicle %d lost its recording", i)
+			}
+			owners = append(owners, convoyOwner{id: id, q: q, chunks: chunks})
+		}
+	}
+	return owners, nil
+}
+
+// runEvidenceAdversary drives the evidence lifecycle adversarially
+// through the wire: a convoy records real footage and uploads VPs, a
+// verified solicitation opens, a tampering owner's delivery must fail
+// the VD cascade (without burning the solicitation for the honest
+// copy), and the payout desk faces concurrent double spends and a
+// racing final-unit withdrawal.
+func runEvidenceAdversary(cfg AttackServingConfig, freshBank func() *reward.Bank, res *AttackServingResult) error {
+	h, err := newOnlineHarness(freshBank(), cfg.BatchSize)
+	if err != nil {
+		return err
+	}
+	defer h.Close()
+
+	const civilians = 3
+	owners, err := testConvoyOwners(civilians, cfg.Seed,
+		func(p *vp.Profile) error { return h.api.UploadTrustedVP(attackToken, p) },
+		func(p *vp.Profile) error { return h.api.UploadVP(p) })
+	if err != nil {
+		return err
+	}
+
+	const units = 2
+	sol, err := h.api.OpenSolicitation(attackToken,
+		convoySite.Min.X, convoySite.Min.Y, convoySite.Max.X, convoySite.Max.Y, 0, units)
+	if err != nil {
+		return err
+	}
+	if sol.NewlyListed < civilians {
+		return fmt.Errorf("sim: solicitation listed %d identifiers, want >= %d", sol.NewlyListed, civilians)
+	}
+
+	// The attacker delivers a tampered copy of its own solicited
+	// video: ownership proof and session are valid, the bytes are not.
+	att := owners[0]
+	tampered := make([][]byte, len(att.chunks))
+	for i, c := range att.chunks {
+		tampered[i] = append([]byte(nil), c...)
+	}
+	tampered[30][7] ^= 0x40
+	if _, err := h.api.DeliverEvidence(att.id, att.q, tampered); err == nil {
+		return fmt.Errorf("sim: tampered evidence delivery was accepted")
+	}
+	res.TamperRejected++
+
+	// The tamper attempt must not burn the solicitation: the honest
+	// bytes still deliver, as do every other owner's.
+	for _, o := range owners {
+		got, err := h.api.DeliverEvidence(o.id, o.q, o.chunks)
+		if err != nil {
+			return fmt.Errorf("sim: honest delivery after tamper attempt: %w", err)
+		}
+		if got != units {
+			return fmt.Errorf("sim: delivery entitles %d units, want %d", got, units)
+		}
+		res.DeliveriesAccepted++
+	}
+
+	pub := h.sys.Bank().PublicKey()
+
+	// Double-spend race: one unit, N concurrent redemptions, exactly
+	// one winner.
+	cash, err := h.api.WithdrawPayout(att.id, att.q, 1, pub)
+	if err != nil {
+		return err
+	}
+	const racers = 4
+	var wg sync.WaitGroup
+	okCh := make(chan bool, racers)
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			okCh <- h.api.RedeemPayout(cash[0]) == nil
+		}()
+	}
+	wg.Wait()
+	close(okCh)
+	wins := 0
+	for ok := range okCh {
+		if ok {
+			wins++
+		}
+	}
+	if wins != 1 {
+		return fmt.Errorf("sim: double-spend race had %d winners, want exactly 1", wins)
+	}
+	res.DoubleSpendRefused += racers - 1
+
+	// Final-unit withdrawal race: one unit remains on the attacker's
+	// entitlement; two concurrent withdrawals must produce exactly one
+	// winner and the entitlement must then be exhausted.
+	winCh := make(chan bool, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := h.api.WithdrawPayout(att.id, att.q, 1, pub)
+			winCh <- err == nil
+		}()
+	}
+	wg.Wait()
+	close(winCh)
+	for ok := range winCh {
+		if ok {
+			res.PayoutRaceWinners++
+		}
+	}
+	if res.PayoutRaceWinners != 1 {
+		return fmt.Errorf("sim: final-unit payout race had %d winners, want exactly 1", res.PayoutRaceWinners)
+	}
+	if _, err := h.api.WithdrawPayout(att.id, att.q, 1, pub); err == nil {
+		return fmt.Errorf("sim: over-withdrawal beyond the entitlement succeeded")
+	}
+
+	stats, err := h.api.StatsFull()
+	if err != nil {
+		return err
+	}
+	if stats.Evidence.DeliveriesRejected != res.TamperRejected {
+		return fmt.Errorf("sim: stats count %d rejected deliveries, want %d", stats.Evidence.DeliveriesRejected, res.TamperRejected)
+	}
+	if stats.Evidence.DeliveriesAccepted != res.DeliveriesAccepted {
+		return fmt.Errorf("sim: stats count %d accepted deliveries, want %d", stats.Evidence.DeliveriesAccepted, res.DeliveriesAccepted)
+	}
+	return nil
+}
+
+// onlineEvaluator returns an evalFunc that grades each sweep cell
+// twice — offline with attack.Evaluate and online through a live HTTP
+// system — and fails on any divergence. Plugged into fig12Sweep and
+// fig13Sweep it reproduces the paper's accuracy sweeps end to end
+// over the wire.
+func onlineEvaluator(freshBank func() *reward.Bank, batchSize int) evalFunc {
+	return func(population []*vp.Profile, camp *attack.Campaign, site geo.Rect, minute int64) (attack.Outcome, error) {
+		popWire, err := wireCopies(population)
+		if err != nil {
+			return attack.Outcome{}, err
+		}
+		offCamp, wantRejected, err := camp.AdmittedWireView()
+		if err != nil {
+			return attack.Outcome{}, err
+		}
+		off, err := attack.Evaluate(popWire, offCamp, site, minute)
+		if err != nil {
+			return attack.Outcome{}, err
+		}
+		h, err := newOnlineHarness(freshBank(), batchSize)
+		if err != nil {
+			return attack.Outcome{}, err
+		}
+		defer h.Close()
+		if _, err := h.online.SeedPopulation(population); err != nil {
+			return attack.Outcome{}, err
+		}
+		injected, err := h.online.Inject(camp, nil)
+		if err != nil {
+			return attack.Outcome{}, err
+		}
+		if injected.Rejected != wantRejected {
+			return attack.Outcome{}, fmt.Errorf("sim: admission gate rejected %d fakes online, offline model predicts %d",
+				injected.Rejected, wantRejected)
+		}
+		on, err := h.online.Score(camp, site, minute)
+		if err != nil {
+			return attack.Outcome{}, err
+		}
+		if on != off {
+			return attack.Outcome{}, fmt.Errorf("sim: online sweep cell %+v diverges from offline %+v", on, off)
+		}
+		return on, nil
+	}
+}

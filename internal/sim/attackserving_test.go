@@ -1,0 +1,84 @@
+package sim
+
+import "testing"
+
+// quickAttackCfg keeps the online campaigns small enough for the unit
+// and race suites while still exercising every scenario shape.
+func quickAttackCfg(skipSweeps bool) AttackServingConfig {
+	return AttackServingConfig{
+		LegitVPs: 110, FakePct: 80, Owners: 3, BatchSize: 32,
+		SweepRuns: 1, SweepPcts: []int{100}, SkipSweeps: skipSweeps, Seed: 21,
+	}
+}
+
+// TestAttackServingCampaigns drives every campaign shape through the
+// live HTTP serving path. AttackServing itself asserts the security
+// invariants (FakeAccepted == 0 per campaign, online == offline
+// outcomes, replays refused, double spends single-winner); the test
+// checks the run covered what it claims to cover. Under -short (the
+// race job) the online Fig. 12/13 sweeps are skipped — the scenario
+// suite already covers the concurrent paths the race detector cares
+// about.
+func TestAttackServingCampaigns(t *testing.T) {
+	res, err := AttackServing(quickAttackCfg(testing.Short()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantScenarios := []string{"single-chain", "colluding-clusters", "hop-band-near", "hop-band-far", "flood-verified-minute"}
+	if len(res.Scenarios) != len(wantScenarios) {
+		t.Fatalf("ran %d scenarios, want %d", len(res.Scenarios), len(wantScenarios))
+	}
+	for i, want := range wantScenarios {
+		sc := res.Scenarios[i]
+		if sc.Name != want {
+			t.Errorf("scenario %d is %q, want %q", i, sc.Name, want)
+		}
+		if sc.Outcome.FakeAccepted != 0 {
+			t.Errorf("%s: %d fakes accepted", sc.Name, sc.Outcome.FakeAccepted)
+		}
+		if sc.Outcome.InSiteFakes == 0 || sc.Outcome.LegitAccepted == 0 {
+			t.Errorf("%s: degenerate outcome %+v", sc.Name, sc.Outcome)
+		}
+	}
+	if !testing.Short() {
+		if len(res.Fig12Online) != len(Fig12QuantileBands) || len(res.Fig13Online) != 5 {
+			t.Errorf("online sweeps produced %d/%d rows", len(res.Fig12Online), len(res.Fig13Online))
+		}
+		for _, row := range append(append([]VerifyRow{}, res.Fig12Online...), res.Fig13Online...) {
+			if row.Runs == 0 {
+				t.Errorf("empty online sweep cell %q", row.Setting)
+			}
+		}
+	}
+	if res.DuplicatesRefused == 0 || res.StaleReplaysRefused == 0 {
+		t.Errorf("replay counters %d/%d, want non-zero", res.DuplicatesRefused, res.StaleReplaysRefused)
+	}
+	if res.TamperRejected != 1 || res.DeliveriesAccepted != 3 {
+		t.Errorf("evidence counters: %d tampered rejected, %d accepted", res.TamperRejected, res.DeliveriesAccepted)
+	}
+	if res.DoubleSpendRefused != 3 || res.PayoutRaceWinners != 1 {
+		t.Errorf("payout counters: %d double spends refused, %d race winners", res.DoubleSpendRefused, res.PayoutRaceWinners)
+	}
+	for _, row := range res.Rows() {
+		if row == "" {
+			t.Fatal("empty report row")
+		}
+	}
+}
+
+// TestAttackServingDeterministic guards the serving path's
+// epoch/grid-rebuild scheduling against nondeterminism: two identical
+// campaign runs must produce identical outcomes, cell for cell.
+func TestAttackServingDeterministic(t *testing.T) {
+	a, err := AttackServing(quickAttackCfg(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AttackServing(quickAttackCfg(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa, fb := a.Fingerprint(), b.Fingerprint(); fa != fb {
+		t.Fatalf("repeated runs diverge:\n--- first ---\n%s--- second ---\n%s", fa, fb)
+	}
+}

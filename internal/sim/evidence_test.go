@@ -1,6 +1,18 @@
 package sim
 
-import "testing"
+import (
+	"bytes"
+	"crypto/rand"
+	"errors"
+	"math/big"
+	"testing"
+
+	"viewmap/internal/anon"
+	"viewmap/internal/evidence"
+	"viewmap/internal/reward"
+	"viewmap/internal/server"
+	"viewmap/internal/vp"
+)
 
 // A small evidence-pipeline run: every stage must complete, tampered
 // submissions must bounce, and the counters must reconcile. The -race
@@ -29,5 +41,127 @@ func TestEvidencePipelineSmall(t *testing.T) {
 		if row == "" {
 			t.Fatal("empty report row")
 		}
+	}
+}
+
+// deliveredEvidenceSystem drives the smallest honest pipeline to the
+// point where one delivery is accepted: a one-civilian convoy (shared
+// with the adversarial-serving scenario, here through direct System
+// calls) records and uploads, a solicitation opens at the given
+// offer, and the civilian delivers its video.
+func deliveredEvidenceSystem(t *testing.T, units int) (*server.System, *anon.Sessions, convoyOwner) {
+	t.Helper()
+	sys, err := server.NewSystem(server.Config{AuthorityToken: "edge", BankBits: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	owners, err := testConvoyOwners(1, 31,
+		func(p *vp.Profile) error { return sys.UploadTrustedVP("edge", p.Marshal()) },
+		func(p *vp.Profile) error { return sys.UploadVP(p.Marshal()) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := owners[0]
+	if _, err := sys.OpenSolicitation("edge", convoySite, 0, units); err != nil {
+		t.Fatal(err)
+	}
+	sessions := anon.NewSessions()
+	sid, err := sessions.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := sys.Evidence().Deliver(sid, owner.id, owner.q, owner.chunks); err != nil || got != units {
+		t.Fatalf("honest delivery: units %d, err %v", got, err)
+	}
+	return sys, sessions, owner
+}
+
+// TestEvidenceDeliverClosedSolicitation covers the delivery-after-
+// close edge: once a solicitation entry accepted a video, further
+// deliveries — even the identical honest bytes under a fresh session
+// and a valid ownership proof — are refused as already delivered.
+func TestEvidenceDeliverClosedSolicitation(t *testing.T) {
+	sys, sessions, owner := deliveredEvidenceSystem(t, 2)
+	sid, err := sessions.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sys.Evidence().Deliver(sid, owner.id, owner.q, owner.chunks)
+	if !errors.Is(err, evidence.ErrAlreadyDelivered) {
+		t.Fatalf("redelivery into a closed solicitation: err = %v, want ErrAlreadyDelivered", err)
+	}
+	// The accepted delivery must be unaffected: payout still open.
+	if st := sys.Evidence().StatsSnapshot(); st.DeliveriesAccepted != 1 {
+		t.Fatalf("accepted count %d after refused redelivery, want 1", st.DeliveriesAccepted)
+	}
+}
+
+// TestEvidencePayoutAfterRestart covers the restart edge: an owner
+// whose delivery was accepted before a snapshot must still be able to
+// withdraw the full entitlement from the restored system, the minted
+// cash must redeem there, and units spent before the restart must
+// stay spent.
+func TestEvidencePayoutAfterRestart(t *testing.T) {
+	const units = 2
+	sys, sessions, owner := deliveredEvidenceSystem(t, units)
+
+	// Spend one unit before the snapshot; one stays entitled.
+	evOwner := &evidenceOwner{id: owner.id, q: owner.q}
+	preCash, err := withdrawEvidence(sys, sessions, evOwner, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Evidence().Redeem(preCash[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	var state bytes.Buffer
+	if err := sys.SaveTo(&state); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := server.NewSystem(server.Config{AuthorityToken: "edge", BankBits: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := restored.LoadFrom(bytes.NewReader(state.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+
+	// The remaining unit withdraws and redeems on the restored system
+	// (the restored bank carries the pre-restart keypair, so the new
+	// signature verifies under the same key the old cash was minted
+	// with).
+	postCash, err := withdrawEvidence(restored, sessions, evOwner, 1)
+	if err != nil {
+		t.Fatalf("post-restart withdrawal: %v", err)
+	}
+	if err := restored.Evidence().Redeem(postCash[0]); err != nil {
+		t.Fatalf("post-restart redemption: %v", err)
+	}
+	// The entitlement is now exhausted…
+	if _, err := withdrawEvidence(restored, sessions, evOwner, 1); err == nil {
+		t.Fatal("over-withdrawal after restart succeeded")
+	}
+	// …and the pre-restart spend stays spent.
+	if err := restored.Evidence().Redeem(preCash[0]); !errors.Is(err, reward.ErrDoubleSpend) {
+		t.Fatalf("pre-restart unit re-redeemed: err = %v, want ErrDoubleSpend", err)
+	}
+}
+
+// TestEvidenceRedeemNeverMinted covers the forged-cash edge: a unit
+// the bank never signed — random message, random "signature" — is
+// refused as a bad signature, not recorded as spent.
+func TestEvidenceRedeemNeverMinted(t *testing.T) {
+	sys, _, _ := deliveredEvidenceSystem(t, 1)
+	m := make([]byte, 32)
+	if _, err := rand.Read(m); err != nil {
+		t.Fatal(err)
+	}
+	forged := &reward.Cash{M: m, Sig: big.NewInt(1234567)}
+	if err := sys.Evidence().Redeem(forged); !errors.Is(err, reward.ErrBadSignature) {
+		t.Fatalf("never-minted unit: err = %v, want ErrBadSignature", err)
+	}
+	if st := sys.Evidence().StatsSnapshot(); st.UnitsRedeemed != 0 {
+		t.Fatalf("forged unit counted as redeemed (%d)", st.UnitsRedeemed)
 	}
 }

@@ -285,6 +285,19 @@ func verifyArena(n int, seed int64) ([]*vp.Profile, geo.Rect, error) {
 // edge of the viewmap — on any arena.
 var Fig12QuantileBands = [][2]float64{{0, 0.2}, {0.2, 0.4}, {0.4, 0.6}, {0.6, 0.8}, {0.8, 1}}
 
+// evalFunc grades one launched campaign against a population. The
+// offline sweeps pass offlineEvaluate (batch core.Build via
+// attack.Evaluate); the online sweeps (attackserving.go) pass an
+// evaluator that drives the same campaign through a live HTTP serving
+// system and cross-checks the two.
+type evalFunc func(population []*vp.Profile, camp *attack.Campaign, site geo.Rect, minute int64) (attack.Outcome, error)
+
+// offlineEvaluate is the batch-construction evaluator the paper's
+// figures use.
+func offlineEvaluate(population []*vp.Profile, camp *attack.Campaign, site geo.Rect, minute int64) (attack.Outcome, error) {
+	return attack.Evaluate(population, camp, site, minute)
+}
+
 // verifySweep runs a verification-accuracy sweep. Every run builds one
 // honest arena (in parallel across runs), prepares per-arena context
 // once, and evaluates every (setting, fake volume) cell on it. Note
@@ -296,6 +309,7 @@ func verifySweep(cfg VerifyConfig, settings []string, fakePcts []int, seedBase i
 	arena func(seed int64) ([]*vp.Profile, geo.Rect, error),
 	prepare func(profiles []*vp.Profile, site geo.Rect, seed int64) (interface{}, error),
 	pickOwned func(setting int, ctx interface{}, seed int64) (owned, extraPopulation []*vp.Profile),
+	evaluate evalFunc,
 ) ([]VerifyRow, error) {
 	type cell struct {
 		runs, success int
@@ -345,7 +359,7 @@ func verifySweep(cfg VerifyConfig, settings []string, fakePcts []int, seedBase i
 						errs[run] = err
 						return
 					}
-					out, err := attack.Evaluate(population, camp, site, 0)
+					out, err := evaluate(population, camp, site, 0)
 					if err != nil {
 						errs[run] = err
 						return
@@ -400,6 +414,13 @@ type fig12Ctx struct {
 // Fig12 sweeps the attackers' position (hop-distance quantile from the
 // trusted VP).
 func Fig12(cfg VerifyConfig) ([]VerifyRow, error) {
+	return fig12Sweep(cfg, []int{100, 200, 300, 400, 500}, offlineEvaluate)
+}
+
+// fig12Sweep is the Fig. 12 body with the fake volumes and the
+// evaluator pluggable; Fig12 runs it offline, Fig12Online through the
+// live serving path.
+func fig12Sweep(cfg VerifyConfig, fakePcts []int, evaluate evalFunc) ([]VerifyRow, error) {
 	cfg = cfg.withDefaults()
 	settings := make([]string, len(Fig12QuantileBands))
 	for i, b := range Fig12QuantileBands {
@@ -409,7 +430,7 @@ func Fig12(cfg VerifyConfig) ([]VerifyRow, error) {
 	if attackers < 1 {
 		attackers = 1
 	}
-	return verifySweep(cfg, settings, []int{100, 200, 300, 400, 500}, 0,
+	return verifySweep(cfg, settings, fakePcts, 0,
 		func(seed int64) ([]*vp.Profile, geo.Rect, error) { return verifyArena(cfg.LegitVPs, seed) },
 		func(profiles []*vp.Profile, site geo.Rect, seed int64) (interface{}, error) {
 			ordered, _, err := attack.HopQuantiles(profiles, site, 0)
@@ -423,20 +444,28 @@ func Fig12(cfg VerifyConfig) ([]VerifyRow, error) {
 			b := Fig12QuantileBands[si]
 			rng := rand.New(rand.NewSource(seed + int64(si)))
 			return attack.PickQuantileBand(c.ordered, b[0], b[1], attackers, rng), nil
-		})
+		},
+		evaluate)
 }
 
 // Fig13 sweeps the number of legitimate-but-dummy VPs each attacker
 // holds (the concentration attack): the attacker recorded dn dummy
 // videos at its real positions and owns all their VPs.
 func Fig13(cfg VerifyConfig) ([]VerifyRow, error) {
+	return fig13Sweep(cfg, []int{100, 200, 300, 400, 500}, offlineEvaluate)
+}
+
+// fig13Sweep is the Fig. 13 body with the fake volumes and the
+// evaluator pluggable; Fig13 runs it offline, Fig13Online through the
+// live serving path.
+func fig13Sweep(cfg VerifyConfig, fakePcts []int, evaluate evalFunc) ([]VerifyRow, error) {
 	cfg = cfg.withDefaults()
 	dummies := []int{25, 50, 75, 100, 125}
 	settings := make([]string, len(dummies))
 	for i, dn := range dummies {
 		settings[i] = fmt.Sprintf("%d dummies", dn)
 	}
-	return verifySweep(cfg, settings, []int{100, 200, 300, 400, 500}, 31337,
+	return verifySweep(cfg, settings, fakePcts, 31337,
 		func(seed int64) ([]*vp.Profile, geo.Rect, error) { return verifyArena(cfg.LegitVPs, seed) },
 		func(profiles []*vp.Profile, site geo.Rect, seed int64) (interface{}, error) {
 			return profiles, nil
@@ -460,7 +489,8 @@ func Fig13(cfg VerifyConfig) ([]VerifyRow, error) {
 			}
 			owned := append([]*vp.Profile{base}, clones...)
 			return owned, clones
-		})
+		},
+		evaluate)
 }
 
 // ----------------------------------------------------------------- Fig 14

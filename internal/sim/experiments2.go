@@ -385,7 +385,8 @@ func Fig22D(cfg CityVerifyConfig) ([]VerifyRow, error) {
 			b := Fig12QuantileBands[si]
 			rng := rand.New(rand.NewSource(seed + int64(si)))
 			return attack.PickQuantileBand(ordered, b[0], b[1], 3, rng), nil
-		})
+		},
+		offlineEvaluate)
 }
 
 // Fig22E runs the concentration attack on traffic-derived viewmaps:
@@ -419,7 +420,8 @@ func Fig22E(cfg CityVerifyConfig) ([]VerifyRow, error) {
 				return nil, nil
 			}
 			return append([]*vp.Profile{base}, clones...), clones
-		})
+		},
+		offlineEvaluate)
 }
 
 // ----------------------------------------------------------------- Fig 22f

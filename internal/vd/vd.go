@@ -147,7 +147,12 @@ func (v *VD) Encode() [WireSize]byte {
 	return b
 }
 
-// Decode parses a 72-byte wire VD.
+// Decode parses a 72-byte wire VD. Non-finite coordinates are
+// rejected: NaN positions poison every downstream distance comparison
+// (NaN compares false, so a NaN trajectory is never "too far" from
+// anything it should be far from), and a NaN payload does not survive
+// the float32 round trip bit-exactly, breaking re-marshal identity.
+// No legitimate recorder produces them.
 func Decode(b []byte) (VD, error) {
 	if len(b) != WireSize {
 		return VD{}, fmt.Errorf("vd: wire message is %d bytes, want %d", len(b), WireSize)
@@ -162,6 +167,11 @@ func Decode(b []byte) (VD, error) {
 	v.Seq = binary.BigEndian.Uint64(b[32:40])
 	copy(v.R[:], b[40:56])
 	copy(v.H[:], b[56:72])
+	for _, c := range [4]float64{v.L.X, v.L.Y, v.L1.X, v.L1.Y} {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			return VD{}, errors.New("vd: non-finite coordinate")
+		}
+	}
 	return v, nil
 }
 

@@ -2,6 +2,7 @@ package vd
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 	"testing/quick"
 
@@ -149,6 +150,29 @@ func TestDecodeRejectsWrongSize(t *testing.T) {
 	}
 	if _, err := Decode(make([]byte, 73)); err == nil {
 		t.Error("long message should fail")
+	}
+}
+
+// TestDecodeRejectsNonFiniteCoordinates pins the fuzz finding: NaN
+// coordinate bit patterns decode into positions that poison every
+// distance comparison (NaN compares false) and do not survive the
+// float32 round trip bit-exactly. The decoder refuses them.
+func TestDecodeRejectsNonFiniteCoordinates(t *testing.T) {
+	g, _ := NewGenerator(DeriveVPID(testSecret(9)), 0)
+	chunks := recordedChunks(t, "nan", 64)
+	enc := generateAll(t, g, chunks)[0].Encode()
+	// Each coordinate field, as signaling NaN and +Inf.
+	for _, off := range []int{8, 12, 24, 28} {
+		for _, bits := range []uint32{0x7f800001, 0x7f800000} {
+			bad := enc
+			binary.BigEndian.PutUint32(bad[off:off+4], bits)
+			if _, err := Decode(bad[:]); err == nil {
+				t.Errorf("non-finite coordinate at offset %d (bits %08x) decoded", off, bits)
+			}
+		}
+	}
+	if _, err := Decode(enc[:]); err != nil {
+		t.Fatalf("finite original must still decode: %v", err)
 	}
 }
 

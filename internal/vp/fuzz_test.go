@@ -1,0 +1,121 @@
+package vp
+
+// Native fuzz targets for the untrusted wire decoders. Every byte
+// reaching Unmarshal and SplitBatch comes straight off the anonymous
+// upload channel — the attacker's cheapest surface — so the decoders
+// must never panic, never allocate proportionally to a hostile length
+// prefix, and must uphold their parse invariants on every input that
+// does decode. CI runs these for 30s+ each (make fuzz); the checked-in
+// seeds keep the deterministic corpus mode (go test) meaningful.
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"viewmap/internal/bloom"
+	"viewmap/internal/geo"
+	"viewmap/internal/vd"
+)
+
+// fuzzProfile fabricates a valid profile without the core package
+// (which depends on vp): 60 consistent VDs plus a lightly filled
+// filter.
+func fuzzProfile(seed int64) *Profile {
+	rng := rand.New(rand.NewSource(seed))
+	var q vd.Secret
+	for i := range q {
+		q[i] = byte(rng.Intn(256))
+	}
+	r := vd.DeriveVPID(q)
+	vds := make([]vd.VD, vd.SegmentSeconds)
+	var size int64
+	for i := 0; i < vd.SegmentSeconds; i++ {
+		size += 800_000
+		var h vd.Hash
+		for j := range h {
+			h[j] = byte(rng.Intn(256))
+		}
+		vds[i] = vd.VD{
+			T: int64(i + 1), L: geo.Pt(float64(i), 5), F: size,
+			L1: geo.Pt(0, 5), Seq: uint64(i + 1), R: r, H: h,
+		}
+	}
+	f := bloom.New(FilterBits, filterK)
+	f.Add([]byte("neighbor-vd-1"))
+	f.Add([]byte("neighbor-vd-2"))
+	return &Profile{VDs: vds, Neighbors: f}
+}
+
+// FuzzProfileUnmarshal hammers the single-record decoder. Inputs that
+// decode must re-marshal byte-identically (modulo the reserved header
+// byte the encoder zeroes) and must survive the downstream paths an
+// accepted profile flows into.
+func FuzzProfileUnmarshal(f *testing.F) {
+	valid := fuzzProfile(1).Marshal()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1])
+	f.Add(valid[:6])
+	f.Add([]byte{})
+	short := append([]byte(nil), valid...)
+	short[0], short[1], short[2], short[3] = 0, 0, 0, 1 // claims 1 digest
+	f.Add(short)
+	huge := append([]byte(nil), valid...)
+	huge[0], huge[1], huge[2], huge[3] = 0xff, 0xff, 0xff, 0xff
+	f.Add(huge)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		if len(p.VDs) == 0 || len(p.VDs) > vd.SegmentSeconds {
+			t.Fatalf("accepted profile with %d digests", len(p.VDs))
+		}
+		out := p.Marshal()
+		norm := append([]byte(nil), data...)
+		norm[5] = 0 // reserved byte, zeroed by the encoder
+		if !bytes.Equal(out, norm) {
+			t.Fatalf("re-marshal diverges: %d bytes in, %d out", len(norm), len(out))
+		}
+		// The paths an accepted upload flows into must hold up too.
+		_ = p.Validate()
+		_ = p.Digests()
+		_ = p.PlausibleTrajectory()
+		_ = p.EntersArea(geo.NewRect(geo.Pt(0, 0), geo.Pt(100, 100)))
+	})
+}
+
+// FuzzSplitBatch hammers the batched-upload framing (the POST
+// /v1/vp/batch wire decode). Decoded frames must tile the payload
+// exactly, stay under the record cap, and feed Unmarshal without
+// panicking; hostile counts must error before allocating.
+func FuzzSplitBatch(f *testing.F) {
+	ps := []*Profile{fuzzProfile(2), fuzzProfile(3)}
+	f.Add(MarshalBatch(ps))
+	f.Add(MarshalBatch(nil))
+	f.Add(MarshalBatch(ps[:1]))
+	f.Add([]byte{0, 0, 0, 1})             // one record, missing length
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff}) // bogus count, empty body
+	truncated := MarshalBatch(ps)
+	f.Add(truncated[:len(truncated)/2])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const maxRecs = 1 << 14
+		records, err := SplitBatch(data, maxRecs)
+		if err != nil {
+			return
+		}
+		if len(records) > maxRecs {
+			t.Fatalf("accepted %d records over the %d cap", len(records), maxRecs)
+		}
+		total := 4
+		for _, rec := range records {
+			total += 4 + len(rec)
+			if _, err := Unmarshal(rec); err != nil {
+				continue
+			}
+		}
+		if total != len(data) {
+			t.Fatalf("frames cover %d of %d payload bytes", total, len(data))
+		}
+	})
+}
