@@ -33,10 +33,12 @@ check: build vet test
 # sim package the concurrent delivery benchmark); keep them all
 # race-clean. The attack package and the online attack-serving
 # campaigns (concurrent double-spend and payout races through the
-# live HTTP path) ride in the same job.
+# live HTTP path) ride in the same job, as does the continuous
+# workload, whose WAL group commit, snapshotter, and evictor run
+# against concurrent ingest and investigations.
 race:
 	$(GO) test -race ./internal/core/... ./internal/geo/... ./internal/server/... ./internal/evidence/... ./internal/attack/...
-	$(GO) test -race -short -run 'TestEvidencePipelineSmall|TestAttackServingCampaigns' ./internal/sim/
+	$(GO) test -race -short -run 'TestEvidencePipelineSmall|TestAttackServingCampaigns|TestContinuousSmall' ./internal/sim/
 
 # Documentation hygiene: formatting, vet, complete doc comments on the
 # exported surface of the service-facing packages, resolvable relative
@@ -56,6 +58,7 @@ bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x .
 	$(GO) run ./cmd/viewmap-bench -run evidence -scale quick
 	$(GO) run ./cmd/viewmap-bench -run attack-serving -scale quick
+	$(GO) run ./cmd/viewmap-bench -run continuous -scale quick
 
 # Coverage gate: the full ./internal/... profile must not regress
 # below the recorded baseline.
@@ -67,7 +70,8 @@ coverage:
 		|| { echo "coverage regressed below the recorded baseline"; exit 1; }
 
 # Native fuzzing over the untrusted decoders: the anonymous VP wire
-# format, the batched-upload framing, and the state-restore sniffing.
+# format, the batched-upload framing, the state-restore sniffing, and
+# the WAL replay path (framing scanner + every record-body decoder).
 # Each target gets FUZZTIME of coverage-guided input generation on top
 # of the checked-in seed corpus; -fuzzminimizetime keeps minimization
 # of interesting inputs from eating the budget on small machines.
@@ -75,6 +79,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzProfileUnmarshal -fuzztime=$(FUZZTIME) -fuzzminimizetime=100x -run=NONE ./internal/vp/
 	$(GO) test -fuzz=FuzzSplitBatch -fuzztime=$(FUZZTIME) -fuzzminimizetime=100x -run=NONE ./internal/vp/
 	$(GO) test -fuzz=FuzzSystemLoadFrom -fuzztime=$(FUZZTIME) -fuzzminimizetime=100x -run=NONE ./internal/server/
+	$(GO) test -fuzz=FuzzWALReplay -fuzztime=$(FUZZTIME) -fuzzminimizetime=100x -run=NONE ./internal/server/
 
 # Hot-path micro-benchmarks with allocation reporting.
 bench-micro:

@@ -2,9 +2,15 @@
 // CI (the docs job in .github/workflows/ci.yml):
 //
 //   - every exported identifier in every internal/... package carries
-//     a doc comment, and
+//     a doc comment,
 //   - every relative link in the repository's Markdown files resolves
-//     to an existing file.
+//     to an existing file, and
+//   - every symbol anchor on a link to a Go file — the
+//     `[walScan](../internal/server/wal.go#walScan)` cross-references
+//     the persistence spec uses to pin prose to its encoder/decoder —
+//     names a declaration (`Ident` or `Type.Method`) that actually
+//     exists in that file, so format docs cannot drift from the code
+//     silently.
 //
 // Usage:
 //
@@ -173,9 +179,11 @@ func kindOf(tok token.Token) string {
 var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
 
 // lintMarkdownLinks reports relative links in *.md files that do not
-// resolve to an existing file or directory.
+// resolve to an existing file or directory, and symbol anchors on Go
+// files that do not name a declaration there.
 func lintMarkdownLinks(root string) ([]string, error) {
 	var findings []string
+	decls := map[string]map[string]bool{} // Go file -> declared names
 	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
 			return err
@@ -199,17 +207,91 @@ func lintMarkdownLinks(root string) ([]string, error) {
 				if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
 					continue
 				}
-				target, _, _ = strings.Cut(target, "#")
+				target, frag, _ := strings.Cut(target, "#")
 				if target == "" {
 					continue
 				}
 				resolved := filepath.Join(filepath.Dir(path), target)
 				if _, err := os.Stat(resolved); err != nil {
 					findings = append(findings, fmt.Sprintf("%s:%d: broken relative link %q", path, i+1, m[1]))
+					continue
+				}
+				if frag == "" || !strings.HasSuffix(target, ".go") {
+					continue
+				}
+				names, err := goDecls(decls, resolved)
+				if err != nil {
+					findings = append(findings, fmt.Sprintf("%s:%d: cannot parse %q for anchor check: %v", path, i+1, target, err))
+					continue
+				}
+				if !names[frag] {
+					findings = append(findings, fmt.Sprintf("%s:%d: link anchor %q names no declaration in %s", path, i+1, frag, target))
 				}
 			}
 		}
 		return nil
 	})
 	return findings, err
+}
+
+// goDecls returns (caching per file) the set of names a symbol anchor
+// may reference in a Go file: package-level functions, types, consts
+// and vars by name, methods as "Type.Method".
+func goDecls(cache map[string]map[string]bool, path string) (map[string]bool, error) {
+	if names, ok := cache[path]; ok {
+		return names, nil
+	}
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+	if err != nil {
+		return nil, err
+	}
+	names := map[string]bool{}
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if d.Recv != nil {
+				if recv := receiverName(d.Recv); recv != "" {
+					names[recv+"."+d.Name.Name] = true
+				}
+				continue
+			}
+			names[d.Name.Name] = true
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					names[s.Name.Name] = true
+				case *ast.ValueSpec:
+					for _, name := range s.Names {
+						names[name.Name] = true
+					}
+				}
+			}
+		}
+	}
+	cache[path] = names
+	return names, nil
+}
+
+// receiverName unwraps a method receiver to its type name.
+func receiverName(recv *ast.FieldList) string {
+	if recv == nil || len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name
+		default:
+			return ""
+		}
+	}
 }

@@ -82,6 +82,7 @@ func experiments() []experiment {
 		{"serving", "sustained-ingest serving: cached viewmaps vs rebuild-per-request (not in the paper)", runServing},
 		{"evidence", "evidence pipeline: solicit, anonymous deliver + cascade verify, payout, blurred release (not in the paper)", runEvidence},
 		{"attack-serving", "online attack campaigns through the live HTTP serving path, cross-checked offline (not in the paper)", runAttackServing},
+		{"continuous", "durable continuous operation: ingest WAL, snapshots, retention, mid-run crash+recover (not in the paper)", runContinuous},
 		{"ablation", "damping and guard-alpha ablations (not in the paper)", runAblation},
 	}
 }
@@ -396,6 +397,24 @@ func runAttackServing(scale string, seed int64) error {
 		SweepRuns: pick(scale, 1, 10),
 		SweepPcts: []int{100, 300, 500},
 		Seed:      seed,
+	})
+	if err != nil {
+		return err
+	}
+	for _, r := range res.Rows() {
+		fmt.Println(r)
+	}
+	return nil
+}
+
+func runContinuous(scale string, seed int64) error {
+	res, err := sim.Continuous(sim.ContinuousConfig{
+		Vehicles:         pick(scale, 20, 120),
+		Minutes:          pick(scale, 8, 120), // full scale: two simulated hours
+		RetentionMinutes: pick(scale, 3, 5),
+		BatchSize:        32,
+		SnapshotEvery:    pick(scale, 3, 10),
+		Seed:             seed,
 	})
 	if err != nil {
 		return err

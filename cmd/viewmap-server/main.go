@@ -7,16 +7,31 @@
 //
 //	viewmap-server [-addr :8440] [-authority-token TOKEN] [-bank-bits 2048]
 //	               [-db PATH] [-state PATH] [-dsrc-range 400] [-no-viewmap-cache]
+//	               [-wal PATH] [-wal-sync 0s] [-snapshot-interval 60s]
+//	               [-retention N] [-resident-minutes N]
 //
 // If no authority token is supplied a random one is generated and
 // printed at startup; authorities pass it in the X-Viewmap-Authority
 // header for trusted uploads, investigations and reviews.
 //
+// -wal selects durable continuous operation: every admitted mutation
+// is appended (and fsynced) to the write-ahead log at PATH before it
+// is acknowledged, a background snapshotter checkpoints the full
+// system state to PATH.snap every -snapshot-interval and truncates the
+// log, and -retention N spills minute shards older than the newest N
+// minutes to per-minute segment files under PATH.segments/, keeping at
+// most -resident-minutes reloaded cold minutes in memory. On startup
+// the server recovers from whatever those files hold; a crash loses
+// nothing that was acknowledged. -wal-sync widens the group-commit
+// window (more ingest throughput, higher ack latency — never less
+// durability). See docs/operations.md for the full operator guide.
+//
 // -state persists the full system — VP database, reward bank (signing
-// keypair and double-spend ledger), and evidence board — so a restart
-// resumes open solicitations, keeps minted cash verifiable, and still
-// refuses double spends. -db persists the VP database alone (the
-// legacy format, which -state also accepts when loading).
+// keypair and double-spend ledger), and evidence board — on SIGINT/
+// SIGTERM only (no crash safety); -db persists the VP database alone
+// (the legacy format, which -state also accepts when loading). The
+// three persistence modes are mutually exclusive; use -wal for
+// anything long-running.
 //
 // The store shards by unit-time window and links every uploaded VP
 // into its minute's viewmap at ingest, so investigations are answered
@@ -48,21 +63,53 @@ func main() {
 	statePath := flag.String("state", "", "full system state file (store + bank + evidence board): loaded at startup, saved on SIGINT/SIGTERM")
 	dsrcRange := flag.Float64("dsrc-range", 0, "viewlink proximity radius in metres (0 = the 400 m default)")
 	noCache := flag.Bool("no-viewmap-cache", false, "rebuild viewmaps per investigation instead of serving cached incremental ones (benchmark baseline)")
+	walPath := flag.String("wal", "", "ingest write-ahead log: enables durable continuous operation (snapshot at PATH.snap, segments under PATH.segments/)")
+	walSync := flag.Duration("wal-sync", 0, "WAL group-commit window (0 = fsync as soon as a record is buffered)")
+	snapshotInterval := flag.Duration("snapshot-interval", time.Minute, "background snapshot + WAL truncation period (requires -wal; 0 = final snapshot only)")
+	retention := flag.Int("retention", 0, "resident minute horizon: spill shards older than the newest N minutes to disk (requires -wal; 0 = keep all resident)")
+	residentMinutes := flag.Int("resident-minutes", 0, "LRU bound on reloaded cold minutes (0 = default of 2)")
 	flag.Parse()
 
-	sys, err := server.NewSystem(server.Config{
+	cfg := server.Config{
 		AuthorityToken: *token,
 		BankBits:       *bankBits,
 		Store: server.StoreConfig{
 			DSRCRange:           *dsrcRange,
 			DisableViewmapCache: *noCache,
 		},
-	})
-	if err != nil {
-		log.Fatalf("starting system: %v", err)
 	}
-	if *dbPath != "" && *statePath != "" {
-		log.Fatal("use either -db or -state, not both")
+	modes := 0
+	for _, set := range []bool{*dbPath != "", *statePath != "", *walPath != ""} {
+		if set {
+			modes++
+		}
+	}
+	if modes > 1 {
+		log.Fatal("use exactly one of -db, -state, or -wal")
+	}
+	if *walPath == "" && *retention > 0 {
+		log.Fatal("-retention requires -wal (evicted minutes live next to the log)")
+	}
+
+	var sys *server.System
+	var err error
+	if *walPath != "" {
+		sys, err = server.OpenDurable(cfg, server.DurabilityConfig{
+			WALPath:             *walPath,
+			SyncInterval:        *walSync,
+			SnapshotInterval:    *snapshotInterval,
+			RetentionMinutes:    *retention,
+			ResidentColdMinutes: *residentMinutes,
+		})
+		if err != nil {
+			log.Fatalf("starting durable system: %v", err)
+		}
+		d := sys.DurabilityStatsSnapshot()
+		log.Printf("durable: recovered %d VPs (snapshot LSN %d, %d WAL records replayed) from %s",
+			sys.Store().Len(), d.SnapshotLSN, d.Replayed, *walPath)
+		saveOnSignal(sys.Close, func() { log.Printf("final snapshot written; WAL closed") })
+	} else if sys, err = server.NewSystem(cfg); err != nil {
+		log.Fatalf("starting system: %v", err)
 	}
 	if *statePath != "" {
 		if shouldLoad(*statePath) {

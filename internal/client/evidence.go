@@ -228,6 +228,35 @@ type ShardStats struct {
 	Epoch uint64 `json:"epoch"`
 }
 
+// RetentionStats describe the store's resident/evicted minute split in
+// GET /v1/stats.
+type RetentionStats struct {
+	// ResidentMinutes counts minute shards currently in memory.
+	ResidentMinutes int `json:"residentMinutes"`
+	// ColdResident counts resident shards reloaded from segment files.
+	ColdResident int `json:"coldResident"`
+	// EvictedMinutes counts minutes living only in segment files.
+	EvictedMinutes int `json:"evictedMinutes"`
+}
+
+// DurabilityStats describe the WAL/snapshot runtime in GET /v1/stats.
+type DurabilityStats struct {
+	// Enabled reports whether the server runs with an ingest WAL.
+	Enabled bool `json:"enabled"`
+	// AppendedLSN and SyncedLSN are the log watermarks.
+	AppendedLSN uint64 `json:"appendedLSN"`
+	// SyncedLSN is the last durable log sequence number.
+	SyncedLSN uint64 `json:"syncedLSN"`
+	// SnapshotLSN is the LSN covered by the newest snapshot.
+	SnapshotLSN uint64 `json:"snapshotLSN"`
+	// Snapshots counts snapshots written this process lifetime.
+	Snapshots int `json:"snapshots"`
+	// Replayed counts WAL records replayed at the last recovery.
+	Replayed int `json:"replayed"`
+	// LastError is the most recent background durability failure.
+	LastError string `json:"lastError,omitempty"`
+}
+
 // ServiceStats is the full GET /v1/stats response.
 type ServiceStats struct {
 	// VPs and Trusted count stored profiles.
@@ -242,6 +271,10 @@ type ServiceStats struct {
 	Ingest IngestStats `json:"ingest"`
 	// Shards lists per-minute shard state, ascending by minute.
 	Shards []ShardStats `json:"shards"`
+	// Retention carries the resident/evicted minute split.
+	Retention RetentionStats `json:"retention"`
+	// Durability carries the WAL/snapshot runtime counters.
+	Durability DurabilityStats `json:"durability"`
 	// Evidence carries the evidence-subsystem counters.
 	Evidence EvidenceStats `json:"evidence"`
 }

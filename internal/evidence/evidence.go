@@ -83,6 +83,24 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Journal receives board and bank mutations for write-ahead logging.
+// The server's durable runtime implements it; each call must make the
+// mutation durable before returning, and the service only acknowledges
+// the mutation to the caller once it has. Replay-side re-application
+// (ReplayDeliver, ReplayPayout) never journals.
+type Journal interface {
+	// JournalOpen records a solicitation posting (or merge).
+	JournalOpen(site geo.Rect, minute int64, units int, ids []vd.VPID) error
+	// JournalDeliver records an accepted delivery's bytes.
+	JournalDeliver(id vd.VPID, chunks [][]byte) error
+	// JournalPayout records the entitlement remaining after a payout
+	// debit — an absolute value, so replay converges regardless of how
+	// a snapshot cut interleaved with the debit.
+	JournalPayout(id vd.VPID, remaining int) error
+	// JournalRedeem records a burned cash unit.
+	JournalRedeem(c *reward.Cash) error
+}
+
 // Service is the evidence subsystem: solicitation board, delivery
 // validator, payout desk, and release gate. Safe for concurrent use.
 type Service struct {
@@ -90,6 +108,8 @@ type Service struct {
 	vps      VPSource
 	bank     *reward.Bank
 	sessions *anon.Guard
+	// journal, when set, write-ahead-logs every board/bank mutation.
+	journal Journal
 
 	// mu guards the shard map only; each shard carries its own lock.
 	// Lock order: mu may be held while acquiring shard locks (the
@@ -157,6 +177,10 @@ func NewService(cfg Config, vps VPSource, bank *reward.Bank) (*Service, error) {
 		shards:   make(map[int64]*boardShard),
 	}, nil
 }
+
+// SetJournal attaches the write-ahead journal. Call before serving
+// traffic; a nil journal (the default) logs nothing.
+func (s *Service) SetJournal(j Journal) { s.journal = j }
 
 // Errors of the lifecycle, mapped onto HTTP statuses by the server.
 var (
@@ -230,7 +254,6 @@ func (s *Service) Open(site geo.Rect, minute int64, ids []vd.VPID, units int) (*
 	}
 	sh := s.ensureShard(minute)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	sol := sh.solicitations[site]
 	if sol == nil {
 		sol = &solicitation{site: site, minute: minute, units: units}
@@ -247,6 +270,14 @@ func (s *Service) Open(site geo.Rect, minute int64, ids []vd.VPID, units int) (*
 		res.NewlyListed++
 	}
 	res.Listed = len(sol.entries)
+	sh.mu.Unlock()
+	if s.journal != nil {
+		// Replaying the posting re-merges the same identifier set — a
+		// no-op over a snapshot that already contains it.
+		if err := s.journal.JournalOpen(site, minute, units, ids); err != nil {
+			return nil, err
+		}
+	}
 	return res, nil
 }
 
@@ -353,15 +384,46 @@ func (s *Service) Deliver(session string, id vd.VPID, q vd.Secret, chunks [][]by
 		stored[i] = append([]byte(nil), c...)
 	}
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	if e.state != stateSolicited {
+		sh.mu.Unlock()
 		return 0, ErrAlreadyDelivered
 	}
 	e.state = stateDelivered
 	e.chunks = stored
 	e.remaining = e.units
+	units := e.units
+	sh.mu.Unlock()
 	s.deliveredOK.Add(1)
-	return e.units, nil
+	if s.journal != nil {
+		// Ack only once the accepted bytes are on the log; a crash
+		// before this line loses an unacknowledged delivery, which the
+		// owner simply re-sends.
+		if err := s.journal.JournalDeliver(id, stored); err != nil {
+			return 0, err
+		}
+	}
+	return units, nil
+}
+
+// ReplayDeliver re-applies an accepted delivery from the ingest log
+// during recovery: no session, ownership, or cascade checks — the
+// record's CRC vouches for the bytes the live path already verified —
+// and no journaling. A delivery already present (restored from a
+// snapshot) is left untouched.
+func (s *Service) ReplayDeliver(id vd.VPID, chunks [][]byte) {
+	_, sh, e, err := s.lookup(id)
+	if err != nil {
+		return
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e.state != stateSolicited {
+		return
+	}
+	e.state = stateDelivered
+	e.chunks = chunks
+	e.remaining = e.units
+	s.deliveredOK.Add(1)
 }
 
 // Payout issues blind signatures against an accepted delivery's
@@ -395,6 +457,7 @@ func (s *Service) Payout(session string, id vd.VPID, q vd.Secret, blinded []*big
 		return nil, fmt.Errorf("evidence: %d units requested, %d remaining", len(blinded), n)
 	}
 	e.remaining -= len(blinded)
+	after := e.remaining
 	sh.mu.Unlock()
 
 	out := make([]*big.Int, 0, len(blinded))
@@ -411,8 +474,43 @@ func (s *Service) Payout(session string, id vd.VPID, q vd.Secret, blinded []*big
 		}
 		out = append(out, sig)
 	}
+	if s.journal != nil {
+		// The absolute post-debit value makes replay order-independent
+		// and idempotent: recovery takes the minimum it sees, which is
+		// the lowest entitlement ever acknowledged.
+		if err := s.journal.JournalPayout(id, after); err != nil {
+			// The signatures are discarded with the error and the debit
+			// was never logged, so refund it — same policy as a signing
+			// failure: nothing issued, nothing burned. (A crash replay
+			// restores the balance the same way.)
+			sh.mu.Lock()
+			e.remaining += len(blinded)
+			sh.mu.Unlock()
+			return nil, err
+		}
+	}
 	s.minted.Add(int64(len(out)))
 	return out, nil
+}
+
+// ReplayPayout re-applies a payout debit from the ingest log during
+// recovery: the entry's entitlement is lowered to the logged post-
+// debit value if it is not already at or below it. Entitlements only
+// shrink on the live path, so taking the minimum converges to the
+// acknowledged state no matter how a snapshot cut interleaved with
+// the debits.
+func (s *Service) ReplayPayout(id vd.VPID, remaining int) {
+	_, sh, e, err := s.lookup(id)
+	if err != nil {
+		return
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e.state != stateDelivered || remaining < 0 || e.remaining <= remaining {
+		return
+	}
+	s.minted.Add(int64(e.remaining - remaining))
+	e.remaining = remaining
 }
 
 // Redeem verifies and burns one unit of cash at the subsystem's
@@ -423,6 +521,13 @@ func (s *Service) Redeem(c *reward.Cash) error {
 		return err
 	}
 	s.redeemed.Add(1)
+	if s.journal != nil {
+		// The burn must be durable before the goods change hands:
+		// replaying it against an already-spent ledger is a no-op.
+		if err := s.journal.JournalRedeem(c); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

@@ -47,7 +47,7 @@ const sessionHeader = "X-Session"
 //	POST /v1/evidence/payout         {"id","secret","blinded"} (X-Session, single use)
 //	POST /v1/evidence/redeem         {"m":"b64","sig":"dec"}
 //	GET  /v1/evidence/video?id=hex   blurred release (authority)
-//	GET  /v1/stats                   {"vps":N,...,"ingest":{...},"shards":[...],"evidence":{...}}
+//	GET  /v1/stats                   {"vps":N,...,"ingest":{...},"shards":[...],"retention":{...},"durability":{...},"evidence":{...}}
 func Handler(sys *System) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/vp", func(w http.ResponseWriter, r *http.Request) {
@@ -404,6 +404,8 @@ func Handler(sys *System) http.Handler {
 		ev := sys.Evidence().StatsSnapshot()
 		shardStats := sys.Store().ShardStats()
 		ingest := sys.Store().IngestStatsFrom(shardStats)
+		ret := sys.Store().RetentionStatsSnapshot()
+		dur := sys.DurabilityStatsSnapshot()
 		shards := make([]shardStatJSON, len(shardStats))
 		for i, sh := range shardStats {
 			shards[i] = shardStatJSON{
@@ -423,6 +425,20 @@ func Handler(sys *System) http.Handler {
 				Quarantined:  ingest.Quarantined,
 			},
 			Shards: shards,
+			Retention: retentionStatsJSON{
+				ResidentMinutes: ret.ResidentMinutes,
+				ColdResident:    ret.ColdResident,
+				EvictedMinutes:  ret.EvictedMinutes,
+			},
+			Durability: durabilityStatsJSON{
+				Enabled:     dur.Enabled,
+				AppendedLSN: dur.AppendedLSN,
+				SyncedLSN:   dur.SyncedLSN,
+				SnapshotLSN: dur.SnapshotLSN,
+				Snapshots:   dur.Snapshots,
+				Replayed:    dur.Replayed,
+				LastError:   dur.LastError,
+			},
 			Evidence: evidenceStatsJSON{
 				OpenSolicitations:  ev.OpenSolicitations,
 				DeliveriesAccepted: ev.DeliveriesAccepted,
@@ -515,13 +531,31 @@ type bankResponse struct {
 }
 
 type statsResponse struct {
-	VPs         int               `json:"vps"`
-	Trusted     int               `json:"trusted"`
-	ReviewQueue int               `json:"reviewQueue"`
-	Minutes     int               `json:"minutes"`
-	Ingest      ingestStatsJSON   `json:"ingest"`
-	Shards      []shardStatJSON   `json:"shards"`
-	Evidence    evidenceStatsJSON `json:"evidence"`
+	VPs         int                 `json:"vps"`
+	Trusted     int                 `json:"trusted"`
+	ReviewQueue int                 `json:"reviewQueue"`
+	Minutes     int                 `json:"minutes"`
+	Ingest      ingestStatsJSON     `json:"ingest"`
+	Shards      []shardStatJSON     `json:"shards"`
+	Retention   retentionStatsJSON  `json:"retention"`
+	Durability  durabilityStatsJSON `json:"durability"`
+	Evidence    evidenceStatsJSON   `json:"evidence"`
+}
+
+type retentionStatsJSON struct {
+	ResidentMinutes int `json:"residentMinutes"`
+	ColdResident    int `json:"coldResident"`
+	EvictedMinutes  int `json:"evictedMinutes"`
+}
+
+type durabilityStatsJSON struct {
+	Enabled     bool   `json:"enabled"`
+	AppendedLSN uint64 `json:"appendedLSN"`
+	SyncedLSN   uint64 `json:"syncedLSN"`
+	SnapshotLSN uint64 `json:"snapshotLSN"`
+	Snapshots   int    `json:"snapshots"`
+	Replayed    int    `json:"replayed"`
+	LastError   string `json:"lastError,omitempty"`
 }
 
 type ingestStatsJSON struct {

@@ -40,6 +40,24 @@ type Store struct {
 	// extraction never stalls traffic to other minutes.
 	mu     sync.RWMutex
 	shards map[int64]*minuteShard
+	// segments marks minutes with an on-disk segment file (see
+	// retention.go); a minute in segments but not in shards is evicted.
+	segments map[int64]bool
+
+	// reloadMu single-flights segment reloads: cold queries are rare
+	// and a reload re-links a whole minute, so concurrent reloads of
+	// any evicted minutes serialize rather than duplicating that work.
+	reloadMu sync.Mutex
+
+	// newestMinute tracks the most recent ingested minute — the
+	// retention horizon's anchor. noMinute until the first ingest.
+	newestMinute atomic.Int64
+	// touchSeq stamps shard recency for the cold-set LRU.
+	touchSeq atomic.Uint64
+	// onEvict, when set, is called after a minute shard is evicted
+	// (outside all store locks); the System drops the minute's verdict
+	// cache entries through it.
+	onEvict func(minute int64)
 
 	// ids maps VPID -> *vp.Profile across all shards. An ingest claims
 	// its identifier here first, with one atomic LoadOrStore: losers
@@ -75,6 +93,18 @@ type StoreConfig struct {
 	// the rebuild-per-request baseline the serving benchmark compares
 	// against; production configurations leave it false.
 	DisableViewmapCache bool
+	// SegmentDir is where evicted minutes are spilled as per-minute
+	// segment files (retention.go). Empty disables spilling, and with
+	// it retention.
+	SegmentDir string
+	// RetentionMinutes is the resident horizon: when positive (and
+	// SegmentDir is set), shards older than the newest ingested minute
+	// minus this many minutes are spilled to disk and evicted by
+	// ApplyRetention. Zero keeps every minute resident forever.
+	RetentionMinutes int
+	// ResidentColdMinutes bounds how many evicted minutes reloaded by
+	// cold queries may stay resident at once (LRU); zero selects 2.
+	ResidentColdMinutes int
 }
 
 // minuteShard holds one unit-time window's profiles and its
@@ -96,7 +126,23 @@ type minuteShard struct {
 	// they are in the database — construction decides what to link —
 	// but can never join this minute's viewmap.
 	quarantined int
+	// cold marks a shard reloaded from its segment file by a query
+	// against an evicted minute; cold shards live in the LRU-bounded
+	// cold resident set rather than the retention horizon.
+	cold bool
+	// dirty marks a shard with ingest not yet reflected in its segment
+	// file; eviction rewrites the segment only when set.
+	dirty bool
+	// evicted marks a shard dropped from the shard map; an ingest that
+	// raced the eviction re-resolves its shard instead of writing into
+	// the orphan.
+	evicted bool
+	// lastTouch is the recency stamp for the cold-set LRU.
+	lastTouch atomic.Uint64
 }
+
+// noMinute is newestMinute's value before the first ingest.
+const noMinute = int64(-1) << 62
 
 // cachedViewmap is one cache entry: the viewmap extracted at epoch.
 type cachedViewmap struct {
@@ -115,10 +161,13 @@ func NewStore() *Store { return NewStoreWith(StoreConfig{}) }
 
 // NewStoreWith creates an empty database with the given configuration.
 func NewStoreWith(cfg StoreConfig) *Store {
-	return &Store{
-		cfg:    cfg,
-		shards: make(map[int64]*minuteShard),
+	s := &Store{
+		cfg:      cfg,
+		shards:   make(map[int64]*minuteShard),
+		segments: make(map[int64]bool),
 	}
+	s.newestMinute.Store(noMinute)
+	return s
 }
 
 // ErrDuplicate is returned when a VP identifier is already stored.
@@ -131,28 +180,59 @@ func (s *Store) shard(m int64) *minuteShard {
 	return s.shards[m]
 }
 
+// newShard builds an empty shard for minute m (not yet installed).
+func (s *Store) newShard(m int64) *minuteShard {
+	return &minuteShard{
+		builder: core.NewIncrementalBuilder(core.IncrementalConfig{
+			Minute:           m,
+			DSRCRange:        s.cfg.DSRCRange,
+			RequirePlausible: true,
+		}),
+		cache: make(map[geo.Rect]cachedViewmap),
+	}
+}
+
 // ensureShard returns the shard for minute m, creating it if needed.
-// Only callers that have already claimed a profile's identifier for
-// this minute may create shards.
-func (s *Store) ensureShard(m int64) *minuteShard {
+// An evicted minute is reloaded from its segment first, so a late
+// ingest into an old minute joins the minute's full population rather
+// than a fresh shard shadowing it. Only callers that have already
+// claimed a profile's identifier for this minute may create shards.
+func (s *Store) ensureShard(m int64) (*minuteShard, error) {
 	if sh := s.shard(m); sh != nil {
-		return sh
+		return sh, nil
+	}
+	s.mu.RLock()
+	spilled := s.segments[m]
+	s.mu.RUnlock()
+	if spilled {
+		return s.reloadSegment(m)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	sh := s.shards[m]
 	if sh == nil {
-		sh = &minuteShard{
-			builder: core.NewIncrementalBuilder(core.IncrementalConfig{
-				Minute:           m,
-				DSRCRange:        s.cfg.DSRCRange,
-				RequirePlausible: true,
-			}),
-			cache: make(map[geo.Rect]cachedViewmap),
-		}
+		sh = s.newShard(m)
 		s.shards[m] = sh
 	}
-	return sh
+	return sh, nil
+}
+
+// lockShard resolves and locks minute m's shard, retrying when an
+// eviction raced the resolution: a shard marked evicted is already (or
+// about to be) out of the map, and writing into it would lose the
+// profile.
+func (s *Store) lockShard(m int64) (*minuteShard, error) {
+	for {
+		sh, err := s.ensureShard(m)
+		if err != nil {
+			return nil, err
+		}
+		sh.mu.Lock()
+		if !sh.evicted {
+			return sh, nil
+		}
+		sh.mu.Unlock()
+	}
 }
 
 // ingestLocked links one claimed, validated profile into sh — whose
@@ -177,11 +257,24 @@ func (s *Store) ingestLocked(sh *minuteShard, p *vp.Profile) error {
 		}
 	}
 	sh.profiles = append(sh.profiles, p)
+	sh.dirty = true
 	s.count.Add(1)
 	if p.Trusted {
 		s.trustedCount.Add(1)
 	}
+	s.noteMinute(p.Minute())
 	return nil
+}
+
+// noteMinute advances the newest-minute watermark (the retention
+// horizon's anchor) to m if it is ahead.
+func (s *Store) noteMinute(m int64) {
+	for {
+		cur := s.newestMinute.Load()
+		if m <= cur || s.newestMinute.CompareAndSwap(cur, m) {
+			return
+		}
+	}
 }
 
 // Put validates and stores a profile. Duplicate identifiers are
@@ -199,8 +292,32 @@ func (s *Store) Put(p *vp.Profile) error {
 		s.duplicateCount.Add(1)
 		return ErrDuplicate
 	}
-	sh := s.ensureShard(p.Minute())
-	sh.mu.Lock()
+	sh, err := s.lockShard(p.Minute())
+	if err != nil {
+		s.ids.Delete(p.ID())
+		return err
+	}
+	defer sh.mu.Unlock()
+	return s.ingestLocked(sh, p)
+}
+
+// PutReplay stores a profile on the WAL-replay path: identical to Put
+// except that rejections and duplicates do not advance the attack-
+// facing ingest counters — a replayed record was already counted (or
+// already stored) when it was first admitted, and recovery must not
+// inflate the gate statistics.
+func (s *Store) PutReplay(p *vp.Profile) error {
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("server: rejecting VP: %w", err)
+	}
+	if _, dup := s.ids.LoadOrStore(p.ID(), p); dup {
+		return ErrDuplicate
+	}
+	sh, err := s.lockShard(p.Minute())
+	if err != nil {
+		s.ids.Delete(p.ID())
+		return err
+	}
 	defer sh.mu.Unlock()
 	return s.ingestLocked(sh, p)
 }
@@ -248,8 +365,17 @@ func (s *Store) PutBatch(ps []*vp.Profile) BatchResult {
 		if len(accepted) == 0 {
 			continue
 		}
-		sh := s.ensureShard(m)
-		sh.mu.Lock()
+		sh, err := s.lockShard(m)
+		if err != nil {
+			// The minute's segment is unreadable; release the claims so
+			// a retry after the operator intervenes can still land.
+			for _, p := range accepted {
+				s.ids.Delete(p.ID())
+				res.Rejected++
+				s.rejectedCount.Add(1)
+			}
+			continue
+		}
 		for _, p := range accepted {
 			if err := s.ingestLocked(sh, p); err != nil {
 				res.Rejected++
@@ -262,21 +388,68 @@ func (s *Store) PutBatch(ps []*vp.Profile) BatchResult {
 	return res
 }
 
-// Get returns the profile with the given identifier.
+// hasID reports whether an identifier is claimed — by a live profile
+// or an evicted marker — without triggering any segment reload. The
+// ingest journal uses it as an advisory pre-filter so replayed
+// duplicates do not cost WAL space and fsyncs; the authoritative
+// rejection still happens at the commit's atomic claim.
+func (s *Store) hasID(id vd.VPID) bool {
+	_, ok := s.ids.Load(id)
+	return ok
+}
+
+// Get returns the profile with the given identifier. An identifier
+// whose minute was evicted transparently reloads the minute's segment
+// (the profile — and its whole shard — becomes cold-resident).
 func (s *Store) Get(id vd.VPID) (*vp.Profile, bool) {
 	v, ok := s.ids.Load(id)
 	if !ok {
 		return nil, false
 	}
-	return v.(*vp.Profile), true
+	if p, ok := v.(*vp.Profile); ok {
+		return p, true
+	}
+	ref := v.(evictedRef)
+	if _, err := s.reloadSegment(ref.minute); err != nil {
+		return nil, false
+	}
+	v, ok = s.ids.Load(id)
+	if !ok {
+		return nil, false
+	}
+	p, ok := v.(*vp.Profile)
+	return p, ok
+}
+
+// residentShard resolves minute m to a resident shard, reloading its
+// segment when the minute was evicted; nil when the minute holds no
+// profiles at all. Cold shards are recency-stamped for the LRU.
+func (s *Store) residentShard(m int64) (*minuteShard, error) {
+	sh := s.shard(m)
+	if sh == nil {
+		s.mu.RLock()
+		spilled := s.segments[m]
+		s.mu.RUnlock()
+		if !spilled {
+			return nil, nil
+		}
+		var err error
+		if sh, err = s.reloadSegment(m); err != nil {
+			return nil, err
+		}
+	}
+	if sh.cold {
+		s.touch(sh)
+	}
+	return sh, nil
 }
 
 // Minute returns the profiles recorded during the given unit-time
 // window, in ingest order. The returned slice is a copy and safe to
 // retain.
 func (s *Store) Minute(m int64) []*vp.Profile {
-	sh := s.shard(m)
-	if sh == nil {
+	sh, err := s.residentShard(m)
+	if sh == nil || err != nil {
 		return nil
 	}
 	sh.mu.Lock()
@@ -287,14 +460,21 @@ func (s *Store) Minute(m int64) []*vp.Profile {
 }
 
 // Minutes returns the unit-time windows with at least one stored
-// profile, ascending.
+// profile — resident or evicted to a segment file — ascending.
 func (s *Store) Minutes() []int64 {
 	s.mu.RLock()
-	out := make([]int64, 0, len(s.shards))
+	seen := make(map[int64]bool, len(s.shards)+len(s.segments))
 	for m := range s.shards {
-		out = append(out, m)
+		seen[m] = true
+	}
+	for m := range s.segments {
+		seen[m] = true
 	}
 	s.mu.RUnlock()
+	out := make([]int64, 0, len(seen))
+	for m := range seen {
+		out = append(out, m)
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
@@ -331,11 +511,18 @@ func (s *Store) snapshot() []*vp.Profile {
 func (s *Store) Len() int { return int(s.count.Load()) }
 
 // MinuteCount returns the number of unit-time windows holding at
-// least one profile, without materializing the minute list.
+// least one profile — resident or evicted — without materializing the
+// minute list.
 func (s *Store) MinuteCount() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return len(s.shards)
+	n := len(s.shards)
+	for m := range s.segments {
+		if _, ok := s.shards[m]; !ok {
+			n++
+		}
+	}
+	return n
 }
 
 // TrustedCount returns the number of stored trusted profiles.
@@ -433,8 +620,8 @@ func (s *Store) ShardStats() []ShardStat {
 // linked ingest; an unchanged epoch guarantees cached viewmaps for
 // the minute are still current.
 func (s *Store) MinuteEpoch(m int64) uint64 {
-	sh := s.shard(m)
-	if sh == nil {
+	sh, err := s.residentShard(m)
+	if sh == nil || err != nil {
 		return 0
 	}
 	sh.mu.Lock()
@@ -454,7 +641,10 @@ func (s *Store) MinuteEpoch(m int64) uint64 {
 // viewmaps rather than mutating published ones, so callers may use it
 // without locking, concurrently with further uploads.
 func (s *Store) ViewmapFor(site geo.Rect, minute int64) (*core.Viewmap, error) {
-	sh := s.shard(minute)
+	sh, err := s.residentShard(minute)
+	if err != nil {
+		return nil, err
+	}
 	if sh == nil {
 		return nil, fmt.Errorf("server: no profiles stored for minute %d", minute)
 	}

@@ -27,6 +27,13 @@ type System struct {
 	bank     *reward.Bank
 	evidence *evidence.Service
 
+	// wal is the ingest write-ahead log; nil on a non-durable system
+	// (NewSystem). OpenDurable sets it together with durable.
+	wal *wal
+	// durable is the durability runtime (snapshot barrier, background
+	// goroutines, recovery counters); nil when wal is nil.
+	durable *durabilityRuntime
+
 	// authorityToken gates trusted-VP uploads and investigations.
 	authorityToken string
 
@@ -130,7 +137,7 @@ func NewSystem(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &System{
+	sys := &System{
 		store:          store,
 		bank:           bank,
 		evidence:       ev,
@@ -138,7 +145,27 @@ func NewSystem(cfg Config) (*System, error) {
 		solicitations:  make(map[vd.VPID]*Solicitation),
 		rewardsPosted:  make(map[vd.VPID]*RewardOffer),
 		verdicts:       make(map[investigationKey]verdictEntry),
-	}, nil
+	}
+	// An evicted minute drops its viewmap with the shard; the verdicts
+	// computed from it must not outlive it (evict-then-reload equality
+	// is re-established through a fresh extraction and verification).
+	store.onEvict = sys.purgeVerdictsFor
+	// Board and bank mutations journal through the system; no-ops
+	// until OpenDurable attaches a WAL.
+	ev.SetJournal(sys)
+	return sys, nil
+}
+
+// purgeVerdictsFor drops every cached verdict for a minute; the store
+// calls it after evicting the minute's shard.
+func (sys *System) purgeVerdictsFor(minute int64) {
+	sys.verdictMu.Lock()
+	for k := range sys.verdicts {
+		if k.minute == minute {
+			delete(sys.verdicts, k)
+		}
+	}
+	sys.verdictMu.Unlock()
 }
 
 // AuthorityToken returns the token authorities authenticate with.
@@ -161,13 +188,33 @@ func (sys *System) checkAuthority(token string) error {
 	return nil
 }
 
-// UploadVP ingests an anonymous VP upload (wire format).
+// UploadVP ingests an anonymous VP upload (wire format). On a durable
+// system the record is appended to the WAL — and fsynced — before the
+// store commit, so a success return means the profile survives a crash
+// (ack-after-append); structurally invalid profiles are rejected
+// without touching the log.
 func (sys *System) UploadVP(data []byte) error {
 	p, err := vp.Unmarshal(data)
 	if err != nil {
 		sys.store.noteWireRejected(1)
 		return err
 	}
+	if err := p.Validate(); err != nil {
+		// Count the rejection at the store's gate without logging the
+		// doomed record; Put would fail identically.
+		sys.store.rejectedCount.Add(1)
+		return fmt.Errorf("server: rejecting VP: %w", err)
+	}
+	if sys.store.hasID(p.ID()) {
+		// Already claimed: Put below rejects deterministically, so the
+		// replayed identifier never costs log space or an fsync.
+		return sys.store.Put(p)
+	}
+	release, err := sys.journalIngest(walRecVP, data)
+	if err != nil {
+		return err
+	}
+	defer release()
 	return sys.store.Put(p)
 }
 
@@ -187,6 +234,7 @@ func (sys *System) UploadVPBatch(data []byte) (BatchResult, error) {
 	}
 	var res BatchResult
 	profiles := make([]*vp.Profile, 0, len(records))
+	var journalRecs [][]byte
 	for _, rec := range records {
 		p, err := vp.Unmarshal(rec)
 		if err != nil {
@@ -195,6 +243,27 @@ func (sys *System) UploadVPBatch(data []byte) (BatchResult, error) {
 			continue
 		}
 		profiles = append(profiles, p)
+		// Journal only records that can plausibly be stored: validation
+		// failures and already-claimed identifiers replay to rejections
+		// anyway, so logging them would let replayed or garbage batches
+		// consume WAL space and fsyncs for nothing. The check is
+		// advisory — the commit's atomic claim stays authoritative, and
+		// a racing duplicate that slips into the log replays to a
+		// no-op.
+		if sys.wal != nil && p.Validate() == nil && !sys.store.hasID(p.ID()) {
+			journalRecs = append(journalRecs, rec)
+		}
+	}
+	if len(journalRecs) > 0 {
+		// Ack-after-append: the admitted records hit the log (and the
+		// disk), re-framed with the batch wire format, before any
+		// profile commits; replay re-parses them with the same
+		// per-record failure policy.
+		release, err := sys.journalIngest(walRecVPBatch, vp.MarshalRawBatch(journalRecs))
+		if err != nil {
+			return BatchResult{}, err
+		}
+		defer release()
 	}
 	put := sys.store.PutBatch(profiles)
 	res.Stored, res.Duplicates = put.Stored, put.Duplicates
@@ -213,6 +282,18 @@ func (sys *System) UploadTrustedVP(token string, data []byte) error {
 		return err
 	}
 	p.Trusted = true
+	if err := p.Validate(); err != nil {
+		sys.store.rejectedCount.Add(1)
+		return fmt.Errorf("server: rejecting VP: %w", err)
+	}
+	if sys.store.hasID(p.ID()) {
+		return sys.store.Put(p)
+	}
+	release, err := sys.journalIngest(walRecVPTrusted, data)
+	if err != nil {
+		return err
+	}
+	defer release()
 	return sys.store.Put(p)
 }
 
@@ -543,8 +624,15 @@ func (sys *System) SignBlindedForReward(id vd.VPID, q vd.Secret, blinded []*big.
 	return out, nil
 }
 
-// Redeem verifies and burns one unit of virtual cash.
-func (sys *System) Redeem(c *reward.Cash) error { return sys.bank.Redeem(c) }
+// Redeem verifies and burns one unit of virtual cash at the legacy
+// reward desk. On a durable system the burn is logged before it is
+// acknowledged, so the double-spend ledger survives a crash.
+func (sys *System) Redeem(c *reward.Cash) error {
+	if err := sys.bank.Redeem(c); err != nil {
+		return err
+	}
+	return sys.journalCommitted(walRecRedeem, encodeRedeem(redeemDeskBank, c))
+}
 
 // Evidence exposes the evidence subsystem: solicitation board,
 // anonymous delivery, payout, and blurred release.

@@ -1,0 +1,312 @@
+package sim
+
+import (
+	"fmt"
+	"os"
+	"reflect"
+	"time"
+
+	"viewmap/internal/core"
+	"viewmap/internal/geo"
+	"viewmap/internal/server"
+	"viewmap/internal/vp"
+)
+
+// This file benchmarks the system as a continuously running service: a
+// roadnet-driven city fleet streams VP uploads minute after minute
+// into a durable system (ingest WAL, periodic snapshots, minute-window
+// retention), while an authority interleaves investigations against
+// hot minutes and against minutes long since evicted to disk. Halfway
+// through, the process "crashes" (the WAL handle is dropped without a
+// final snapshot) and recovers from the log — and the run only passes
+// if, at every probe, the durable system's per-VP verdicts are
+// bit-for-bit identical to an always-resident, never-crashed baseline,
+// the resident shard count stays within the configured horizon, and no
+// acknowledged batch is lost across the crash.
+
+// ContinuousConfig parameterizes the continuous-operation workload.
+type ContinuousConfig struct {
+	// Vehicles is the city fleet size; zero selects 30.
+	Vehicles int
+	// Minutes is how many unit-time windows the fleet streams; zero
+	// selects 10.
+	Minutes int
+	// RetentionMinutes is the resident horizon; zero selects 3.
+	RetentionMinutes int
+	// ResidentColdMinutes bounds reloaded cold minutes; zero selects 1.
+	ResidentColdMinutes int
+	// BatchSize is profiles per batched upload; zero selects 32.
+	BatchSize int
+	// SnapshotEvery is the checkpoint cadence in minutes; zero
+	// selects 4.
+	SnapshotEvery int
+	// CrashAt is the minute after which the crash+recover happens;
+	// zero selects Minutes/2, negative disables the crash.
+	CrashAt int
+	// Dir is the durability directory; empty creates (and removes) a
+	// temporary one.
+	Dir string
+	// Seed drives the trace and the trajectories.
+	Seed int64
+}
+
+func (c ContinuousConfig) withDefaults() ContinuousConfig {
+	if c.Vehicles <= 0 {
+		c.Vehicles = 30
+	}
+	if c.Minutes <= 0 {
+		c.Minutes = 10
+	}
+	if c.RetentionMinutes <= 0 {
+		c.RetentionMinutes = 3
+	}
+	if c.ResidentColdMinutes <= 0 {
+		c.ResidentColdMinutes = 1
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 4
+	}
+	if c.CrashAt == 0 {
+		c.CrashAt = c.Minutes / 2
+	}
+	return c
+}
+
+// ContinuousResult reports one continuous-operation run.
+type ContinuousResult struct {
+	// Minutes and Ingested count the stream.
+	Minutes, Ingested int
+	// IngestRate is acknowledged profiles per second on the durable
+	// system — WAL append, fsync, and link-on-ingest included.
+	IngestRate float64
+	// MaxResident is the highest resident shard count ever observed;
+	// the run fails outright if it exceeds the horizon plus the cold
+	// LRU bound.
+	MaxResident int
+	// EvictedMinutes is the final count of minutes living only on disk.
+	EvictedMinutes int
+	// HotChecks and ColdChecks count verdict-equality probes against
+	// resident and evicted minutes respectively (every one passed, or
+	// the run errored).
+	HotChecks, ColdChecks int
+	// Snapshots counts checkpoints written (WAL truncated after each).
+	Snapshots int
+	// CrashMinute is when the crash+recover happened (-1 = disabled).
+	CrashMinute int
+	// Replayed counts WAL records replayed at recovery.
+	Replayed int
+	// RecoveredVPs is the store size immediately after recovery; the
+	// run fails if any acknowledged profile is missing.
+	RecoveredVPs int
+}
+
+// Continuous runs the durable continuous-operation workload described
+// above and returns its measurements; any invariant violation —
+// verdict divergence, resident-set overflow, or an acknowledged batch
+// lost across the crash — returns an error instead.
+func Continuous(cfg ContinuousConfig) (*ContinuousResult, error) {
+	cfg = cfg.withDefaults()
+	dir := cfg.Dir
+	if dir == "" {
+		var err error
+		if dir, err = os.MkdirTemp("", "viewmap-continuous-*"); err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+	}
+
+	// A compact street grid keeps the fleet dense enough to viewlink.
+	city, err := NewCityRun(CityConfig{
+		Vehicles: cfg.Vehicles, Minutes: cfg.Minutes,
+		BlocksX: 8, BlocksY: 8, SpacingM: 150,
+		Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	area := geo.NewRect(geo.Pt(0, 0), geo.Pt(8*150, 8*150))
+	site := geo.RectAround(area.Center(), 300)
+
+	dcfg := server.DurabilityConfig{
+		WALPath:             dir + "/ingest.wal",
+		SnapshotInterval:    0, // checkpoints driven by the workload
+		RetentionMinutes:    cfg.RetentionMinutes,
+		RetentionInterval:   time.Hour, // sweeps driven by the workload
+		ResidentColdMinutes: cfg.ResidentColdMinutes,
+	}
+	sys, err := server.OpenDurable(server.Config{AuthorityToken: "bench", BankBits: 1024}, dcfg)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		if sys != nil {
+			sys.Close()
+		}
+	}()
+	baseline, err := server.NewSystem(server.Config{AuthorityToken: "bench", BankBits: 1024})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &ContinuousResult{Minutes: cfg.Minutes, CrashMinute: -1}
+	residentCap := cfg.RetentionMinutes + cfg.ResidentColdMinutes + 1 // +1 for the minute mid-sweep
+	var ingestTime time.Duration
+
+	// checkEqual probes one minute on both systems and requires
+	// bit-for-bit identical per-VP verdicts.
+	checkEqual := func(m int64) error {
+		got, err := sys.InvestigateReport("bench", site, m)
+		if err != nil {
+			return fmt.Errorf("sim: durable report minute %d: %w", m, err)
+		}
+		want, err := baseline.InvestigateReport("bench", site, m)
+		if err != nil {
+			return fmt.Errorf("sim: baseline report minute %d: %w", m, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			return fmt.Errorf("sim: minute %d: durable verdicts diverge from the always-resident baseline (%d vs %d members)",
+				m, got.Members, want.Members)
+		}
+		return nil
+	}
+
+	for m := 0; m < cfg.Minutes; m++ {
+		mp, err := city.ProfilesForMinute(m, false)
+		if err != nil {
+			return nil, err
+		}
+		ti := core.MarkTrustedNearest(mp.Profiles, area.Center())
+		trustedWire := mp.Profiles[ti].Marshal()
+		anon := make([]*vp.Profile, 0, len(mp.Profiles)-1)
+		for i, p := range mp.Profiles {
+			if i != ti {
+				anon = append(anon, p)
+			}
+		}
+
+		// The acknowledged stream, timed against the durable system:
+		// every ack waited for its WAL fsync and its link-on-ingest.
+		start := time.Now()
+		if err := sys.UploadTrustedVP("bench", trustedWire); err != nil {
+			return nil, err
+		}
+		for off := 0; off < len(anon); off += cfg.BatchSize {
+			end := min(off+cfg.BatchSize, len(anon))
+			batch, err := sys.UploadVPBatch(vp.MarshalBatch(anon[off:end]))
+			if err != nil {
+				return nil, err
+			}
+			res.Ingested += batch.Stored
+		}
+		ingestTime += time.Since(start)
+		res.Ingested++ // the trusted VP
+
+		// Mirror into the baseline (untimed).
+		if err := baseline.UploadTrustedVP("bench", trustedWire); err != nil {
+			return nil, err
+		}
+		for off := 0; off < len(anon); off += cfg.BatchSize {
+			end := min(off+cfg.BatchSize, len(anon))
+			if _, err := baseline.UploadVPBatch(vp.MarshalBatch(anon[off:end])); err != nil {
+				return nil, err
+			}
+		}
+
+		// Retention sweep, resident bound, and the interleaved probes.
+		if _, err := sys.Store().ApplyRetention(); err != nil {
+			return nil, err
+		}
+		ret := sys.Store().RetentionStatsSnapshot()
+		if ret.ResidentMinutes > res.MaxResident {
+			res.MaxResident = ret.ResidentMinutes
+		}
+		if ret.ResidentMinutes > residentCap {
+			return nil, fmt.Errorf("sim: minute %d: %d resident shards exceed the horizon cap %d",
+				m, ret.ResidentMinutes, residentCap)
+		}
+		if err := checkEqual(int64(m)); err != nil { // hot minute
+			return nil, err
+		}
+		res.HotChecks++
+		if cold := m - cfg.RetentionMinutes - 1; cold >= 0 {
+			if err := checkEqual(int64(cold)); err != nil { // evicted minute
+				return nil, err
+			}
+			res.ColdChecks++
+			if _, err := sys.Store().ApplyRetention(); err != nil { // re-trim the cold set
+				return nil, err
+			}
+		}
+
+		if (m+1)%cfg.SnapshotEvery == 0 {
+			if err := sys.Checkpoint(); err != nil {
+				return nil, err
+			}
+			res.Snapshots++
+		}
+
+		// Mid-run crash: drop the WAL handle without a final snapshot,
+		// then recover from the directory and keep streaming.
+		if m == cfg.CrashAt && cfg.CrashAt >= 0 {
+			acked := sys.Store().Len()
+			sys.Abort()
+			sys, err = server.OpenDurable(server.Config{AuthorityToken: "bench", BankBits: 1024}, dcfg)
+			if err != nil {
+				return nil, fmt.Errorf("sim: recovery after crash at minute %d: %w", m, err)
+			}
+			res.CrashMinute = m
+			d := sys.DurabilityStatsSnapshot()
+			res.Replayed = d.Replayed
+			res.RecoveredVPs = sys.Store().Len()
+			if res.RecoveredVPs != acked {
+				return nil, fmt.Errorf("sim: crash lost acknowledged batches: %d VPs recovered, %d acked",
+					res.RecoveredVPs, acked)
+			}
+			if err := checkEqual(int64(m)); err != nil {
+				return nil, fmt.Errorf("sim: post-recovery divergence: %w", err)
+			}
+		}
+	}
+
+	// Final sweep: every minute of the run — resident, cold, or long
+	// evicted — must still answer identically to the baseline, with the
+	// retention sweep re-trimming the cold set between probes so the
+	// resident bound holds throughout.
+	for m := 0; m < cfg.Minutes; m++ {
+		if err := checkEqual(int64(m)); err != nil {
+			return nil, fmt.Errorf("sim: final pass: %w", err)
+		}
+		res.ColdChecks++
+		if _, err := sys.Store().ApplyRetention(); err != nil {
+			return nil, err
+		}
+		if ret := sys.Store().RetentionStatsSnapshot(); ret.ResidentMinutes > residentCap {
+			return nil, fmt.Errorf("sim: final pass minute %d: %d resident shards exceed the cap %d",
+				m, ret.ResidentMinutes, residentCap)
+		}
+	}
+	res.EvictedMinutes = sys.Store().RetentionStatsSnapshot().EvictedMinutes
+	res.IngestRate = float64(res.Ingested) / ingestTime.Seconds()
+	err = sys.Close()
+	sys = nil
+	return res, err
+}
+
+// Rows renders the result in the bench binary's row format.
+func (r *ContinuousResult) Rows() []string {
+	crash := "disabled"
+	if r.CrashMinute >= 0 {
+		crash = fmt.Sprintf("after minute %d: %d WAL records replayed, %d VPs recovered, zero acked batches lost",
+			r.CrashMinute, r.Replayed, r.RecoveredVPs)
+	}
+	return []string{
+		fmt.Sprintf("streamed %d minutes, %d VPs acked at %.0f VPs/s (WAL fsync + link-on-ingest per ack)", r.Minutes, r.Ingested, r.IngestRate),
+		fmt.Sprintf("resident shards peaked at %d (horizon-bounded); %d minutes finished evicted on disk", r.MaxResident, r.EvictedMinutes),
+		fmt.Sprintf("verdict equality vs always-resident baseline: %d hot + %d cold/evicted probes, all bit-for-bit", r.HotChecks, r.ColdChecks),
+		fmt.Sprintf("snapshots: %d (WAL truncated after each)", r.Snapshots),
+		fmt.Sprintf("crash+recover: %s", crash),
+	}
+}

@@ -584,6 +584,29 @@ func MarshalBatch(ps []*Profile) []byte {
 	return out
 }
 
+// MarshalRawBatch frames already-marshaled VP wire records with the
+// MarshalBatch framing (4-byte count, then per record a 4-byte length
+// prefix). Callers that hold the raw records — the server's ingest
+// journal re-frames the admitted subset of an uploaded batch — avoid
+// a re-marshal round trip; MarshalBatch(ps) is exactly
+// MarshalRawBatch of each profile's Marshal.
+func MarshalRawBatch(recs [][]byte) []byte {
+	size := 4
+	for _, rec := range recs {
+		size += 4 + len(rec)
+	}
+	out := make([]byte, 0, size)
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(recs)))
+	out = append(out, hdr[:]...)
+	for _, rec := range recs {
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(rec)))
+		out = append(out, hdr[:]...)
+		out = append(out, rec...)
+	}
+	return out
+}
+
 // SplitBatch parses the MarshalBatch framing and returns the raw
 // per-record byte slices (views into b), leaving per-record profile
 // parsing — and its failure policy — to the caller. It errors on a
