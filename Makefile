@@ -35,10 +35,12 @@ check: build vet test
 # campaigns (concurrent double-spend and payout races through the
 # live HTTP path) ride in the same job, as does the continuous
 # workload, whose WAL group commit, snapshotter, and evictor run
-# against concurrent ingest and investigations.
+# against concurrent ingest and investigations. The saturation smoke
+# adds concurrent batch uploaders hammering the burst pipeline's ring
+# handoff and group commit.
 race:
 	$(GO) test -race ./internal/core/... ./internal/geo/... ./internal/server/... ./internal/evidence/... ./internal/attack/...
-	$(GO) test -race -short -run 'TestEvidencePipelineSmall|TestAttackServingCampaigns|TestContinuousSmall' ./internal/sim/
+	$(GO) test -race -short -run 'TestEvidencePipelineSmall|TestAttackServingCampaigns|TestContinuousSmall|TestSaturationSmall' ./internal/sim/
 
 # Documentation hygiene: formatting, vet, complete doc comments on the
 # exported surface of the service-facing packages, resolvable relative
@@ -53,12 +55,17 @@ lint-docs:
 # full benchmark run. The following lines smoke the evidence pipeline
 # and the online attack campaigns through the viewmap-bench binary
 # itself (quick scale, one shot; attack-serving fails hard on any
-# online/offline divergence or accepted fake).
+# online/offline divergence or accepted fake). The ingest-saturation
+# shot drives the burst pipeline through the real batch endpoint,
+# cross-checks the resulting viewmap against the offline builder, and
+# rewrites BENCH_ingest.json — the committed baseline; diff it against
+# the checkout to see how the current machine compares.
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x .
 	$(GO) run ./cmd/viewmap-bench -run evidence -scale quick
 	$(GO) run ./cmd/viewmap-bench -run attack-serving -scale quick
 	$(GO) run ./cmd/viewmap-bench -run continuous -scale quick
+	$(GO) run ./cmd/viewmap-bench -run ingest-saturation -scale quick -json BENCH_ingest.json
 
 # Coverage gate: the full ./internal/... profile must not regress
 # below the recorded baseline.

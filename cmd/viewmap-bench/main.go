@@ -12,9 +12,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -27,14 +30,50 @@ type experiment struct {
 	run  func(scale string, seed int64) error
 }
 
+// jsonOut, when set via -json, is where experiments that support a
+// machine-readable result (currently ingest-saturation) write it.
+var jsonOut string
+
 func main() {
-	runName := flag.String("run", "all", "experiment to run (all, ablation, serving, evidence, attack-serving, table1, fig8, fig9, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17, table2, fig20, fig21, fig22ab, fig22c, fig22d, fig22e, fig22f, overhead)")
+	runName := flag.String("run", "all", "experiment to run (all, ablation, serving, evidence, attack-serving, ingest-saturation, table1, fig8, fig9, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17, table2, fig20, fig21, fig22ab, fig22c, fig22d, fig22e, fig22f, overhead)")
 	scale := flag.String("scale", "quick", "quick or full")
 	seed := flag.Int64("seed", 42, "base random seed")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile after the selected experiments to this file")
+	flag.StringVar(&jsonOut, "json", "", "write the machine-readable result (ingest-saturation) to this file")
 	flag.Parse()
 	if *scale != "quick" && *scale != "full" {
 		fmt.Fprintln(os.Stderr, "scale must be quick or full")
 		os.Exit(2)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
 	}
 	selected := strings.ToLower(*runName)
 	ran := 0
@@ -80,6 +119,7 @@ func experiments() []experiment {
 		{"fig22f", "viewmap member VP percentage", runFig22F},
 		{"overhead", "VD/VP communication and storage overhead", runOverhead},
 		{"serving", "sustained-ingest serving: cached viewmaps vs rebuild-per-request (not in the paper)", runServing},
+		{"ingest-saturation", "burst-pipeline ingest saturation: VPs/s, ack latency, allocs/record (not in the paper)", runIngestSaturation},
 		{"evidence", "evidence pipeline: solicit, anonymous deliver + cascade verify, payout, blurred release (not in the paper)", runEvidence},
 		{"attack-serving", "online attack campaigns through the live HTTP serving path, cross-checked offline (not in the paper)", runAttackServing},
 		{"continuous", "durable continuous operation: ingest WAL, snapshots, retention, mid-run crash+recover (not in the paper)", runContinuous},
@@ -365,6 +405,62 @@ func runServing(scale string, seed int64) error {
 		return err
 	}
 	for _, r := range res.Rows() {
+		fmt.Println(r)
+	}
+	return nil
+}
+
+func runIngestSaturation(scale string, seed int64) error {
+	// Headline config: 100 vehicles/min in the 2x2 km area (avg viewmap
+	// degree ~26). Per-VP ingest cost grows with the minute's viewlink
+	// density — every accepted edge is enumerated and Bloom-probed — so
+	// the full scale adds a density sweep instead of one bigger number.
+	headline := sim.SaturationConfig{
+		VehiclesPerMinute: 100,
+		Minutes:           12,
+		BatchSize:         64,
+		Uploaders:         4,
+		Seed:              seed,
+	}
+	res, err := sim.Saturation(headline)
+	if err != nil {
+		return err
+	}
+	for _, r := range res.Rows() {
+		fmt.Println(r)
+	}
+	if jsonOut != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("baseline written to %s\n", jsonOut)
+	}
+	if scale == "full" {
+		for _, vpm := range []int{200, 400} {
+			cfg := headline
+			cfg.VehiclesPerMinute = vpm
+			dres, err := sim.Saturation(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("density %d/min: %.0f VPs/s, p99 ack %.0f us, %d members / %d edges\n",
+				vpm, dres.VPsPerSec, dres.P99AckUS, dres.SpotMembers, dres.SpotEdges)
+		}
+	}
+	// A durable pass at the headline load: every acknowledged batch
+	// waited for a group-committed fsync, so the delta against the rows
+	// above is the journal's cost.
+	dcfg := headline
+	dcfg.Durable = true
+	dres, err := sim.Saturation(dcfg)
+	if err != nil {
+		return err
+	}
+	for _, r := range dres.Rows() {
 		fmt.Println(r)
 	}
 	return nil

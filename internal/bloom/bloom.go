@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 )
 
 // DefaultBits is the paper's chosen filter size: 2048 bits = 256 bytes.
@@ -90,6 +91,21 @@ func FromBytes(bits []byte, k int) (*Filter, error) {
 	copy(cp, bits)
 	m := uint32(len(bits) * 8)
 	return &Filter{bits: cp, m: m, mask: bitMask(m), k: uint32(k)}, nil
+}
+
+// AliasBits initializes f in place over a caller-owned bit array
+// WITHOUT copying it — the batch-ingest arena decodes a whole upload
+// into one contiguous bit slab and carves per-profile filters out of
+// it with zero allocations. The caller must not mutate bits afterwards
+// (wire filters are immutable once ingested); Add through an aliased
+// filter would write into the shared slab.
+func (f *Filter) AliasBits(bits []byte, k int) error {
+	if len(bits) == 0 || k <= 0 {
+		return errors.New("bloom: empty bit array or invalid k")
+	}
+	m := uint32(len(bits) * 8)
+	*f = Filter{bits: bits, m: m, mask: bitMask(m), k: uint32(k)}
+	return nil
 }
 
 // Bits returns the number of bits m.
@@ -211,11 +227,12 @@ func (f *Filter) CountDigestHits(digests [][2]uint32, limit int) int {
 // (near-all-ones) filters submitted by attackers claiming universal
 // neighborship (Section 6.3.2).
 func (f *Filter) FillRatio() float64 {
-	var set int
-	for _, b := range f.bits {
-		for ; b != 0; b &= b - 1 {
-			set++
-		}
+	var set, i int
+	for ; i+8 <= len(f.bits); i += 8 {
+		set += bits.OnesCount64(binary.LittleEndian.Uint64(f.bits[i:]))
+	}
+	for ; i < len(f.bits); i++ {
+		set += bits.OnesCount8(f.bits[i])
 	}
 	return float64(set) / float64(f.m)
 }

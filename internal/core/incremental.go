@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"viewmap/internal/geo"
@@ -22,10 +23,94 @@ import (
 // linker uses — so an investigation reduces to extracting the induced
 // subgraph over the coverage members, which is O(members + edges)
 // instead of O(candidate pairs x Bloom probes).
+//
+// Ingest is split into two phases so the server's burst pipeline can
+// keep the expensive half outside its shard lock:
+//
+//	Stage  — admission checks, bounding box, candidate enumeration and
+//	         Bloom probing; touches only builder-private state.
+//	CommitStaged — splices the staged profiles into the reader-visible
+//	         graph (profiles, adjacency, index, trusted, epoch).
+//
+// Add is exactly Stage followed by CommitStaged, so the sequential
+// path and the burst path share one code path and produce identical
+// graphs by construction. The contract: between Stage and
+// CommitStaged the builder accepts no concurrent access of any kind;
+// CommitStaged alone must be serialized against readers (ViewmapFor).
 
 // gridRebuildMin is the smallest ungridded tail that triggers a grid
 // rebuild. Below it, the linear tail scan is cheaper than rebuilding.
 const gridRebuildMin = 32
+
+// Per-node trajectory window boxes: each node's minute is split into
+// linkWindows windows of linkWindowLen seconds, and the bounding box of
+// each window's samples is kept in a flat slab. Two profiles can be
+// within DSRC range at second i only if the window boxes containing i
+// are within range of each other, so the proximity half of the linkage
+// test rejects most far candidates on a handful of contiguous box
+// distances instead of walking both 60-sample trajectories. The test
+// stays exact: a window that passes is re-checked sample by sample.
+const (
+	linkWindowLen = 8
+	linkWindows   = (vd.SegmentSeconds + linkWindowLen - 1) / linkWindowLen
+)
+
+// wbox is one window's bounding box in float32, rounded outward so the
+// compact form always contains the exact float64 box. The window test
+// additionally inflates its range threshold by wboxSlack — far larger
+// than any outward-rounding error at map coordinates — so float32
+// arithmetic can only let a window through to the exact per-sample
+// scan, never reject one the float64 geometry would pass.
+type wbox struct {
+	x0, y0, x1, y1 float32
+}
+
+const wboxSlack = 1.0 // m², added to the squared-range threshold
+
+// dist2LowerBound returns a lower bound (within wboxSlack) on the
+// squared distance between two windows' boxes.
+func (a wbox) dist2LowerBound(b wbox) float64 {
+	dx := a.x0 - b.x1
+	if d := b.x0 - a.x1; d > dx {
+		dx = d
+	}
+	if dx < 0 {
+		dx = 0
+	}
+	dy := a.y0 - b.y1
+	if d := b.y0 - a.y1; d > dy {
+		dy = d
+	}
+	if dy < 0 {
+		dy = 0
+	}
+	return float64(dx)*float64(dx) + float64(dy)*float64(dy)
+}
+
+// wboxOf converts an exact window box to the outward-rounded compact
+// form.
+func wboxOf(r geo.Rect) wbox {
+	return wbox{
+		x0: f32Down(r.Min.X), y0: f32Down(r.Min.Y),
+		x1: f32Up(r.Max.X), y1: f32Up(r.Max.Y),
+	}
+}
+
+func f32Down(v float64) float32 {
+	f := float32(v)
+	if float64(f) > v {
+		f = math.Nextafter32(f, float32(math.Inf(-1)))
+	}
+	return f
+}
+
+func f32Up(v float64) float32 {
+	f := float32(v)
+	if float64(f) < v {
+		f = math.Nextafter32(f, float32(math.Inf(1)))
+	}
+	return f
+}
 
 // IncrementalConfig parameterizes an IncrementalBuilder. The fields
 // mirror the construction-relevant subset of BuildConfig; the
@@ -43,6 +128,17 @@ type IncrementalConfig struct {
 	RequirePlausible bool
 }
 
+// stagedProfile is one profile that has passed admission and linking
+// (Stage) but is not yet part of the reader-visible graph.
+type stagedProfile struct {
+	p *vp.Profile
+	// neighbors holds the node ids this profile links to, sorted
+	// ascending. Staging assigns node ids in order, so every neighbor
+	// id is smaller than the staged profile's own id whether the
+	// neighbor is committed or staged earlier in the same burst.
+	neighbors []int
+}
+
 // IncrementalBuilder maintains one minute's viewmap online: every
 // accepted profile is linked against the existing members at ingest
 // ("link-on-ingest"), so the minute's visibility graph is always
@@ -55,27 +151,39 @@ type IncrementalConfig struct {
 // tail outgrows the gridded prefix the grid is rebuilt over everything.
 //
 // The zero value is not usable; construct with NewIncrementalBuilder.
-// An IncrementalBuilder is NOT safe for concurrent use — the server's
-// store serializes access per minute shard (one builder per shard).
+// An IncrementalBuilder is NOT safe for unmediated concurrent use.
+// The server's burst pipeline relies on the phase split: exactly one
+// link worker per shard calls Stage (and is the only goroutine that
+// touches the staging state: pending, boxes, grid, visit stamps),
+// while CommitStaged and ViewmapFor are serialized under the shard
+// lock.
 type IncrementalBuilder struct {
 	cfg IncrementalConfig
 
+	// Reader-visible graph: mutated only by CommitStaged, read by
+	// ViewmapFor and accessors. The server serializes those under its
+	// shard lock.
 	profiles []*vp.Profile
-	digests  [][][2]uint32
-	boxes    []geo.Rect
 	adj      [][]int
 	trusted  []int
 	index    map[vd.VPID]int
+	epoch    uint64
+
+	// Staging state, private to the single staging goroutine. boxes
+	// spans committed AND staged nodes (len == total()); wboxes is the
+	// per-window refinement, linkWindows entries per node.
+	pending      []stagedProfile
+	pendingIndex map[vd.VPID]int
+	boxes        []geo.Rect
+	wboxes       []wbox
 
 	grid  *geo.CellGrid
-	gridN int // profiles[0:gridN] are covered by grid
+	gridN int // boxes[0:gridN] are covered by grid
 
-	// visited/visitStamp dedup grid candidates per Add (a box spanning
-	// several cells is reported once per cell).
+	// visited/visitStamp dedup grid candidates per Stage (a box
+	// spanning several cells is reported once per cell).
 	visited    []uint64
 	visitStamp uint64
-
-	epoch uint64
 }
 
 // NewIncrementalBuilder creates an empty builder for one unit-time
@@ -85,8 +193,9 @@ func NewIncrementalBuilder(cfg IncrementalConfig) *IncrementalBuilder {
 		cfg.DSRCRange = DefaultDSRCRange
 	}
 	return &IncrementalBuilder{
-		cfg:   cfg,
-		index: make(map[vd.VPID]int),
+		cfg:          cfg,
+		index:        make(map[vd.VPID]int),
+		pendingIndex: make(map[vd.VPID]int),
 	}
 }
 
@@ -110,12 +219,40 @@ func (b *IncrementalBuilder) NumEdges() int {
 	return total / 2
 }
 
+// total returns the number of committed plus staged nodes.
+func (b *IncrementalBuilder) total() int { return len(b.profiles) + len(b.pending) }
+
+// profileAt resolves a node id across the committed/staged boundary.
+func (b *IncrementalBuilder) profileAt(i int) *vp.Profile {
+	if i < len(b.profiles) {
+		return b.profiles[i]
+	}
+	return b.pending[i-len(b.profiles)].p
+}
+
 // Add ingests one profile, linking it against the existing members.
 // It returns true when the profile joined the graph; implausible
 // trajectories (when RequirePlausible is set) and duplicate
 // identifiers are dropped with (false, nil), matching Build's
 // admission rules. A profile from a different minute is an error.
 func (b *IncrementalBuilder) Add(p *vp.Profile) (bool, error) {
+	ok, err := b.Stage(p)
+	if err != nil || !ok {
+		return false, err
+	}
+	b.CommitStaged()
+	return true, nil
+}
+
+// Stage runs the ingest front half for one profile: admission checks
+// (minute, plausibility, duplicate against both committed and staged
+// members), bounding box, and the candidate enumeration plus Bloom
+// probing that dominate ingest cost. Accepted profiles queue with
+// their resolved viewlinks until CommitStaged. Stage touches no
+// reader-visible state, so the burst pipeline runs it outside the
+// shard lock; it must never run concurrently with itself, with
+// CommitStaged, or with AbandonStaged.
+func (b *IncrementalBuilder) Stage(p *vp.Profile) (bool, error) {
 	if m := p.Minute(); m != b.cfg.Minute {
 		return false, fmt.Errorf("core: profile minute %d, builder maintains %d", m, b.cfg.Minute)
 	}
@@ -126,35 +263,91 @@ func (b *IncrementalBuilder) Add(p *vp.Profile) (bool, error) {
 	if _, dup := b.index[id]; dup {
 		return false, nil
 	}
+	if _, dup := b.pendingIndex[id]; dup {
+		return false, nil
+	}
 
-	node := len(b.profiles)
+	node := b.total()
 	box := geo.Rect{Min: p.VDs[0].L, Max: p.VDs[0].L}
+	var exact [linkWindows]geo.Rect
 	for i := range p.VDs {
-		box = expand(box, p.VDs[i].L)
+		l := p.VDs[i].L
+		box = expand(box, l)
+		if w := i / linkWindowLen; i%linkWindowLen == 0 {
+			exact[w] = geo.Rect{Min: l, Max: l}
+		} else {
+			exact[w] = expand(exact[w], l)
+		}
 	}
-	digests := p.Digests()
+	var wb [linkWindows]wbox
+	for w, n := 0, len(p.VDs); w*linkWindowLen < n; w++ {
+		wb[w] = wboxOf(exact[w])
+	}
 
-	// Link the newcomer against the existing graph: grid candidates
-	// from the gridded prefix, then a linear scan of the ungridded
-	// tail. Each existing node's adjacency stays sorted because the
-	// newcomer's id is the largest so far.
-	neighbors := b.linkCandidates(p, digests, box)
+	// Link the newcomer against every existing node — committed and
+	// staged: grid candidates from the gridded prefix, then a linear
+	// scan of the ungridded tail.
+	neighbors := b.linkCandidates(p, box, &wb, node)
 	sort.Ints(neighbors)
-	for _, nb := range neighbors {
-		b.adj[nb] = append(b.adj[nb], node)
-	}
 
-	b.index[id] = node
-	b.profiles = append(b.profiles, p)
-	b.digests = append(b.digests, digests)
+	b.pendingIndex[id] = node
+	b.pending = append(b.pending, stagedProfile{p: p, neighbors: neighbors})
 	b.boxes = append(b.boxes, box)
-	b.adj = append(b.adj, neighbors)
-	if p.Trusted {
-		b.trusted = append(b.trusted, node)
-	}
+	b.wboxes = append(b.wboxes, wb[:]...)
 	b.maybeRebuildGrid()
-	b.epoch++
 	return true, nil
+}
+
+// CommitStaged splices every staged profile into the reader-visible
+// graph, in staging order, and returns how many were committed. Each
+// commit increments the epoch, exactly as the equivalent sequence of
+// sequential Adds would. Callers serialize CommitStaged against
+// ViewmapFor and the accessors (the server holds its shard lock).
+func (b *IncrementalBuilder) CommitStaged() int {
+	committed := len(b.pending)
+	for i := range b.pending {
+		s := &b.pending[i]
+		node := len(b.profiles)
+		// Every neighbor id is smaller than node: committed neighbors
+		// by construction, burst-mates because they committed in the
+		// loop iterations before this one. Appending node keeps each
+		// neighbor's adjacency sorted, since node is the largest id.
+		for _, nb := range s.neighbors {
+			b.adj[nb] = append(b.adj[nb], node)
+		}
+		b.index[s.p.ID()] = node
+		b.profiles = append(b.profiles, s.p)
+		b.adj = append(b.adj, s.neighbors)
+		if s.p.Trusted {
+			b.trusted = append(b.trusted, node)
+		}
+		b.epoch++
+	}
+	b.pending = b.pending[:0]
+	if len(b.pendingIndex) > 0 {
+		b.pendingIndex = make(map[vd.VPID]int)
+	}
+	return committed
+}
+
+// AbandonStaged discards every staged profile without committing it,
+// for the burst pipeline's eviction race: when a shard is evicted
+// between Stage and commit, the staged work is dropped and the burst
+// retried against the shard's successor. The candidate grid is
+// invalidated if it was rebuilt over since-abandoned nodes; it
+// regrows lazily.
+func (b *IncrementalBuilder) AbandonStaged() {
+	if len(b.pending) == 0 {
+		return
+	}
+	b.pending = b.pending[:0]
+	b.pendingIndex = make(map[vd.VPID]int)
+	b.boxes = b.boxes[:len(b.profiles)]
+	b.wboxes = b.wboxes[:len(b.profiles)*linkWindows]
+	if b.gridN > len(b.boxes) {
+		b.grid = nil
+		b.gridN = 0
+	}
 }
 
 // AddBatch ingests profiles in order and returns how many joined the
@@ -173,9 +366,17 @@ func (b *IncrementalBuilder) AddBatch(ps []*vp.Profile) (added int, err error) {
 	return added, nil
 }
 
-// linkCandidates returns the existing node ids that pass the two-way
-// linkage test against the incoming profile.
-func (b *IncrementalBuilder) linkCandidates(p *vp.Profile, digests [][2]uint32, box geo.Rect) []int {
+// linkCandidates returns the node ids below limit that pass the
+// two-way linkage test against the incoming profile. Proximity runs on
+// the window-box slab (sampleNear); the Bloom side runs on the lazily
+// derived digest caches (vp.MutualFilters): honest pairs resolve on
+// first/last digests alone, so most profiles never pay the 60-digest
+// SHA-256 derivation that used to dominate link-on-ingest. The
+// same-minute and distinct-identifier guards of the standalone
+// vp.MutualNeighborsLazy are already established here: Stage admits
+// only the builder's minute and rejects duplicate identifiers before
+// linking.
+func (b *IncrementalBuilder) linkCandidates(p *vp.Profile, box geo.Rect, wb *[linkWindows]wbox, limit int) []int {
 	var out []int
 	rangeM := b.cfg.DSRCRange
 	range2 := rangeM * rangeM
@@ -183,14 +384,18 @@ func (b *IncrementalBuilder) linkCandidates(p *vp.Profile, digests [][2]uint32, 
 		if boxDist2(box, b.boxes[cand]) > range2 {
 			return
 		}
-		if vp.MutualNeighborsDigests(p, b.profiles[cand], digests, b.digests[cand], rangeM) {
+		q := b.profileAt(cand)
+		if !b.sampleNear(p, wb, q, cand, range2) {
+			return
+		}
+		if vp.MutualFilters(p, q) {
 			out = append(out, cand)
 		}
 	}
 	if b.grid != nil {
 		b.visitStamp++
 		if len(b.visited) < b.gridN {
-			b.visited = make([]uint64, len(b.profiles))
+			b.visited = make([]uint64, limit)
 		}
 		cx0, cx1, cy0, cy1 := b.grid.Span(box, rangeM)
 		for cy := cy0; cy <= cy1; cy++ {
@@ -206,22 +411,45 @@ func (b *IncrementalBuilder) linkCandidates(p *vp.Profile, digests [][2]uint32, 
 			}
 		}
 	}
-	for c := b.gridN; c < len(b.profiles); c++ {
+	for c := b.gridN; c < limit; c++ {
 		test(c)
 	}
 	return out
 }
 
+// sampleNear reports whether p and candidate q come within DSRC range
+// at any shared second — exactly MutualNeighborsLazy's proximity loop,
+// evaluated window-first: a window's samples are scanned only when the
+// two window boxes are themselves within range, so far-but-box-adjacent
+// candidates resolve on at most linkWindows contiguous box distances.
+func (b *IncrementalBuilder) sampleNear(p *vp.Profile, wb *[linkWindows]wbox, q *vp.Profile, cand int, range2 float64) bool {
+	n := min(len(p.VDs), len(q.VDs))
+	base := cand * linkWindows
+	for w := 0; w*linkWindowLen < n; w++ {
+		if wb[w].dist2LowerBound(b.wboxes[base+w]) > range2+wboxSlack {
+			continue
+		}
+		hi := min((w+1)*linkWindowLen, n)
+		for i := w * linkWindowLen; i < hi; i++ {
+			if p.VDs[i].L.Dist2(q.VDs[i].L) <= range2 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // maybeRebuildGrid rebuilds the candidate grid once the ungridded tail
 // outgrows the gridded prefix (doubling schedule: amortized O(1)
-// rebuild work per ingest).
+// rebuild work per ingest). The grid may cover staged nodes; that is
+// safe because the grid lives entirely on the staging side.
 func (b *IncrementalBuilder) maybeRebuildGrid() {
-	tail := len(b.profiles) - b.gridN
+	tail := len(b.boxes) - b.gridN
 	if tail < gridRebuildMin || tail < b.gridN {
 		return
 	}
 	b.grid = geo.NewCellGrid(b.boxes, b.cfg.DSRCRange, geo.DefaultMaxGridCells)
-	b.gridN = len(b.profiles)
+	b.gridN = len(b.boxes)
 }
 
 // ViewmapFor extracts the viewmap for an investigation site from the
@@ -236,7 +464,7 @@ func (b *IncrementalBuilder) maybeRebuildGrid() {
 //
 // The returned viewmap shares the member Profile pointers with the
 // builder but owns its adjacency; it remains valid and immutable after
-// further Adds.
+// further Adds. Staged-but-uncommitted profiles are invisible here.
 func (b *IncrementalBuilder) ViewmapFor(site geo.Rect, margin float64) (*Viewmap, error) {
 	if margin <= 0 {
 		margin = b.cfg.DSRCRange

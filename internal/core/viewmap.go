@@ -223,7 +223,6 @@ func boxDist2(a, b geo.Rect) float64 {
 // DSRC range overlaps.
 type linkState struct {
 	profiles []*vp.Profile
-	digests  [][][2]uint32
 	boxes    []geo.Rect
 	grid     *geo.CellGrid
 	rangeM   float64
@@ -236,7 +235,7 @@ type linkState struct {
 func (ls *linkState) anchorEdges(a int, visited []int32, out []int32) []int32 {
 	stamp := int32(a + 1)
 	range2 := ls.rangeM * ls.rangeM
-	pa, da, ba := ls.profiles[a], ls.digests[a], ls.boxes[a]
+	pa, ba := ls.profiles[a], ls.boxes[a]
 	cx0, cx1, cy0, cy1 := ls.grid.Span(ba, ls.rangeM)
 	for cy := cy0; cy <= cy1; cy++ {
 		for cx := cx0; cx <= cx1; cx++ {
@@ -249,7 +248,7 @@ func (ls *linkState) anchorEdges(a int, visited []int32, out []int32) []int32 {
 				if boxDist2(ba, ls.boxes[b]) > range2 {
 					continue
 				}
-				if vp.MutualNeighborsDigests(pa, ls.profiles[b], da, ls.digests[b], ls.rangeM) {
+				if vp.MutualNeighborsLazy(pa, ls.profiles[b], ls.rangeM) {
 					out = append(out, b32)
 				}
 			}
@@ -263,7 +262,8 @@ func (ls *linkState) anchorEdges(a int, visited []int32, out []int32) []int32 {
 // thousands of times), so everything per-pair is flat: a dense CSR cell
 // grid over trajectory bounding boxes enumerates candidates, an
 // epoch-stamped visited array replaces the pair-dedup hash set, Bloom
-// digests are prefetched once per member, and anchors are tested in
+// digests derive lazily per member (first/last fast path, interior on
+// demand — see vp.MutualNeighborsLazy), and anchors are tested in
 // parallel across a worker pool. Each unordered pair is discovered
 // exactly once (by its lower-id anchor), so the per-anchor edge lists —
 // and therefore the final adjacency — are identical to the retained
@@ -275,7 +275,6 @@ func (vm *Viewmap) link(rangeM float64) {
 	}
 	ls := &linkState{
 		profiles: vm.Profiles,
-		digests:  make([][][2]uint32, n),
 		boxes:    make([]geo.Rect, n),
 		rangeM:   rangeM,
 	}
@@ -283,7 +282,6 @@ func (vm *Viewmap) link(rangeM float64) {
 		ls.rangeM = DefaultDSRCRange
 	}
 	for i, p := range vm.Profiles {
-		ls.digests[i] = p.Digests()
 		b := geo.Rect{Min: p.VDs[0].L, Max: p.VDs[0].L}
 		for j := range p.VDs {
 			b = expand(b, p.VDs[j].L)

@@ -370,6 +370,8 @@ func (sys *System) noteDurabilityErr(err error) {
 // closes the WAL. The System must not serve traffic afterwards.
 func (sys *System) Close() error {
 	if sys.wal == nil {
+		// Non-durable systems still own per-shard link workers.
+		sys.store.Close()
 		return nil
 	}
 	d := sys.durable
@@ -379,6 +381,7 @@ func (sys *System) Close() error {
 	if cerr := sys.wal.Close(); err == nil {
 		err = cerr
 	}
+	sys.store.Close()
 	return err
 }
 
@@ -395,6 +398,7 @@ func (sys *System) Abort() {
 	d.stopOnce.Do(func() { close(d.stop) })
 	d.wg.Wait()
 	sys.wal.abort()
+	sys.store.Close()
 }
 
 // journalIngest appends an ingest record on the append-before-commit
@@ -407,6 +411,28 @@ func (sys *System) journalIngest(typ byte, body []byte) (release func(), err err
 	}
 	var lsn uint64
 	_, err = sys.wal.Append(typ, body, func(l uint64) {
+		lsn = l
+		sys.durable.inflight.add(l)
+	})
+	if err != nil {
+		if lsn != 0 {
+			sys.durable.inflight.done(lsn)
+		}
+		return nil, fmt.Errorf("%w: %v", ErrDurability, err)
+	}
+	return func() { sys.durable.inflight.done(lsn) }, nil
+}
+
+// journalIngestVec is journalIngest for a record body assembled from
+// fragments (wal.AppendVec): the batch path journals a burst's wire
+// records as sub-slices of the request body, skipping the contiguous
+// re-marshal the old path paid per upload.
+func (sys *System) journalIngestVec(typ byte, frags [][]byte) (release func(), err error) {
+	if sys.wal == nil {
+		return func() {}, nil
+	}
+	var lsn uint64
+	_, err = sys.wal.AppendVec(typ, frags, func(l uint64) {
 		lsn = l
 		sys.durable.inflight.add(l)
 	})

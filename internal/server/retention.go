@@ -167,9 +167,18 @@ func (s *Store) evictShard(m int64) error {
 		}
 		sh.evicted = true
 		delete(s.shards, m)
-		s.segments[m] = true
+		if version > 0 {
+			// An empty shard (created for an in-flight burst that has
+			// not committed yet) has no segment file; registering one
+			// would poison later reloads of the minute.
+			s.segments[m] = true
+		}
 		sh.mu.Unlock()
 		s.mu.Unlock()
+		// The shard is out of the map and marked evicted; its link
+		// worker drains (failing queued bursts back to their submitters,
+		// who re-resolve against the successor shard) and exits.
+		sh.stopLinkWorker()
 		if s.onEvict != nil {
 			s.onEvict(m)
 		}
@@ -323,7 +332,16 @@ func (s *Store) reloadSegment(m int64) (*minuteShard, error) {
 		s.ids.Store(p.ID(), p)
 	}
 	s.touch(sh)
+	// The relink above ran builder.Add directly — safe only because the
+	// shard's ring is unreachable until the map install below makes the
+	// shard visible. The worker must exist before that instant.
+	s.startLinkWorker(sh)
 	s.mu.Lock()
+	if s.closed.Load() {
+		s.mu.Unlock()
+		sh.stopLinkWorker()
+		return nil, errStoreClosed
+	}
 	s.shards[m] = sh
 	s.mu.Unlock()
 	// Enforce the cold LRU bound immediately: a burst of cold queries

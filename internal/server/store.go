@@ -69,6 +69,10 @@ type Store struct {
 	// indistinguishable from the upload arriving just after the cut.
 	ids sync.Map
 
+	// closed is set by Close; ingest observes it and fails fast, so no
+	// new burst can enqueue behind a stopped link worker.
+	closed atomic.Bool
+
 	count        atomic.Int64
 	trustedCount atomic.Int64
 
@@ -139,6 +143,15 @@ type minuteShard struct {
 	evicted bool
 	// lastTouch is the recency stamp for the cold-set LRU.
 	lastTouch atomic.Uint64
+
+	// ring feeds the shard's link worker (burst.go); nil when the
+	// viewmap cache — and with it link-on-ingest — is disabled.
+	ring *ingestRing
+	// stopWorker, closed under stopOnce, tells the link worker to drain
+	// and exit; workerDone is closed by the worker on the way out.
+	stopWorker chan struct{}
+	stopOnce   sync.Once
+	workerDone chan struct{}
 }
 
 // noMinute is newestMinute's value before the first ingest.
@@ -181,8 +194,10 @@ func (s *Store) shard(m int64) *minuteShard {
 }
 
 // newShard builds an empty shard for minute m (not yet installed).
+// The caller must start its link worker (startLinkWorker) before
+// installing it in the shard map.
 func (s *Store) newShard(m int64) *minuteShard {
-	return &minuteShard{
+	sh := &minuteShard{
 		builder: core.NewIncrementalBuilder(core.IncrementalConfig{
 			Minute:           m,
 			DSRCRange:        s.cfg.DSRCRange,
@@ -190,6 +205,12 @@ func (s *Store) newShard(m int64) *minuteShard {
 		}),
 		cache: make(map[geo.Rect]cachedViewmap),
 	}
+	if !s.cfg.DisableViewmapCache {
+		sh.ring = newIngestRing()
+		sh.stopWorker = make(chan struct{})
+		sh.workerDone = make(chan struct{})
+	}
+	return sh
 }
 
 // ensureShard returns the shard for minute m, creating it if needed.
@@ -209,61 +230,18 @@ func (s *Store) ensureShard(m int64) (*minuteShard, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed.Load() {
+		// Close snapshots the shard map to stop workers; a shard
+		// installed afterwards would leak a worker no one stops.
+		return nil, errStoreClosed
+	}
 	sh := s.shards[m]
 	if sh == nil {
 		sh = s.newShard(m)
+		s.startLinkWorker(sh)
 		s.shards[m] = sh
 	}
 	return sh, nil
-}
-
-// lockShard resolves and locks minute m's shard, retrying when an
-// eviction raced the resolution: a shard marked evicted is already (or
-// about to be) out of the map, and writing into it would lose the
-// profile.
-func (s *Store) lockShard(m int64) (*minuteShard, error) {
-	for {
-		sh, err := s.ensureShard(m)
-		if err != nil {
-			return nil, err
-		}
-		sh.mu.Lock()
-		if !sh.evicted {
-			return sh, nil
-		}
-		sh.mu.Unlock()
-	}
-}
-
-// ingestLocked links one claimed, validated profile into sh — whose
-// mutex the caller holds — and appends it to the slab. Put and
-// PutBatch share this sequence so the rollback subtleties live in
-// exactly one place.
-func (s *Store) ingestLocked(sh *minuteShard, p *vp.Profile) error {
-	if !s.cfg.DisableViewmapCache {
-		// Link-on-ingest. An Add error is unreachable (the shard is
-		// selected by the same Minute() the builder checks), but if it
-		// ever fires, release the identifier claim: nothing
-		// half-ingested.
-		linked, err := sh.builder.Add(p)
-		if err != nil {
-			s.ids.Delete(p.ID())
-			return err
-		}
-		if !linked {
-			// Stored but refused by the linker (implausible
-			// trajectory): the §8 teleport attacker lands here.
-			sh.quarantined++
-		}
-	}
-	sh.profiles = append(sh.profiles, p)
-	sh.dirty = true
-	s.count.Add(1)
-	if p.Trusted {
-		s.trustedCount.Add(1)
-	}
-	s.noteMinute(p.Minute())
-	return nil
 }
 
 // noteMinute advances the newest-minute watermark (the retention
@@ -288,17 +266,15 @@ func (s *Store) Put(p *vp.Profile) error {
 		s.rejectedCount.Add(1)
 		return fmt.Errorf("server: rejecting VP: %w", err)
 	}
-	if _, dup := s.ids.LoadOrStore(p.ID(), p); dup {
-		s.duplicateCount.Add(1)
-		return ErrDuplicate
-	}
-	sh, err := s.lockShard(p.Minute())
-	if err != nil {
-		s.ids.Delete(p.ID())
-		return err
-	}
-	defer sh.mu.Unlock()
-	return s.ingestLocked(sh, p)
+	return s.putClaimed(p, true)
+}
+
+// putPrevalidated stores a profile the caller has already run through
+// vp.Profile.Validate — the System's upload handlers validate during
+// admission and must not pay (or recount) the structural checks a
+// second time on the storage path. Semantics are otherwise Put's.
+func (s *Store) putPrevalidated(p *vp.Profile) error {
+	return s.putClaimed(p, true)
 }
 
 // PutReplay stores a profile on the WAL-replay path: identical to Put
@@ -310,16 +286,30 @@ func (s *Store) PutReplay(p *vp.Profile) error {
 	if err := p.Validate(); err != nil {
 		return fmt.Errorf("server: rejecting VP: %w", err)
 	}
+	return s.putClaimed(p, false)
+}
+
+// putClaimed claims a validated profile's identifier and submits it to
+// its minute's link worker as a single-profile burst. count selects
+// the live-path counter behavior (see PutReplay).
+func (s *Store) putClaimed(p *vp.Profile, count bool) error {
 	if _, dup := s.ids.LoadOrStore(p.ID(), p); dup {
+		if count {
+			s.duplicateCount.Add(1)
+		}
 		return ErrDuplicate
 	}
-	sh, err := s.lockShard(p.Minute())
+	b, err := s.submitBurst(p.Minute(), []*vp.Profile{p}, count)
 	if err != nil {
 		s.ids.Delete(p.ID())
 		return err
 	}
-	defer sh.mu.Unlock()
-	return s.ingestLocked(sh, p)
+	if b.errs != nil && b.errs[0] != nil {
+		// The worker already released the identifier claim and aligned
+		// the counters.
+		return b.errs[0]
+	}
+	return nil
 }
 
 // BatchResult summarizes one batched ingest.
@@ -335,55 +325,60 @@ type BatchResult struct {
 }
 
 // PutBatch validates and stores a batch of profiles, grouping them by
-// minute so each shard's lock is taken once per batch rather than
-// once per profile. Per-profile failures are counted, not fatal: the
-// rest of the batch still lands.
+// minute so each minute's burst goes to its link worker in one piece
+// rather than one submission per profile. Per-profile failures are
+// counted, not fatal: the rest of the batch still lands.
 func (s *Store) PutBatch(ps []*vp.Profile) BatchResult {
 	var res BatchResult
-	byMinute := make(map[int64][]*vp.Profile)
+	valid := make([]*vp.Profile, 0, len(ps))
 	for _, p := range ps {
 		if err := p.Validate(); err != nil {
 			res.Rejected++
 			s.rejectedCount.Add(1)
 			continue
 		}
+		valid = append(valid, p)
+	}
+	put := s.putValidated(valid)
+	res.Stored = put.Stored
+	res.Duplicates = put.Duplicates
+	res.Rejected += put.Rejected
+	return res
+}
+
+// putValidated claims and stores already-validated profiles, grouped
+// by minute into one burst per shard. PutBatch layers validation on
+// top; the System's batch upload handler calls it directly, having
+// validated each profile exactly once during admission.
+func (s *Store) putValidated(ps []*vp.Profile) BatchResult {
+	var res BatchResult
+	byMinute := make(map[int64][]*vp.Profile)
+	for _, p := range ps {
+		// Claim identifiers first: duplicates (from other uploads or
+		// within the batch) drop out before a shard is created for an
+		// attacker-chosen minute, as in Put.
+		if _, dup := s.ids.LoadOrStore(p.ID(), p); dup {
+			res.Duplicates++
+			s.duplicateCount.Add(1)
+			continue
+		}
 		byMinute[p.Minute()] = append(byMinute[p.Minute()], p)
 	}
 	for m, group := range byMinute {
-		// Claim the group's identifiers first: duplicates (from other
-		// uploads or within the batch) drop out before a shard is
-		// created for an attacker-chosen minute, as in Put.
-		accepted := make([]*vp.Profile, 0, len(group))
-		for _, p := range group {
-			if _, dup := s.ids.LoadOrStore(p.ID(), p); dup {
-				res.Duplicates++
-				s.duplicateCount.Add(1)
-				continue
-			}
-			accepted = append(accepted, p)
-		}
-		if len(accepted) == 0 {
-			continue
-		}
-		sh, err := s.lockShard(m)
+		b, err := s.submitBurst(m, group, true)
 		if err != nil {
-			// The minute's segment is unreadable; release the claims so
-			// a retry after the operator intervenes can still land.
-			for _, p := range accepted {
+			// The minute's segment is unreadable (or the store is shut
+			// down); release the claims so a retry after the operator
+			// intervenes can still land.
+			for _, p := range group {
 				s.ids.Delete(p.ID())
 				res.Rejected++
 				s.rejectedCount.Add(1)
 			}
 			continue
 		}
-		for _, p := range accepted {
-			if err := s.ingestLocked(sh, p); err != nil {
-				res.Rejected++
-			} else {
-				res.Stored++
-			}
-		}
-		sh.mu.Unlock()
+		res.Stored += b.stored
+		res.Rejected += b.rejected
 	}
 	return res
 }

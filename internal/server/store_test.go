@@ -119,6 +119,49 @@ func TestStoreConcurrentAccess(t *testing.T) {
 	}
 }
 
+// TestIngestRejectionCounterParity pins the counter alignment the
+// burst pipeline restored: a profile the link worker refuses advances
+// the store's rejectedCount gate counter exactly as often as it
+// advances the per-burst rejected result — and releases its identifier
+// claim — while a replay-path burst advances neither. The rejection is
+// provoked white-box (a wrong-minute profile pushed straight into a
+// shard's ring: unreachable through the public API, which groups by
+// the same Minute() the builder checks).
+func TestIngestRejectionCounterParity(t *testing.T) {
+	s := NewStore()
+	defer s.Close()
+	for name, countRejects := range map[string]bool{"live": true, "replay": false} {
+		before := s.rejectedCount.Load()
+		p := fabricate(t, 1, 7700)
+		sh, err := s.ensureShard(0) // minute 0 shard, minute 1 profile
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.ids.Store(p.ID(), p)
+		b := &burst{profiles: []*vp.Profile{p}, countRejects: countRejects, done: make(chan struct{})}
+		if !sh.ring.push(b) {
+			t.Fatal("ring rejected the push")
+		}
+		<-b.done
+		if b.stored != 0 || b.rejected != 1 || b.errs == nil || b.errs[0] == nil {
+			t.Fatalf("%s: burst result stored=%d rejected=%d errs=%v, want 1 rejection", name, b.stored, b.rejected, b.errs)
+		}
+		wantDelta := int64(0)
+		if countRejects {
+			wantDelta = 1
+		}
+		if got := s.rejectedCount.Load() - before; got != wantDelta {
+			t.Errorf("%s: rejectedCount advanced by %d, want %d (parity with BatchResult.Rejected)", name, got, wantDelta)
+		}
+		if s.hasID(p.ID()) {
+			t.Errorf("%s: rejected profile left its identifier claimed", name)
+		}
+		if s.Len() != 0 {
+			t.Errorf("%s: rejected profile counted as stored", name)
+		}
+	}
+}
+
 func TestSystemAuthorityGate(t *testing.T) {
 	sys, err := NewSystem(Config{AuthorityToken: "good", Bank: sharedBankInternal(t)})
 	if err != nil {

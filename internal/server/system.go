@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"crypto/rand"
 	"crypto/subtle"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math/big"
@@ -206,16 +207,17 @@ func (sys *System) UploadVP(data []byte) error {
 		return fmt.Errorf("server: rejecting VP: %w", err)
 	}
 	if sys.store.hasID(p.ID()) {
-		// Already claimed: Put below rejects deterministically, so the
-		// replayed identifier never costs log space or an fsync.
-		return sys.store.Put(p)
+		// Already claimed: the store below rejects deterministically, so
+		// the replayed identifier never costs log space or an fsync.
+		return sys.store.putPrevalidated(p)
 	}
 	release, err := sys.journalIngest(walRecVP, data)
 	if err != nil {
 		return err
 	}
 	defer release()
-	return sys.store.Put(p)
+	// Validated above; the store must not re-run the structural checks.
+	return sys.store.putPrevalidated(p)
 }
 
 // maxBatchRecords bounds one batched upload; at ~5 KB per VP this
@@ -233,16 +235,48 @@ func (sys *System) UploadVPBatch(data []byte) (BatchResult, error) {
 		return BatchResult{}, err
 	}
 	var res BatchResult
-	profiles := make([]*vp.Profile, 0, len(records))
+	// Zero-copy decode: records are grouped by minute with a wire peek
+	// (no decode) and each minute group decodes into its own contiguous
+	// arena — the slabs that land in a shard are per-shard, and decode
+	// allocates per burst, not per record.
+	counts := make(map[int64]int)
+	for _, rec := range records {
+		if m, ok := vp.PeekRecordMinute(rec); ok {
+			counts[m]++
+		}
+	}
+	arenas := make(map[int64]*vp.BatchArena, len(counts))
+	valid := make([]*vp.Profile, 0, len(records))
 	var journalRecs [][]byte
 	for _, rec := range records {
-		p, err := vp.Unmarshal(rec)
+		var p *vp.Profile
+		var err error
+		if m, ok := vp.PeekRecordMinute(rec); ok {
+			a := arenas[m]
+			if a == nil {
+				a = vp.NewBatchArena(counts[m])
+				arenas[m] = a
+			}
+			p, err = a.Unmarshal(rec)
+		} else {
+			// Not even profile-shaped; the plain decoder produces the
+			// proper per-record error.
+			p, err = vp.Unmarshal(rec)
+		}
 		if err != nil {
 			res.Rejected++
 			sys.store.noteWireRejected(1)
 			continue
 		}
-		profiles = append(profiles, p)
+		// The batch's only validation pass: the storage path below takes
+		// the result on trust (putValidated), so a record's structural
+		// checks run exactly once per upload.
+		if err := p.Validate(); err != nil {
+			res.Rejected++
+			sys.store.rejectedCount.Add(1)
+			continue
+		}
+		valid = append(valid, p)
 		// Journal only records that can plausibly be stored: validation
 		// failures and already-claimed identifiers replay to rejections
 		// anyway, so logging them would let replayed or garbage batches
@@ -250,7 +284,7 @@ func (sys *System) UploadVPBatch(data []byte) (BatchResult, error) {
 		// advisory — the commit's atomic claim stays authoritative, and
 		// a racing duplicate that slips into the log replays to a
 		// no-op.
-		if sys.wal != nil && p.Validate() == nil && !sys.store.hasID(p.ID()) {
+		if sys.wal != nil && !sys.store.hasID(p.ID()) {
 			journalRecs = append(journalRecs, rec)
 		}
 	}
@@ -258,17 +292,39 @@ func (sys *System) UploadVPBatch(data []byte) (BatchResult, error) {
 		// Ack-after-append: the admitted records hit the log (and the
 		// disk), re-framed with the batch wire format, before any
 		// profile commits; replay re-parses them with the same
-		// per-record failure policy.
-		release, err := sys.journalIngest(walRecVPBatch, vp.MarshalRawBatch(journalRecs))
+		// per-record failure policy. The fragments alias the request
+		// body — the journal write copies nothing.
+		release, err := sys.journalIngestVec(walRecVPBatch, batchWireFrags(journalRecs))
 		if err != nil {
 			return BatchResult{}, err
 		}
 		defer release()
 	}
-	put := sys.store.PutBatch(profiles)
+	put := sys.store.putValidated(valid)
 	res.Stored, res.Duplicates = put.Stored, put.Duplicates
 	res.Rejected += put.Rejected
 	return res, nil
+}
+
+// batchWireFrags frames wire records with the vp.MarshalRawBatch
+// layout as a fragment list for the WAL's vectored append: one scratch
+// buffer holds the count header and every length prefix, and the
+// record fragments are the caller's sub-slices of the request body.
+// Concatenated, the fragments are byte-identical to
+// vp.MarshalRawBatch(recs).
+func batchWireFrags(recs [][]byte) [][]byte {
+	// Pre-sized so the appends below never reallocate out from under
+	// the fragment sub-slices already taken.
+	hdrs := make([]byte, 4, 4+4*len(recs))
+	binary.BigEndian.PutUint32(hdrs[:4], uint32(len(recs)))
+	frags := make([][]byte, 0, 1+2*len(recs))
+	frags = append(frags, hdrs[:4])
+	for _, rec := range recs {
+		off := len(hdrs)
+		hdrs = binary.BigEndian.AppendUint32(hdrs, uint32(len(rec)))
+		frags = append(frags, hdrs[off:off+4], rec)
+	}
+	return frags
 }
 
 // UploadTrustedVP ingests a VP from an authority vehicle; the profile
@@ -287,14 +343,14 @@ func (sys *System) UploadTrustedVP(token string, data []byte) error {
 		return fmt.Errorf("server: rejecting VP: %w", err)
 	}
 	if sys.store.hasID(p.ID()) {
-		return sys.store.Put(p)
+		return sys.store.putPrevalidated(p)
 	}
 	release, err := sys.journalIngest(walRecVPTrusted, data)
 	if err != nil {
 		return err
 	}
 	defer release()
-	return sys.store.Put(p)
+	return sys.store.putPrevalidated(p)
 }
 
 // InvestigationReport summarizes one viewmap verification.

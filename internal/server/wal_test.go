@@ -13,6 +13,8 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+
+	"viewmap/internal/vp"
 )
 
 type walRec struct {
@@ -256,5 +258,65 @@ func TestWALScanZeroFill(t *testing.T) {
 	})
 	if err != nil || last != 0 || valid != 8 {
 		t.Fatalf("got last=%d valid=%d err=%v", last, valid, err)
+	}
+}
+
+// TestWALAppendVecMatchesAppend pins the vectored append the batch
+// path uses for its zero-copy journal: AppendVec over fragments must
+// produce a byte-identical log to Append of the concatenation, and
+// batchWireFrags must reassemble into exactly vp.MarshalRawBatch — so
+// replay of a group-committed burst is indistinguishable from replay
+// of the copying path it replaced.
+func TestWALAppendVecMatchesAppend(t *testing.T) {
+	recs := [][]byte{
+		[]byte("first-record"),
+		{},
+		bytes.Repeat([]byte{0x5C}, 500),
+	}
+	frags := batchWireFrags(recs)
+	var joined []byte
+	for _, f := range frags {
+		joined = append(joined, f...)
+	}
+	if want := vp.MarshalRawBatch(recs); !bytes.Equal(joined, want) {
+		t.Fatalf("batchWireFrags reassembles to %d bytes, want %d (MarshalRawBatch)", len(joined), len(want))
+	}
+
+	dir := t.TempDir()
+	vecPath := filepath.Join(dir, "vec.wal")
+	refPath := filepath.Join(dir, "ref.wal")
+	wv, err := openWALForAppend(vecPath, 0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wr, err := openWALForAppend(refPath, 0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wv.AppendVec(walRecVPBatch, frags, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wr.Append(walRecVPBatch, joined, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := wv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := wr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	vecBytes, err := os.ReadFile(vecPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refBytes, err := os.ReadFile(refPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(vecBytes, refBytes) {
+		t.Fatalf("vectored append diverges from plain append: %d vs %d bytes", len(vecBytes), len(refBytes))
+	}
+	if got := scanAll(t, vecPath); len(got) != 1 || !bytes.Equal(got[0].body, joined) {
+		t.Fatalf("replay of vectored record diverges")
 	}
 }

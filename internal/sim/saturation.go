@@ -1,0 +1,302 @@
+package sim
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"viewmap/internal/core"
+	"viewmap/internal/geo"
+	"viewmap/internal/reward"
+	"viewmap/internal/server"
+	"viewmap/internal/vp"
+)
+
+// The reward bank is shared across saturation runs: generating an RSA
+// key per run is slow and, worse, the keygen's allocation churn right
+// before the timed window depresses the first run's numbers. Ingest
+// never touches the bank.
+var (
+	satBankOnce sync.Once
+	satBank     *reward.Bank
+	satBankErr  error
+)
+
+func benchBank() (*reward.Bank, error) {
+	satBankOnce.Do(func() { satBank, satBankErr = reward.NewBank(1024) })
+	return satBank, satBankErr
+}
+
+// Ingest-saturation benchmark: offered load for the burst pipeline.
+// Unlike the serving benchmark (which times a mixed workload and the
+// client's own marshalling), this one pre-marshals every batch up
+// front and then drives concurrent uploaders flat out through
+// UploadVPBatch, measuring what the server side alone sustains: VPs/s,
+// the ack-latency distribution a client sees per batch, and the
+// allocation cost per record (the zero-copy decode's success metric).
+
+// SaturationConfig parameterizes the ingest-saturation benchmark.
+type SaturationConfig struct {
+	// VehiclesPerMinute is the number of VP uploads per unit-time
+	// window; zero selects 400.
+	VehiclesPerMinute int
+	// Minutes is the number of unit-time windows the stream spans; zero
+	// selects 2.
+	Minutes int
+	// BatchSize is the number of profiles per batched upload; zero
+	// selects 64.
+	BatchSize int
+	// Uploaders is the number of concurrent upload clients; zero
+	// selects 4.
+	Uploaders int
+	// Durable, when true, runs against a WAL-backed system in a
+	// temporary directory: every acknowledged batch rode a group-
+	// committed fsync (ack-after-append), so the numbers include the
+	// journal.
+	Durable bool
+	// Seed drives the synthetic trajectories.
+	Seed int64
+}
+
+func (c SaturationConfig) withDefaults() SaturationConfig {
+	if c.VehiclesPerMinute <= 0 {
+		c.VehiclesPerMinute = 400
+	}
+	if c.Minutes <= 0 {
+		c.Minutes = 2
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 64
+	}
+	if c.Uploaders <= 0 {
+		c.Uploaders = 4
+	}
+	return c
+}
+
+// SaturationResult reports one ingest-saturation run. The JSON shape
+// is the bench-smoke baseline format (BENCH_ingest.json).
+type SaturationResult struct {
+	// Config echo, so a baseline file is self-describing.
+	VehiclesPerMinute int  `json:"vehicles_per_minute"`
+	Minutes           int  `json:"minutes"`
+	BatchSize         int  `json:"batch_size"`
+	Uploaders         int  `json:"uploaders"`
+	Durable           bool `json:"durable"`
+
+	// Ingested is the number of profiles stored during the timed
+	// window; Batches the number of batched uploads acknowledged.
+	Ingested int `json:"ingested"`
+	Batches  int `json:"batches"`
+	// ElapsedMS is the timed window's wall-clock length.
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// VPsPerSec is the headline: profiles decoded, validated, linked,
+	// and acknowledged per second.
+	VPsPerSec float64 `json:"vps_per_sec"`
+	// P50AckUS / P99AckUS are per-batch acknowledgement latencies in
+	// microseconds (what one uploader waits for one UploadVPBatch).
+	P50AckUS float64 `json:"p50_ack_us"`
+	P99AckUS float64 `json:"p99_ack_us"`
+	// AllocsPerRecord is heap allocations per ingested record across
+	// the whole timed window (uploader loop included).
+	AllocsPerRecord float64 `json:"allocs_per_record"`
+	// SpotMembers / SpotEdges are the minute-0 equivalence spot-check:
+	// the served viewmap's structure, which must match a from-scratch
+	// core.Build over the same slab.
+	SpotMembers int `json:"spot_members"`
+	SpotEdges   int `json:"spot_edges"`
+}
+
+// Saturation runs the ingest-saturation benchmark. All batch wire
+// bodies are marshalled before the clock starts; the timed section is
+// exactly the concurrent UploadVPBatch calls. After the run the
+// minute-0 viewmap is cross-checked against a from-scratch rebuild, so
+// a fast-but-wrong pipeline cannot post a number.
+func Saturation(cfg SaturationConfig) (*SaturationResult, error) {
+	cfg = cfg.withDefaults()
+	area := geo.NewRect(geo.Pt(0, 0), geo.Pt(2000, 2000))
+	bank, err := benchBank()
+	if err != nil {
+		return nil, err
+	}
+
+	var sys *server.System
+	if cfg.Durable {
+		dir, derr := os.MkdirTemp("", "viewmap-saturation-*")
+		if derr != nil {
+			return nil, derr
+		}
+		defer os.RemoveAll(dir)
+		sys, err = server.OpenDurable(
+			server.Config{AuthorityToken: "bench", Bank: bank},
+			server.DurabilityConfig{WALPath: filepath.Join(dir, "ingest.wal")},
+		)
+	} else {
+		sys, err = server.NewSystem(server.Config{AuthorityToken: "bench", Bank: bank})
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer sys.Close()
+
+	// Pre-marshal the whole offered load, one wire body per batch,
+	// dealt round-robin across uploaders so the same minute sees
+	// concurrent submitters.
+	type job struct{ wire []byte }
+	queues := make([][]job, cfg.Uploaders)
+	totalRecords := 0
+	for m := 0; m < cfg.Minutes; m++ {
+		profiles, err := core.SynthesizeLegitimate(core.SynthConfig{
+			N: cfg.VehiclesPerMinute, Area: area, Minute: int64(m),
+			Seed: cfg.Seed + int64(m),
+		})
+		if err != nil {
+			return nil, err
+		}
+		ti := core.MarkTrustedNearest(profiles, area.Center())
+		// Trusted seed lands before the clock: it creates the shard and
+		// anchors the minute's viewmap, as in steady-state operation.
+		if err := sys.UploadTrustedVP("bench", profiles[ti].Marshal()); err != nil {
+			return nil, err
+		}
+		anon := make([]*vp.Profile, 0, len(profiles)-1)
+		for i, p := range profiles {
+			if i != ti {
+				anon = append(anon, p)
+			}
+		}
+		for off := 0; off < len(anon); off += cfg.BatchSize {
+			end := min(off+cfg.BatchSize, len(anon))
+			u := (off / cfg.BatchSize) % cfg.Uploaders
+			queues[u] = append(queues[u], job{wire: vp.MarshalBatch(anon[off:end])})
+			totalRecords += end - off
+		}
+	}
+
+	// Warm-up pass: the same offered load through a scratch in-memory
+	// system, sequentially. The timed pass then measures steady state —
+	// a cold run is ~30% slower from first-touch page faults, allocator
+	// and stack growth, and cold branch predictors, none of which a
+	// long-running ingest server pays per batch.
+	scratch, err := server.NewSystem(server.Config{AuthorityToken: "bench", Bank: bank})
+	if err != nil {
+		return nil, err
+	}
+	for u := range queues {
+		for _, j := range queues[u] {
+			if _, err := scratch.UploadVPBatch(j.wire); err != nil {
+				scratch.Close()
+				return nil, err
+			}
+		}
+	}
+	if err := scratch.Close(); err != nil {
+		return nil, err
+	}
+
+	// Timed section: every uploader drains its queue flat out.
+	ackLat := make([][]time.Duration, cfg.Uploaders)
+	errs := make([]error, cfg.Uploaders)
+	stored := make([]int, cfg.Uploaders)
+	var wg sync.WaitGroup
+	runtime.GC()
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
+	start := time.Now()
+	for u := 0; u < cfg.Uploaders; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			lat := make([]time.Duration, 0, len(queues[u]))
+			for _, j := range queues[u] {
+				t0 := time.Now()
+				res, err := sys.UploadVPBatch(j.wire)
+				if err != nil {
+					errs[u] = err
+					return
+				}
+				lat = append(lat, time.Since(t0))
+				stored[u] += res.Stored
+				if res.Rejected != 0 || res.Duplicates != 0 {
+					errs[u] = fmt.Errorf("sim: saturation batch result %+v, want clean", res)
+					return
+				}
+			}
+			ackLat[u] = lat
+		}(u)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res := &SaturationResult{
+		VehiclesPerMinute: cfg.VehiclesPerMinute,
+		Minutes:           cfg.Minutes,
+		BatchSize:         cfg.BatchSize,
+		Uploaders:         cfg.Uploaders,
+		Durable:           cfg.Durable,
+		ElapsedMS:         float64(elapsed.Microseconds()) / 1e3,
+	}
+	var all []time.Duration
+	for u := range ackLat {
+		all = append(all, ackLat[u]...)
+		res.Ingested += stored[u]
+	}
+	res.Batches = len(all)
+	if res.Ingested != totalRecords {
+		return nil, fmt.Errorf("sim: saturation stored %d of %d offered records", res.Ingested, totalRecords)
+	}
+	res.VPsPerSec = float64(res.Ingested) / elapsed.Seconds()
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	if n := len(all); n > 0 {
+		res.P50AckUS = float64(all[n/2].Microseconds())
+		res.P99AckUS = float64(all[n*99/100].Microseconds())
+	}
+	res.AllocsPerRecord = float64(msAfter.Mallocs-msBefore.Mallocs) / float64(totalRecords)
+
+	// Equivalence spot-check: the burst-built minute-0 graph must match
+	// a from-scratch rebuild over the same slab.
+	site := geo.RectAround(area.Center(), 1500)
+	served, err := sys.Store().ViewmapFor(site, 0)
+	if err != nil {
+		return nil, err
+	}
+	rebuilt, err := core.Build(sys.Store().Minute(0), core.BuildConfig{
+		Site: site, Minute: 0, RequirePlausible: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if served.Len() != rebuilt.Len() || served.NumEdges() != rebuilt.NumEdges() {
+		return nil, fmt.Errorf("sim: saturation pipeline diverges from rebuild: %d/%d vs %d/%d members/edges",
+			served.Len(), served.NumEdges(), rebuilt.Len(), rebuilt.NumEdges())
+	}
+	res.SpotMembers, res.SpotEdges = served.Len(), served.NumEdges()
+	return res, nil
+}
+
+// Rows renders the result in the bench binary's row format.
+func (r *SaturationResult) Rows() []string {
+	mode := "in-memory"
+	if r.Durable {
+		mode = "durable (WAL group commit, ack-after-append)"
+	}
+	return []string{
+		fmt.Sprintf("ingested %d VPs in %d batches over %.1f ms (%d uploaders, batch size %d, %s)",
+			r.Ingested, r.Batches, r.ElapsedMS, r.Uploaders, r.BatchSize, mode),
+		fmt.Sprintf("throughput: %.0f VPs/s server-side (decode + validate + link + ack)", r.VPsPerSec),
+		fmt.Sprintf("ack latency per batch: p50 %.0f us, p99 %.0f us", r.P50AckUS, r.P99AckUS),
+		fmt.Sprintf("allocations: %.1f allocs/record across the timed window", r.AllocsPerRecord),
+		fmt.Sprintf("spot-check: minute-0 viewmap %d members / %d edges matches from-scratch rebuild", r.SpotMembers, r.SpotEdges),
+	}
+}

@@ -1,0 +1,46 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSaturationSmall runs the ingest-saturation benchmark at a tiny
+// scale, in-memory and durable. The heavy invariants — every offered
+// record stored, clean batch results, minute-0 viewmap identical to a
+// from-scratch rebuild — are asserted inside Saturation itself; the
+// test checks the reported shape and that both modes complete.
+func TestSaturationSmall(t *testing.T) {
+	for _, durable := range []bool{false, true} {
+		cfg := SaturationConfig{
+			VehiclesPerMinute: 20, Minutes: 2,
+			BatchSize: 8, Uploaders: 2,
+			Durable: durable, Seed: 7,
+		}
+		res, err := Saturation(cfg)
+		if err != nil {
+			t.Fatalf("durable=%v: %v", durable, err)
+		}
+		// One profile per minute is the trusted seed, uploaded outside
+		// the timed window.
+		if want := (cfg.VehiclesPerMinute - 1) * cfg.Minutes; res.Ingested != want {
+			t.Errorf("durable=%v: ingested %d, want %d", durable, res.Ingested, want)
+		}
+		if res.VPsPerSec <= 0 || res.ElapsedMS <= 0 {
+			t.Errorf("durable=%v: non-positive throughput %+v", durable, res)
+		}
+		if res.SpotMembers == 0 || res.SpotEdges == 0 {
+			t.Errorf("durable=%v: empty spot-check viewmap %d/%d", durable, res.SpotMembers, res.SpotEdges)
+		}
+		if res.Durable != durable {
+			t.Errorf("config echo lost: durable=%v reported %v", durable, res.Durable)
+		}
+		rows := res.Rows()
+		if len(rows) != 5 {
+			t.Fatalf("Rows() returned %d rows, want 5", len(rows))
+		}
+		if durable && !strings.Contains(rows[0], "WAL group commit") {
+			t.Errorf("durable row does not name the journal mode: %q", rows[0])
+		}
+	}
+}

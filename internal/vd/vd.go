@@ -154,10 +154,21 @@ func (v *VD) Encode() [WireSize]byte {
 // the float32 round trip bit-exactly, breaking re-marshal identity.
 // No legitimate recorder produces them.
 func Decode(b []byte) (VD, error) {
-	if len(b) != WireSize {
-		return VD{}, fmt.Errorf("vd: wire message is %d bytes, want %d", len(b), WireSize)
-	}
 	var v VD
+	if err := DecodeInto(&v, b); err != nil {
+		return VD{}, err
+	}
+	return v, nil
+}
+
+// DecodeInto is Decode writing into a caller-provided VD — the batch
+// arena decodes sixty digests per profile into a contiguous slab, and
+// returning VD by value would copy the 72-byte struct twice per
+// record.
+func DecodeInto(v *VD, b []byte) error {
+	if len(b) != WireSize {
+		return fmt.Errorf("vd: wire message is %d bytes, want %d", len(b), WireSize)
+	}
 	v.T = int64(binary.BigEndian.Uint64(b[0:8]))
 	v.L.X = float64(math.Float32frombits(binary.BigEndian.Uint32(b[8:12])))
 	v.L.Y = float64(math.Float32frombits(binary.BigEndian.Uint32(b[12:16])))
@@ -167,12 +178,13 @@ func Decode(b []byte) (VD, error) {
 	v.Seq = binary.BigEndian.Uint64(b[32:40])
 	copy(v.R[:], b[40:56])
 	copy(v.H[:], b[56:72])
-	for _, c := range [4]float64{v.L.X, v.L.Y, v.L1.X, v.L1.Y} {
-		if math.IsNaN(c) || math.IsInf(c, 0) {
-			return VD{}, errors.New("vd: non-finite coordinate")
-		}
+	// One finiteness test for all four coordinates: any NaN or Inf
+	// among them makes the sum's self-difference NaN (Inf-Inf = NaN),
+	// and a finite sum is only reachable from four finite terms.
+	if s := v.L.X + v.L.Y + v.L1.X + v.L1.Y; s-s != 0 {
+		return errors.New("vd: non-finite coordinate")
 	}
-	return v, nil
+	return nil
 }
 
 // Key returns the canonical byte string inserted into neighbor Bloom

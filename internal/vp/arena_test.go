@@ -1,0 +1,176 @@
+package vp
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"viewmap/internal/vd"
+)
+
+// Arena-decode tests: the zero-copy batch decoder must accept and
+// reject exactly what Unmarshal does, produce semantically identical
+// profiles, never alias the request body, and degrade to the
+// allocating path on overflow — the containment invariants the
+// ARCHITECTURE.md "Ingest burst pipeline" section names.
+
+// testProfile returns one finalized profile; alternating seeds vary
+// the geometry via the pair gap.
+func testProfile(t *testing.T, seed int64) *Profile {
+	t.Helper()
+	pa, pb := buildPair(t, 50+float64(seed))
+	if seed%2 == 0 {
+		return pa
+	}
+	return pb
+}
+
+// arenaFixture builds n valid wire records via the client-side Builder
+// pipeline (Marshal of a synthesized profile).
+func arenaFixture(t *testing.T, n int) [][]byte {
+	t.Helper()
+	recs := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		p := testProfile(t, int64(i))
+		recs = append(recs, p.Marshal())
+	}
+	return recs
+}
+
+func TestArenaMatchesUnmarshal(t *testing.T) {
+	recs := arenaFixture(t, 4)
+	a := NewBatchArena(len(recs))
+	for i, rec := range recs {
+		want, err := Unmarshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := a.Unmarshal(rec)
+		if err != nil {
+			t.Fatalf("record %d: arena decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(got.VDs, want.VDs) {
+			t.Fatalf("record %d: VDs diverge from Unmarshal", i)
+		}
+		if got.ID() != want.ID() || got.Minute() != want.Minute() {
+			t.Fatalf("record %d: identity diverges", i)
+		}
+		if !bytes.Equal(got.Neighbors.Bytes(), want.Neighbors.Bytes()) {
+			t.Fatalf("record %d: filter bits diverge", i)
+		}
+	}
+}
+
+// TestArenaDoesNotAliasRequestBody pins the containment rule: after
+// decode, scribbling over the wire buffer must not change the decoded
+// profile (a 512-byte alias into a large upload buffer would pin the
+// whole buffer for the profile's lifetime, and a mutable alias would
+// let a later request mutate stored state).
+func TestArenaDoesNotAliasRequestBody(t *testing.T) {
+	rec := arenaFixture(t, 1)[0]
+	a := NewBatchArena(1)
+	p, err := a.Unmarshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, minute := p.ID(), p.Minute()
+	filterBefore := append([]byte(nil), p.Neighbors.Bytes()...)
+	vdsBefore := append([]vd.VD(nil), p.VDs...)
+	for i := range rec {
+		rec[i] = 0xFF
+	}
+	if p.ID() != id || p.Minute() != minute {
+		t.Fatal("profile identity changed when the wire buffer was scribbled")
+	}
+	if !bytes.Equal(p.Neighbors.Bytes(), filterBefore) {
+		t.Fatal("filter bits alias the wire buffer")
+	}
+	if !reflect.DeepEqual(p.VDs, vdsBefore) {
+		t.Fatal("VD slab aliases the wire buffer")
+	}
+}
+
+// TestArenaOverflowFallsBack decodes more records than the arena was
+// sized for: the overflow must succeed via the allocating path and the
+// in-slab profiles must be untouched by it.
+func TestArenaOverflowFallsBack(t *testing.T) {
+	recs := arenaFixture(t, 3)
+	a := NewBatchArena(2)
+	var got []*Profile
+	for _, rec := range recs {
+		p, err := a.Unmarshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, p)
+	}
+	if len(a.profs) != 2 {
+		t.Fatalf("arena holds %d profiles, want 2 (third should fall back)", len(a.profs))
+	}
+	for i, p := range got {
+		want, err := Unmarshal(recs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.ID() != want.ID() || !reflect.DeepEqual(p.VDs, want.VDs) {
+			t.Fatalf("record %d diverges after overflow", i)
+		}
+	}
+}
+
+// TestArenaRejectsLikeUnmarshal feeds malformed records: same error,
+// and no arena space consumed.
+func TestArenaRejectsLikeUnmarshal(t *testing.T) {
+	valid := arenaFixture(t, 1)[0]
+	cases := map[string][]byte{
+		"truncated": valid[:5],
+		"shortBody": valid[:len(valid)-1],
+		"zeroCount": append(append([]byte{0, 0, 0, 0}, 0), valid[5:]...),
+		"hugeCount": append(append([]byte{0, 0, 1, 0}, valid[4]), valid[5:]...),
+		"badCoordinate": func() []byte {
+			b := append([]byte(nil), valid...)
+			// First VD's L.X at offset 6+8: NaN bits.
+			b[14], b[15], b[16], b[17] = 0x7F, 0xC0, 0, 0
+			return b
+		}(),
+	}
+	for name, rec := range cases {
+		a := NewBatchArena(4)
+		_, wantErr := Unmarshal(rec)
+		if wantErr == nil {
+			t.Fatalf("%s: fixture unexpectedly valid", name)
+		}
+		_, gotErr := a.Unmarshal(rec)
+		if gotErr == nil {
+			t.Fatalf("%s: arena accepted what Unmarshal rejects", name)
+		}
+		if gotErr.Error() != wantErr.Error() && !errors.Is(gotErr, wantErr) {
+			t.Fatalf("%s: arena error %q, Unmarshal error %q", name, gotErr, wantErr)
+		}
+		if len(a.vds) != 0 || len(a.profs) != 0 || len(a.filters) != 0 || len(a.bits) != 0 {
+			t.Fatalf("%s: rejected record consumed arena space", name)
+		}
+	}
+}
+
+// TestPeekRecordMinuteAgreesWithDecode pins the grouping contract: a
+// record that decodes lands in the same minute PeekRecordMinute
+// reported, and records Peek refuses are exactly those needing the
+// full decoder for an error.
+func TestPeekRecordMinuteAgreesWithDecode(t *testing.T) {
+	for i := 0; i < 3; i++ {
+		p := testProfile(t, int64(i))
+		rec := p.Marshal()
+		m, ok := PeekRecordMinute(rec)
+		if !ok {
+			t.Fatalf("peek refused a valid record")
+		}
+		if m != p.Minute() {
+			t.Fatalf("peek minute %d, decode minute %d", m, p.Minute())
+		}
+	}
+	if _, ok := PeekRecordMinute([]byte{1, 2, 3}); ok {
+		t.Fatal("peek accepted a truncated record")
+	}
+}

@@ -80,6 +80,15 @@ type Profile struct {
 	// same 72 bytes.
 	digestOnce sync.Once
 	vdDigests  [][2]uint32
+
+	// edgeOnce/edgeDigests cache just the first and last VDs' digest
+	// pairs. Honest viewlinks store exactly a neighbor's first and last
+	// heard VDs, so the linkage fast path resolves with these two alone
+	// — deriving all sixty (60 SHA-256 per profile, half the per-VP
+	// ingest budget on one core) is deferred until a probe actually
+	// needs the interior.
+	edgeOnce    sync.Once
+	edgeDigests [2][2]uint32
 }
 
 // Digests returns the cached Bloom digests of the profile's VDs,
@@ -97,6 +106,23 @@ func (p *Profile) Digests() [][2]uint32 {
 		}
 	})
 	return p.vdDigests
+}
+
+// EdgeDigests returns the cached digest pairs of the profile's first
+// and last VDs, computing only those two on first use. This is the
+// linkage fast path's working set (see containsAtLeastLazy): a profile
+// whose every candidate pair resolves on the fast path never derives
+// its 58 interior digests at all. Safe for concurrent use.
+func (p *Profile) EdgeDigests() [2][2]uint32 {
+	p.edgeOnce.Do(func() {
+		if n := len(p.VDs); n > 0 {
+			h1, h2 := bloom.Digest(p.VDs[0].Key())
+			p.edgeDigests[0] = [2]uint32{h1, h2}
+			h1, h2 = bloom.Digest(p.VDs[n-1].Key())
+			p.edgeDigests[1] = [2]uint32{h1, h2}
+		}
+	})
+	return p.edgeDigests
 }
 
 // ID returns the VP identifier R shared by all the profile's VDs.
@@ -266,6 +292,71 @@ func MutualNeighborsDigests(a, b *Profile, aDigests, bDigests [][2]uint32, dsrcR
 		return false
 	}
 	return containsAtLeast(a.Neighbors, bDigests, 2) && containsAtLeast(b.Neighbors, aDigests, 2)
+}
+
+// MutualNeighborsLazy is MutualNeighbors evaluated against the
+// profiles' lazily materialized digest caches: the proximity check and
+// digest-hit semantics are identical, but each membership direction
+// first probes only the counterpart's first/last digest pairs
+// (EdgeDigests) and derives the full sixty-entry digest slice on
+// demand. Honest pairs — whose filters hold exactly each other's first
+// and last VDs — never compute an interior digest, which removes the
+// dominant fixed cost of link-on-ingest. The accepted pair set is
+// exactly MutualNeighbors'; the equivalence property tests hold the
+// two together.
+func MutualNeighborsLazy(a, b *Profile, dsrcRange float64) bool {
+	if a.Minute() != b.Minute() {
+		return false
+	}
+	if a.ID() == b.ID() {
+		return false
+	}
+	n := len(a.VDs)
+	if len(b.VDs) < n {
+		n = len(b.VDs)
+	}
+	near := false
+	range2 := dsrcRange * dsrcRange
+	for i := 0; i < n; i++ {
+		if a.VDs[i].L.Dist2(b.VDs[i].L) <= range2 {
+			near = true
+			break
+		}
+	}
+	if !near {
+		return false
+	}
+	return containsAtLeastLazy(a.Neighbors, b) && containsAtLeastLazy(b.Neighbors, a)
+}
+
+// MutualFilters is the Bloom half of MutualNeighborsLazy alone: each
+// profile's filter must contain at least two of the other's VD
+// digests. Callers (the incremental linker) use it when the
+// same-minute, distinct-identifier, and sample-proximity guards are
+// already established by their own admission and candidate tests.
+func MutualFilters(a, b *Profile) bool {
+	return containsAtLeastLazy(a.Neighbors, b) && containsAtLeastLazy(b.Neighbors, a)
+}
+
+// containsAtLeastLazy is containsAtLeast(f, q.Digests(), 2) with the
+// digest derivation deferred: the first/last fast path runs off
+// EdgeDigests alone, and only an indecisive fast path materializes the
+// full digest slice for the interior scan. The hit count over the full
+// set is unchanged; only how much of it is ever derived differs.
+func containsAtLeastLazy(f *bloom.Filter, q *Profile) bool {
+	if f == nil {
+		return false
+	}
+	if n := len(q.VDs); n >= 2 {
+		edge := q.EdgeDigests()
+		hits := f.CountDigestHits(edge[:1], 1) + f.CountDigestHits(edge[1:], 1)
+		if hits >= 2 {
+			return true
+		}
+		digests := q.Digests()
+		return f.CountDigestHits(digests[1:n-1], 2-hits) >= 2-hits
+	}
+	return f.CountDigestHits(q.Digests(), 2) >= 2
 }
 
 func containsAtLeast(f *bloom.Filter, digests [][2]uint32, want int) bool {
@@ -651,19 +742,31 @@ func SplitBatch(b []byte, maxRecords int) ([][]byte, error) {
 	return records, nil
 }
 
+// Profile decode errors, shared between Unmarshal and
+// BatchArena.Unmarshal so the two decoders reject identically.
+var errTruncatedProfile = errors.New("vp: truncated profile")
+
+func errDigestCount(n int) error {
+	return fmt.Errorf("vp: profile claims %d digests", n)
+}
+
+func errProfileSize(got, want int) error {
+	return fmt.Errorf("vp: profile is %d bytes, want %d", got, want)
+}
+
 // Unmarshal parses a profile uploaded by a vehicle.
 func Unmarshal(b []byte) (*Profile, error) {
 	if len(b) < 6 {
-		return nil, errors.New("vp: truncated profile")
+		return nil, errTruncatedProfile
 	}
 	n := int(binary.BigEndian.Uint32(b[0:4]))
 	k := int(b[4])
 	if n <= 0 || n > vd.SegmentSeconds {
-		return nil, fmt.Errorf("vp: profile claims %d digests", n)
+		return nil, errDigestCount(n)
 	}
 	want := 6 + n*vd.WireSize + FilterBits/8
 	if len(b) != want {
-		return nil, fmt.Errorf("vp: profile is %d bytes, want %d", len(b), want)
+		return nil, errProfileSize(len(b), want)
 	}
 	p := &Profile{VDs: make([]vd.VD, n)}
 	off := 6
