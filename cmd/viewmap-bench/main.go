@@ -31,16 +31,16 @@ type experiment struct {
 }
 
 // jsonOut, when set via -json, is where experiments that support a
-// machine-readable result (currently ingest-saturation) write it.
+// machine-readable result (ingest-saturation, scenario) write it.
 var jsonOut string
 
 func main() {
-	runName := flag.String("run", "all", "experiment to run (all, ablation, serving, evidence, attack-serving, ingest-saturation, table1, fig8, fig9, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17, table2, fig20, fig21, fig22ab, fig22c, fig22d, fig22e, fig22f, overhead)")
+	runName := flag.String("run", "all", "experiment to run (all, ablation, serving, evidence, attack-serving, ingest-saturation, scenario, table1, fig8, fig9, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17, table2, fig20, fig21, fig22ab, fig22c, fig22d, fig22e, fig22f, overhead)")
 	scale := flag.String("scale", "quick", "quick or full")
 	seed := flag.Int64("seed", 42, "base random seed")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile after the selected experiments to this file")
-	flag.StringVar(&jsonOut, "json", "", "write the machine-readable result (ingest-saturation) to this file")
+	flag.StringVar(&jsonOut, "json", "", "write the machine-readable result (ingest-saturation, scenario) to this file")
 	flag.Parse()
 	if *scale != "quick" && *scale != "full" {
 		fmt.Fprintln(os.Stderr, "scale must be quick or full")
@@ -123,6 +123,7 @@ func experiments() []experiment {
 		{"evidence", "evidence pipeline: solicit, anonymous deliver + cascade verify, payout, blurred release (not in the paper)", runEvidence},
 		{"attack-serving", "online attack campaigns through the live HTTP serving path, cross-checked offline (not in the paper)", runAttackServing},
 		{"continuous", "durable continuous operation: ingest WAL, snapshots, retention, mid-run crash+recover (not in the paper)", runContinuous},
+		{"scenario", "city-scale scenario: multi-city fault-injected workload with SLO report and baseline cross-check (not in the paper)", runScenario},
 		{"ablation", "damping and guard-alpha ablations (not in the paper)", runAblation},
 	}
 }
@@ -517,6 +518,47 @@ func runContinuous(scale string, seed int64) error {
 	}
 	for _, r := range res.Rows() {
 		fmt.Println(r)
+	}
+	return nil
+}
+
+func runScenario(scale string, seed int64) error {
+	cfg := sim.QuickScenarioConfig(seed)
+	if scale == "full" {
+		cfg.Cities = []sim.CityConfig{
+			{Vehicles: 60, BlocksX: 10, BlocksY: 10, SpacingM: 200},
+			{Vehicles: 40, BlocksX: 8, BlocksY: 8, SpacingM: 200},
+			{Vehicles: 30, BlocksX: 6, BlocksY: 6, SpacingM: 200},
+		}
+		cfg.Minutes = 10
+		cfg.BatchSize = 16
+		cfg.Overload.IngestSlots = 4
+		cfg.Overload.IngestQueue = 8
+		cfg.Incidents = []sim.IncidentPlan{
+			{Minute: 3, City: 0, Units: 2, Polls: 8},
+			{Minute: 6, City: 2, Units: 3, Polls: 8},
+		}
+		cfg.Faults.FsyncStallFrom = 2
+		cfg.Faults.FsyncStallMinutes = 3
+		cfg.Faults.PartitionFrom = 8
+		cfg.Faults.SnapshotPauseFrom = 3
+	}
+	res, err := sim.Scenario(cfg)
+	if err != nil {
+		return err
+	}
+	for _, r := range res.Rows() {
+		fmt.Println(r)
+	}
+	if jsonOut != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("SLO report written to %s\n", jsonOut)
 	}
 	return nil
 }

@@ -68,6 +68,13 @@ func main() {
 	snapshotInterval := flag.Duration("snapshot-interval", time.Minute, "background snapshot + WAL truncation period (requires -wal; 0 = final snapshot only)")
 	retention := flag.Int("retention", 0, "resident minute horizon: spill shards older than the newest N minutes to disk (requires -wal; 0 = keep all resident)")
 	residentMinutes := flag.Int("resident-minutes", 0, "LRU bound on reloaded cold minutes (0 = default of 2)")
+	ingestSlots := flag.Int("ingest-slots", 0, "concurrent upload admissions (0 = default of 64)")
+	ingestQueue := flag.Int("ingest-queue", 0, "bounded upload wait queue beyond the slots (0 = default of 256)")
+	investigateSlots := flag.Int("investigate-slots", 0, "concurrent authority-request admissions, isolated from uploads (0 = default of 16)")
+	investigateQueue := flag.Int("investigate-queue", 0, "bounded authority wait queue (0 = default of 64)")
+	evidenceSlots := flag.Int("evidence-slots", 0, "concurrent evidence/reward admissions (0 = default of 32)")
+	evidenceQueue := flag.Int("evidence-queue", 0, "bounded evidence wait queue (0 = default of 128)")
+	retryAfter := flag.Duration("retry-after", 0, "backoff hint sent with 429 sheds, rounded up to whole seconds (0 = default of 1s)")
 	flag.Parse()
 
 	cfg := server.Config{
@@ -76,6 +83,15 @@ func main() {
 		Store: server.StoreConfig{
 			DSRCRange:           *dsrcRange,
 			DisableViewmapCache: *noCache,
+		},
+		Overload: server.OverloadConfig{
+			IngestSlots:      *ingestSlots,
+			IngestQueue:      *ingestQueue,
+			InvestigateSlots: *investigateSlots,
+			InvestigateQueue: *investigateQueue,
+			EvidenceSlots:    *evidenceSlots,
+			EvidenceQueue:    *evidenceQueue,
+			RetryAfter:       *retryAfter,
 		},
 	}
 	modes := 0

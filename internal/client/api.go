@@ -5,13 +5,19 @@ import (
 	"crypto/rand"
 	"crypto/rsa"
 	"encoding/base64"
+	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"math/big"
+	mrand "math/rand"
 	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"viewmap/internal/anon"
 	"viewmap/internal/reward"
@@ -29,6 +35,23 @@ type API struct {
 	dir      *anon.Directory
 	hops     int
 	sessions *anon.Sessions
+
+	// Backpressure handling: a 429 response is retried up to retries
+	// times, sleeping the server's Retry-After hint (or an exponential
+	// backoff when the hint is absent) plus up to 50% jitter between
+	// attempts. Each retry rides a fresh circuit and session id.
+	retries int
+	backoff time.Duration
+	sleep   func(time.Duration)
+	// seen429 counts 429 responses observed (including retried ones);
+	// tests cross-check it against the server's shed counters.
+	seen429 atomic.Uint64
+	// jitterMu guards jitter, the client's private backoff-jitter
+	// source (math/rand's package globals are banned repo-wide so
+	// simulation randomness stays seedable; the jitter source is
+	// seeded from crypto/rand at construction).
+	jitterMu sync.Mutex
+	jitter   *mrand.Rand
 }
 
 // NewAPI creates a client for the service at base (e.g.
@@ -44,14 +67,55 @@ func NewAPI(base string, httpClient *http.Client) (*API, error) {
 	if err != nil {
 		return nil, err
 	}
+	var seed [8]byte
+	if _, err := rand.Read(seed[:]); err != nil {
+		return nil, fmt.Errorf("client: seeding backoff jitter: %w", err)
+	}
 	return &API{
 		base:     base,
 		http:     httpClient,
 		dir:      dir,
 		hops:     3,
 		sessions: anon.NewSessions(),
+		retries:  defaultRetries,
+		backoff:  defaultBackoff,
+		sleep:    time.Sleep,
+		jitter:   mrand.New(mrand.NewSource(int64(binary.BigEndian.Uint64(seed[:])))),
 	}, nil
 }
+
+// Default 429 retry policy: four retries, 50 ms exponential backoff
+// base when the server sends no Retry-After hint.
+const (
+	defaultRetries = 4
+	defaultBackoff = 50 * time.Millisecond
+)
+
+// SetRetryPolicy tunes the client's handling of 429 responses:
+// retries bounds the re-attempts per request (0 disables retrying),
+// backoff is the exponential base used when the server sends no
+// Retry-After hint, and sleep replaces time.Sleep between attempts
+// (nil keeps time.Sleep; tests inject a recorder, simulations a
+// time-compressed sleeper). Not safe to call concurrently with
+// in-flight requests.
+func (a *API) SetRetryPolicy(retries int, backoff time.Duration, sleep func(time.Duration)) {
+	if retries < 0 {
+		retries = 0
+	}
+	if backoff <= 0 {
+		backoff = defaultBackoff
+	}
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	a.retries, a.backoff, a.sleep = retries, backoff, sleep
+}
+
+// Seen429 reports how many 429 responses this client has observed,
+// counting every shed attempt of every retried request. Against a
+// server whose only 429 source is the admission layer, the sum across
+// all clients equals the server's shed counters exactly.
+func (a *API) Seen429() uint64 { return a.seen429.Load() }
 
 // anonBody routes the payload through a fresh onion circuit and
 // returns the exit-side bytes. The simulation performs the traversal
@@ -69,8 +133,50 @@ func (a *API) anonBody(payload []byte) ([]byte, error) {
 	return circuit.Traverse(wrapped)
 }
 
-// do issues one anonymous request with a fresh session id.
+// do issues one anonymous request with a fresh session id, retrying
+// shed (429) responses per the client's retry policy: the wait between
+// attempts honors the server's Retry-After hint when present, falls
+// back to exponential backoff otherwise, and adds up to 50% jitter so
+// a fleet of shed clients does not return in lockstep. Every retry
+// builds a fresh circuit and session id — a retried request is
+// indistinguishable from a new one, as the anonymity discipline
+// requires.
 func (a *API) do(method, path, contentType string, payload []byte, authority string) (*http.Response, error) {
+	for attempt := 0; ; attempt++ {
+		resp, err := a.doOnce(method, path, contentType, payload, authority)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusTooManyRequests {
+			return resp, nil
+		}
+		a.seen429.Add(1)
+		if attempt >= a.retries {
+			return resp, nil
+		}
+		wait := a.retryWait(resp.Header.Get("Retry-After"), attempt)
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+		a.sleep(wait)
+	}
+}
+
+// retryWait picks the pause before a retry: the server's Retry-After
+// hint in whole seconds when present and positive, exponential backoff
+// from the configured base otherwise, plus up to 50% jitter.
+func (a *API) retryWait(retryAfter string, attempt int) time.Duration {
+	wait := a.backoff << min(attempt, 10)
+	if secs, err := strconv.Atoi(retryAfter); err == nil && secs > 0 {
+		wait = time.Duration(secs) * time.Second
+	}
+	a.jitterMu.Lock()
+	j := a.jitter.Int63n(int64(wait)/2 + 1)
+	a.jitterMu.Unlock()
+	return wait + time.Duration(j)
+}
+
+// doOnce issues one anonymous request attempt.
+func (a *API) doOnce(method, path, contentType string, payload []byte, authority string) (*http.Response, error) {
 	body, err := a.anonBody(payload)
 	if err != nil {
 		return nil, err

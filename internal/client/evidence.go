@@ -257,6 +257,34 @@ type DurabilityStats struct {
 	LastError string `json:"lastError,omitempty"`
 }
 
+// ClassAdmissionStats are one endpoint class's admission-gate counters
+// in GET /v1/stats.
+type ClassAdmissionStats struct {
+	// Admitted counts requests that got a slot.
+	Admitted uint64 `json:"admitted"`
+	// Shed counts requests turned away with 429.
+	Shed uint64 `json:"shed"`
+	// Queued is the instantaneous wait-queue depth.
+	Queued int `json:"queued"`
+	// Active is the instantaneous in-flight request count.
+	Active int `json:"active"`
+}
+
+// OverloadStats are the admission-control counters of GET /v1/stats:
+// per-class slots taken, requests shed with 429, and the Retry-After
+// hint the server sends with each shed.
+type OverloadStats struct {
+	// Ingest gates the upload endpoints.
+	Ingest ClassAdmissionStats `json:"ingest"`
+	// Investigate gates the authority endpoints (its own pool, so
+	// investigations never compete with uploads).
+	Investigate ClassAdmissionStats `json:"investigate"`
+	// Evidence gates the vehicle-facing evidence/reward endpoints.
+	Evidence ClassAdmissionStats `json:"evidence"`
+	// RetryAfterSeconds echoes the backoff hint sent with sheds.
+	RetryAfterSeconds int `json:"retryAfterSeconds"`
+}
+
 // ServiceStats is the full GET /v1/stats response.
 type ServiceStats struct {
 	// VPs and Trusted count stored profiles.
@@ -277,6 +305,8 @@ type ServiceStats struct {
 	Durability DurabilityStats `json:"durability"`
 	// Evidence carries the evidence-subsystem counters.
 	Evidence EvidenceStats `json:"evidence"`
+	// Overload carries the admission-control counters.
+	Overload OverloadStats `json:"overload"`
 }
 
 // StatsFull fetches every service counter, including the evidence

@@ -47,7 +47,12 @@ const sessionHeader = "X-Session"
 //	POST /v1/evidence/payout         {"id","secret","blinded"} (X-Session, single use)
 //	POST /v1/evidence/redeem         {"m":"b64","sig":"dec"}
 //	GET  /v1/evidence/video?id=hex   blurred release (authority)
-//	GET  /v1/stats                   {"vps":N,...,"ingest":{...},"shards":[...],"retention":{...},"durability":{...},"evidence":{...}}
+//	GET  /v1/stats                   {"vps":N,...,"ingest":{...},"shards":[...],"retention":{...},"durability":{...},"evidence":{...},"overload":{...}}
+//
+// Every endpoint except GET /v1/stats and GET /v1/bank sits behind a
+// per-class admission gate (overload.go): when a class's slots and
+// wait queue are both full the request is shed with 429 Too Many
+// Requests and a Retry-After header instead of queueing unboundedly.
 func Handler(sys *System) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/vp", func(w http.ResponseWriter, r *http.Request) {
@@ -406,6 +411,7 @@ func Handler(sys *System) http.Handler {
 		ingest := sys.Store().IngestStatsFrom(shardStats)
 		ret := sys.Store().RetentionStatsSnapshot()
 		dur := sys.DurabilityStatsSnapshot()
+		ov := sys.OverloadStatsSnapshot()
 		shards := make([]shardStatJSON, len(shardStats))
 		for i, sh := range shardStats {
 			shards[i] = shardStatJSON{
@@ -447,9 +453,15 @@ func Handler(sys *System) http.Handler {
 				UnitsRedeemed:      ev.UnitsRedeemed,
 				Released:           ev.Released,
 			},
+			Overload: overloadStatsJSON{
+				Ingest:            classStatsJSON(ov.Ingest),
+				Investigate:       classStatsJSON(ov.Investigate),
+				Evidence:          classStatsJSON(ov.Evidence),
+				RetryAfterSeconds: ov.RetryAfterSeconds,
+			},
 		})
 	})
-	return mux
+	return withAdmission(sys.overload, mux)
 }
 
 // Wire types.
@@ -540,6 +552,28 @@ type statsResponse struct {
 	Retention   retentionStatsJSON  `json:"retention"`
 	Durability  durabilityStatsJSON `json:"durability"`
 	Evidence    evidenceStatsJSON   `json:"evidence"`
+	Overload    overloadStatsJSON   `json:"overload"`
+}
+
+type classAdmissionJSON struct {
+	Admitted uint64 `json:"admitted"`
+	Shed     uint64 `json:"shed"`
+	Queued   int    `json:"queued"`
+	Active   int    `json:"active"`
+}
+
+// classStatsJSON converts one gate's snapshot to its wire form.
+func classStatsJSON(s ClassAdmissionStats) classAdmissionJSON {
+	return classAdmissionJSON{
+		Admitted: s.Admitted, Shed: s.Shed, Queued: s.Queued, Active: s.Active,
+	}
+}
+
+type overloadStatsJSON struct {
+	Ingest            classAdmissionJSON `json:"ingest"`
+	Investigate       classAdmissionJSON `json:"investigate"`
+	Evidence          classAdmissionJSON `json:"evidence"`
+	RetryAfterSeconds int                `json:"retryAfterSeconds"`
 }
 
 type retentionStatsJSON struct {

@@ -70,6 +70,13 @@ type DurabilityConfig struct {
 	// RetentionInterval is how often the evictor sweeps; zero selects
 	// one second. Ignored when RetentionMinutes is zero.
 	RetentionInterval time.Duration
+	// Fsync, when non-nil, replaces the file-sync call on the WAL's
+	// group-commit and compaction paths. It is a fault-injection seam:
+	// scenario fault plans wrap the real (*os.File).Sync with slow-disk
+	// stalls. A replacement must still make the file durable (or
+	// return an error) before returning — the ack-after-fsync
+	// invariant rides on it. nil selects (*os.File).Sync.
+	Fsync func(f *os.File) error
 }
 
 // withDefaults resolves the derived paths and periods.
@@ -215,6 +222,7 @@ func OpenDurable(cfg Config, dcfg DurabilityConfig) (*System, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server: opening WAL: %w", err)
 	}
+	w.setFsync(dcfg.Fsync)
 	sys.wal = w
 
 	if !haveSnap {

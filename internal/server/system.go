@@ -38,6 +38,10 @@ type System struct {
 	// authorityToken gates trusted-VP uploads and investigations.
 	authorityToken string
 
+	// overload holds the per-endpoint-class admission gates the HTTP
+	// handler sheds load through (overload.go).
+	overload *overloadLimiter
+
 	mu            sync.Mutex
 	solicitations map[vd.VPID]*Solicitation
 	rewardsPosted map[vd.VPID]*RewardOffer
@@ -109,6 +113,9 @@ type Config struct {
 	// Evidence parameterizes the evidence subsystem (redaction frame
 	// dimensions, blur parameters, video size cap).
 	Evidence evidence.Config
+	// Overload bounds concurrent work per endpoint class on the HTTP
+	// surface (overload.go); the zero value selects generous defaults.
+	Overload OverloadConfig
 }
 
 // NewSystem creates a system service.
@@ -143,6 +150,7 @@ func NewSystem(cfg Config) (*System, error) {
 		bank:           bank,
 		evidence:       ev,
 		authorityToken: token,
+		overload:       newOverloadLimiter(cfg.Overload),
 		solicitations:  make(map[vd.VPID]*Solicitation),
 		rewardsPosted:  make(map[vd.VPID]*RewardOffer),
 		verdicts:       make(map[investigationKey]verdictEntry),

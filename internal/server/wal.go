@@ -94,6 +94,23 @@ type wal struct {
 	interval time.Duration
 	syncReq  chan struct{}
 	syncDone chan struct{}
+
+	// fsync makes the log file durable; the default is (*os.File).Sync.
+	// DurabilityConfig.Fsync replaces it (via setFsync) so fault plans
+	// can inject slow-disk stalls on the group-commit path.
+	fsync func(*os.File) error
+}
+
+// setFsync installs a replacement for the file-sync call on the
+// group-commit and compaction paths. nil restores the default. Callers
+// must install hooks before the log takes appends.
+func (w *wal) setFsync(fn func(*os.File) error) {
+	if fn == nil {
+		fn = (*os.File).Sync
+	}
+	w.mu.Lock()
+	w.fsync = fn
+	w.mu.Unlock()
 }
 
 // openWALForAppend opens (creating if needed) the log for appending.
@@ -141,6 +158,7 @@ func openWALForAppend(path string, validSize int64, nextLSN uint64, interval tim
 		interval: interval,
 		syncReq:  make(chan struct{}, 1),
 		syncDone: make(chan struct{}),
+		fsync:    (*os.File).Sync,
 	}
 	w.cond = sync.NewCond(&w.mu)
 	go w.syncLoop()
@@ -274,7 +292,7 @@ func (w *wal) syncLocked() {
 		w.fail(err)
 		return
 	}
-	if err := w.f.Sync(); err != nil {
+	if err := w.fsync(w.f); err != nil {
 		w.fail(err)
 		return
 	}
@@ -315,7 +333,7 @@ func (w *wal) truncateThrough(lsn uint64) error {
 		w.fail(err)
 		return err
 	}
-	if err := w.f.Sync(); err != nil {
+	if err := w.fsync(w.f); err != nil {
 		w.fail(err)
 		return err
 	}

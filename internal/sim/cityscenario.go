@@ -1,0 +1,836 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"viewmap/internal/client"
+	"viewmap/internal/core"
+	"viewmap/internal/geo"
+	"viewmap/internal/server"
+	"viewmap/internal/vp"
+)
+
+// Scenario engine: declaratively composed city-scale runs against the
+// live HTTP serving path. A scenario drives two or three roadnet
+// cities (disjoint footprints, one shared minute-sharded store)
+// through a diurnal traffic curve with fleet churn, injects a fault
+// plan mid-run — slow-disk WAL fsync stalls through the
+// DurabilityConfig.Fsync hook, snapshotter pauses, burst-ring
+// saturation through duplicate upload storms, evidence-board
+// partitions — and layers correlated evidence-demand spikes after
+// incidents. The run is graded like Continuous, but through the full
+// stack: every upload, probe, and board poll traverses a real
+// httptest server, the client's onion circuits, and the server's
+// admission gates, and every probe's per-VP verdicts must be
+// bit-for-bit identical to an unfaulted, always-resident, in-memory
+// baseline fed exactly the same profiles. The engine emits a
+// machine-readable SLO report (per-endpoint p50/p99, shed counts,
+// zero-acked-loss) and hard-fails on any violated invariant.
+//
+// Determinism: the workload (cities, churn, diurnal activity, batch
+// composition) is a pure function of the seed; uploads are retried
+// until acknowledged, so the set of stored profiles — and therefore
+// every probe outcome and the result's Fingerprint — is identical run
+// to run. Only the timing-dependent overload counters (sheds,
+// retries, latencies) vary.
+
+// FaultPlan schedules the scenario's fault injections by minute index.
+// The zero value injects nothing.
+type FaultPlan struct {
+	// FsyncStallFrom and FsyncStallMinutes bound the slow-disk window:
+	// during minutes [FsyncStallFrom, FsyncStallFrom+FsyncStallMinutes)
+	// every WAL fsync on the group-commit path is delayed by
+	// FsyncStallDelay before the real sync runs. Acks slow down and
+	// the ingest gate backs up; durability is never weakened.
+	FsyncStallFrom    int
+	FsyncStallMinutes int
+	// FsyncStallDelay is the injected per-fsync delay.
+	FsyncStallDelay time.Duration
+	// SnapshotPauseFrom and SnapshotPauseMinutes pause the
+	// snapshotter: checkpoints that fall inside the window are skipped
+	// (and counted), so the WAL grows unboundedly for the duration —
+	// the slow-snapshot degraded mode.
+	SnapshotPauseFrom    int
+	SnapshotPauseMinutes int
+	// SaturateFactor re-submits every upload batch of a slow-disk
+	// minute this many extra times, concurrently with the originals —
+	// burst-ring and admission-gate saturation. The duplicates are
+	// bit-identical wire bodies, so whatever interleaving wins, the
+	// stored profile set is unchanged (duplicate identifiers are
+	// rejected) and baseline equality is preserved.
+	SaturateFactor int
+	// PartitionFrom and PartitionMinutes bound the evidence-board
+	// partition: every /v1/evidence request inside the window is
+	// answered 503 before reaching the service. Incidents must be
+	// scheduled outside the window.
+	PartitionFrom    int
+	PartitionMinutes int
+}
+
+// IncidentPlan is one correlated evidence-demand spike: at the end of
+// Minute, the authority opens a solicitation over City's central site
+// and Polls concurrent vehicles immediately poll the evidence board
+// and the legacy solicitation list — the "everyone saw the crash"
+// stampede.
+type IncidentPlan struct {
+	// Minute is the minute index after whose uploads the incident fires.
+	Minute int
+	// City indexes ScenarioConfig.Cities.
+	City int
+	// Units is the solicitation's per-VP reward; zero selects 2.
+	Units int
+	// Polls is the number of concurrent board pollers; zero selects 4.
+	Polls int
+}
+
+// ScenarioSLO holds the latency objectives a scenario is graded
+// against; a zero duration disables that gate. Structural invariants
+// (zero acked loss, probe equality, investigations never shed) are
+// always enforced regardless.
+type ScenarioSLO struct {
+	// UploadP99 bounds the batched-upload p99 (retries included).
+	UploadP99 time.Duration
+	// InvestigateP99 bounds the investigation-report p99.
+	InvestigateP99 time.Duration
+	// EvidenceP99 bounds the evidence-board-poll p99.
+	EvidenceP99 time.Duration
+}
+
+// ScenarioConfig declaratively composes one scenario run.
+type ScenarioConfig struct {
+	// Cities are the roadnet cities sharing the service; empty selects
+	// two quick-scale cities. Minutes and Seed of each entry are
+	// overridden by the scenario's; a city at index > 0 whose origin
+	// is unset is offset east of its predecessor so footprints stay
+	// disjoint.
+	Cities []CityConfig
+	// Minutes is the scenario horizon; zero selects 5.
+	Minutes int
+	// Diurnal is the per-minute activity fraction in (0,1]: the share
+	// of each city's present fleet that drives and uploads that
+	// minute (cycled when shorter than Minutes). Empty selects a
+	// sinusoidal day curve between 0.2 and 1.0.
+	Diurnal []float64
+	// ChurnLeaveFrac is the fleet fraction that departs mid-run;
+	// ChurnJoinFrac the fraction that joins late (fresh vehicles,
+	// fresh per-minute identities — re-keying is implicit in the VP
+	// scheme). Zero selects 0.25 each; negative disables.
+	ChurnLeaveFrac float64
+	ChurnJoinFrac  float64
+	// BatchSize is profiles per batched upload; zero selects 8.
+	BatchSize int
+	// Uploaders is the concurrent upload worker count; zero selects 6.
+	Uploaders int
+	// Incidents are the evidence-demand spikes.
+	Incidents []IncidentPlan
+	// Faults is the fault plan.
+	Faults FaultPlan
+	// Overload configures the server's admission gates; the zero
+	// value selects the server defaults (generous). Quick scenarios
+	// tighten the ingest gate to force shedding.
+	Overload server.OverloadConfig
+	// SLO holds the optional latency objectives.
+	SLO ScenarioSLO
+	// SnapshotEvery is the checkpoint cadence in minutes; zero
+	// selects 3.
+	SnapshotEvery int
+	// Dir is the durability directory; empty creates (and removes) a
+	// temporary one.
+	Dir string
+	// Seed drives the whole workload.
+	Seed int64
+}
+
+func (c ScenarioConfig) withDefaults() ScenarioConfig {
+	if len(c.Cities) == 0 {
+		c.Cities = []CityConfig{
+			{Vehicles: 12, BlocksX: 6, BlocksY: 6, SpacingM: 150},
+			{Vehicles: 10, BlocksX: 5, BlocksY: 5, SpacingM: 150},
+		}
+	}
+	if c.Minutes <= 0 {
+		c.Minutes = 5
+	}
+	if c.ChurnLeaveFrac == 0 {
+		c.ChurnLeaveFrac = 0.25
+	}
+	if c.ChurnJoinFrac == 0 {
+		c.ChurnJoinFrac = 0.25
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 8
+	}
+	if c.Uploaders <= 0 {
+		c.Uploaders = 6
+	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 3
+	}
+	return c
+}
+
+// QuickScenarioConfig is the 1-shot smoke configuration shared by
+// `viewmap-bench -run scenario -scale quick`, the scenario-smoke CI
+// job, and TestScenarioQuick: two small cities, a tight ingest gate,
+// and the full fault plan — a mid-run WAL fsync stall with duplicate-
+// storm saturation, a snapshotter pause, an incident-driven evidence
+// spike, and a final-minute evidence-board partition.
+func QuickScenarioConfig(seed int64) ScenarioConfig {
+	return ScenarioConfig{
+		Minutes:   5,
+		BatchSize: 3,
+		Uploaders: 8,
+		Overload: server.OverloadConfig{
+			IngestSlots: 2, IngestQueue: 2,
+		},
+		Incidents: []IncidentPlan{{Minute: 2, City: 0, Units: 2, Polls: 4}},
+		Faults: FaultPlan{
+			FsyncStallFrom: 1, FsyncStallMinutes: 2,
+			FsyncStallDelay:   40 * time.Millisecond,
+			SaturateFactor:    2,
+			SnapshotPauseFrom: 1, SnapshotPauseMinutes: 1,
+			PartitionFrom: 4, PartitionMinutes: 1,
+		},
+		SnapshotEvery: 2,
+		Seed:          seed,
+	}
+}
+
+// EndpointSLO is one endpoint class's latency/volume summary in the
+// scenario's SLO report.
+type EndpointSLO struct {
+	// Requests counts completed requests of the class.
+	Requests int `json:"requests"`
+	// P50MS and P99MS are the class's latency percentiles in
+	// milliseconds (for uploads, retries and backoff included — the
+	// latency a shed-and-retrying client actually experiences).
+	P50MS float64 `json:"p50_ms"`
+	// P99MS is the 99th-percentile latency in milliseconds.
+	P99MS float64 `json:"p99_ms"`
+}
+
+// ScenarioResult is the machine-readable SLO report of one scenario
+// run (the artifact scenario-smoke uploads in CI).
+type ScenarioResult struct {
+	// Cities, Minutes, and Seed echo the configuration.
+	Cities  int   `json:"cities"`
+	Minutes int   `json:"minutes"`
+	Seed    int64 `json:"seed"`
+	// VehiclesTotal is the summed fleet size across cities.
+	VehiclesTotal int `json:"vehicles_total"`
+	// OfferedVPs counts profiles offered (diurnal- and churn-gated);
+	// AckedVPs counts profiles the faulted system acknowledged. The
+	// zero-acked-loss invariant requires them equal.
+	OfferedVPs int `json:"offered_vps"`
+	AckedVPs   int `json:"acked_vps"`
+	// AckedBatches counts acknowledged unique upload batches.
+	AckedBatches int `json:"acked_batches"`
+	// Upload, Investigate, and EvidencePoll are the per-endpoint SLO
+	// summaries.
+	Upload       EndpointSLO `json:"upload"`
+	Investigate  EndpointSLO `json:"investigate"`
+	EvidencePoll EndpointSLO `json:"evidence_poll"`
+	// IngestShed, InvestigateShed, and EvidenceShed mirror the
+	// server's admission-gate shed counters at run end.
+	IngestShed      uint64 `json:"ingest_shed"`
+	InvestigateShed uint64 `json:"investigate_shed"`
+	EvidenceShed    uint64 `json:"evidence_shed"`
+	// Client429s counts 429 responses the clients observed; it must
+	// equal the summed shed counters.
+	Client429s uint64 `json:"client_429s"`
+	// ZeroAckedLoss reports the acked-equals-stored invariant (on
+	// both the faulted system and the baseline).
+	ZeroAckedLoss bool `json:"zero_acked_loss"`
+	// ProbesCompared counts InvestigateReport probes cross-checked
+	// bit-for-bit against the unfaulted baseline (hot, concurrent,
+	// and final-pass).
+	ProbesCompared int `json:"probes_compared"`
+	// StalledFsyncs counts WAL fsyncs the fault plan delayed.
+	StalledFsyncs int64 `json:"stalled_fsyncs"`
+	// PartitionRejects counts evidence-board polls correctly refused
+	// during the partition window.
+	PartitionRejects int `json:"partition_rejects"`
+	// Incidents counts evidence-demand spikes fired.
+	Incidents int `json:"incidents"`
+	// SnapshotsWritten and SnapshotsSkipped count checkpoint cadence
+	// hits and fault-plan pauses.
+	SnapshotsWritten int `json:"snapshots_written"`
+	SnapshotsSkipped int `json:"snapshots_skipped"`
+	// ProbeDigest is a SHA-256 over every final-pass probe outcome —
+	// the deterministic fingerprint of the run's served state.
+	ProbeDigest string `json:"probe_digest"`
+	// Violations lists violated SLO latency objectives (structural
+	// invariant violations abort the run with an error instead).
+	Violations []string `json:"violations"`
+}
+
+// Fingerprint returns the run's deterministic digest: two runs with
+// the same configuration and seed must return identical strings.
+func (r *ScenarioResult) Fingerprint() string {
+	return fmt.Sprintf("cities=%d minutes=%d seed=%d offered=%d probes=%s",
+		r.Cities, r.Minutes, r.Seed, r.OfferedVPs, r.ProbeDigest)
+}
+
+// Rows renders the result in the bench binary's row format.
+func (r *ScenarioResult) Rows() []string {
+	loss := "zero acked-batch loss"
+	if !r.ZeroAckedLoss {
+		loss = "ACKED LOSS DETECTED"
+	}
+	return []string{
+		fmt.Sprintf("%d cities, %d minutes, %d vehicles: %d VPs offered, %d acked in %d batches (%s)",
+			r.Cities, r.Minutes, r.VehiclesTotal, r.OfferedVPs, r.AckedVPs, r.AckedBatches, loss),
+		fmt.Sprintf("upload SLO: %d requests, p50 %.1f ms, p99 %.1f ms (retries included)",
+			r.Upload.Requests, r.Upload.P50MS, r.Upload.P99MS),
+		fmt.Sprintf("investigate SLO: %d requests, p50 %.1f ms, p99 %.1f ms; evidence polls: %d, p99 %.1f ms",
+			r.Investigate.Requests, r.Investigate.P50MS, r.Investigate.P99MS,
+			r.EvidencePoll.Requests, r.EvidencePoll.P99MS),
+		fmt.Sprintf("shed: ingest %d, investigate %d, evidence %d (clients saw %d x 429); %d fsyncs stalled",
+			r.IngestShed, r.InvestigateShed, r.EvidenceShed, r.Client429s, r.StalledFsyncs),
+		fmt.Sprintf("faults ridden out: %d incidents, %d partition rejects, %d snapshots written, %d paused",
+			r.Incidents, r.PartitionRejects, r.SnapshotsWritten, r.SnapshotsSkipped),
+		fmt.Sprintf("probes vs unfaulted baseline: %d compared, all bit-for-bit; digest %s",
+			r.ProbesCompared, r.ProbeDigest[:16]),
+	}
+}
+
+// scenarioCity is one city's engine state.
+type scenarioCity struct {
+	run  *CityRun
+	site geo.Rect
+	// join and leave bound each vehicle's presence: the vehicle is in
+	// town for minutes [join, leave).
+	join, leave []int
+}
+
+// uploadJob is one batched upload in flight.
+type uploadJob struct {
+	profiles []*vp.Profile
+	// mirror marks the batch's first (unique) submission, the one
+	// replayed into the baseline; saturation duplicates do not mirror.
+	mirror bool
+}
+
+// within reports whether minute m falls in [from, from+n).
+func within(m, from, n int) bool { return n > 0 && m >= from && m < from+n }
+
+// latencyPercentilesMS computes p50/p99 of lat in milliseconds.
+func latencyPercentilesMS(lat []time.Duration) (p50, p99 float64) {
+	if len(lat) == 0 {
+		return 0, 0
+	}
+	s := make([]time.Duration, len(lat))
+	copy(s, lat)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return float64(s[len(s)/2].Microseconds()) / 1e3,
+		float64(s[len(s)*99/100].Microseconds()) / 1e3
+}
+
+// outcomeFromFullReport converts a direct server report into the
+// client's wire-decoded outcome shape for bit-for-bit comparison.
+func outcomeFromFullReport(rep *server.FullReport) *client.InvestigationOutcome {
+	out := &client.InvestigationOutcome{
+		Members: rep.Members, Edges: rep.Edges, InSite: rep.InSite,
+		Verdicts: make([]client.VPVerdict, len(rep.Verdicts)),
+	}
+	for i, v := range rep.Verdicts {
+		out.Verdicts[i] = client.VPVerdict{
+			ID: v.ID, Trusted: v.Trusted, InSite: v.InSite,
+			Legitimate: v.Legitimate, Hops: v.Hops,
+		}
+	}
+	return out
+}
+
+// Scenario runs one declaratively composed city-scale scenario and
+// returns its SLO report; any violated structural invariant — acked
+// loss, probe divergence from the unfaulted baseline, a shed
+// investigation, an unexplained 429, a failed incident — returns an
+// error instead.
+func Scenario(cfg ScenarioConfig) (*ScenarioResult, error) {
+	cfg = cfg.withDefaults()
+	dir := cfg.Dir
+	if dir == "" {
+		var err error
+		if dir, err = os.MkdirTemp("", "viewmap-scenario-*"); err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Build the cities on disjoint footprints; one shared horizon.
+	cities := make([]*scenarioCity, len(cfg.Cities))
+	var nextOriginX float64
+	totalVehicles := 0
+	for i := range cfg.Cities {
+		cc := cfg.Cities[i]
+		cc.Minutes = cfg.Minutes
+		if cc.Seed == 0 {
+			cc.Seed = cfg.Seed*31 + int64(i)
+		}
+		if i > 0 && cc.OriginX == 0 && cc.OriginY == 0 {
+			cc.OriginX = nextOriginX
+		}
+		run, err := NewCityRun(cc)
+		if err != nil {
+			return nil, fmt.Errorf("sim: scenario city %d: %w", i, err)
+		}
+		area := run.Area()
+		nextOriginX = area.Max.X + 2000 // leave a gap beyond DSRC range
+		cs := &scenarioCity{
+			run:  run,
+			site: geo.RectAround(area.Center(), 2*run.Cfg.SpacingM),
+			join: make([]int, cc.Vehicles),
+			leave: func() []int {
+				l := make([]int, cc.Vehicles)
+				for v := range l {
+					l[v] = cfg.Minutes
+				}
+				return l
+			}(),
+		}
+		// Churn plan: a leaver departs somewhere in the back half, a
+		// joiner arrives somewhere in the front half. Leavers and
+		// joiners are disjoint so every vehicle is present for at
+		// least one minute.
+		perm := rng.Perm(cc.Vehicles)
+		nLeave, nJoin := 0, 0
+		if cfg.ChurnLeaveFrac > 0 {
+			nLeave = int(cfg.ChurnLeaveFrac * float64(cc.Vehicles))
+		}
+		if cfg.ChurnJoinFrac > 0 {
+			nJoin = int(cfg.ChurnJoinFrac * float64(cc.Vehicles))
+		}
+		for k := 0; k < nLeave && k < len(perm); k++ {
+			cs.leave[perm[k]] = cfg.Minutes/2 + rng.Intn(max(cfg.Minutes-cfg.Minutes/2, 1))
+		}
+		for k := nLeave; k < nLeave+nJoin && k < len(perm); k++ {
+			cs.join[perm[k]] = 1 + rng.Intn(max(cfg.Minutes/2, 1))
+		}
+		cities[i] = cs
+		totalVehicles += cc.Vehicles
+	}
+
+	bank, err := benchBank()
+	if err != nil {
+		return nil, err
+	}
+
+	// Fault-plan plumbing: the fsync stall rides the durability
+	// config's injection seam; the partition rides a front-side
+	// middleware. Both are armed and disarmed by minute index.
+	var stallNS, stalled atomic.Int64
+	var partitioned atomic.Bool
+	dcfg := server.DurabilityConfig{
+		WALPath:           filepath.Join(dir, "ingest.wal"),
+		SnapshotInterval:  0,         // checkpoints driven by the scenario
+		RetentionInterval: time.Hour, // no background sweeps
+		Fsync: func(f *os.File) error {
+			if d := stallNS.Load(); d > 0 {
+				stalled.Add(1)
+				time.Sleep(time.Duration(d))
+			}
+			return f.Sync()
+		},
+	}
+	sys, err := server.OpenDurable(server.Config{
+		AuthorityToken: "bench", Bank: bank, Overload: cfg.Overload,
+	}, dcfg)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		if sys != nil {
+			sys.Close()
+		}
+	}()
+	baseline, err := server.NewSystem(server.Config{AuthorityToken: "bench", Bank: bank})
+	if err != nil {
+		return nil, err
+	}
+	defer baseline.Close()
+
+	handler := server.Handler(sys)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if partitioned.Load() && strings.HasPrefix(r.URL.Path, "/v1/evidence/") {
+			http.Error(w, `{"error":"evidence board unreachable (partition)"}`, http.StatusServiceUnavailable)
+			return
+		}
+		handler.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+	api, err := client.NewAPI(srv.URL, srv.Client())
+	if err != nil {
+		return nil, err
+	}
+	// Generous, time-compressed retry policy: a shed batch retries
+	// until admitted (capping each backoff at 20 ms keeps the
+	// simulated day short), so the acked profile set — and with it the
+	// fingerprint — is deterministic; only the shed counters vary.
+	api.SetRetryPolicy(200, 2*time.Millisecond, func(d time.Duration) {
+		if d > 20*time.Millisecond {
+			d = 20 * time.Millisecond
+		}
+		time.Sleep(d)
+	})
+
+	res := &ScenarioResult{
+		Cities: len(cities), Minutes: cfg.Minutes, Seed: cfg.Seed,
+		VehiclesTotal: totalVehicles, Violations: []string{},
+	}
+	var latMu sync.Mutex
+	var uploadLat, probeLat, evLat []time.Duration
+
+	// probeCompare cross-checks one (city, minute) report served by
+	// the faulted system over HTTP against the baseline's direct
+	// report.
+	probeCompare := func(cs *scenarioCity, m int64, recordLat bool) error {
+		t0 := time.Now()
+		got, err := api.InvestigateReport("bench",
+			cs.site.Min.X, cs.site.Min.Y, cs.site.Max.X, cs.site.Max.Y, m)
+		if err != nil {
+			return fmt.Errorf("sim: scenario probe minute %d: %w", m, err)
+		}
+		if recordLat {
+			latMu.Lock()
+			probeLat = append(probeLat, time.Since(t0))
+			latMu.Unlock()
+		}
+		rep, err := baseline.InvestigateReport("bench", cs.site, m)
+		if err != nil {
+			return fmt.Errorf("sim: scenario baseline probe minute %d: %w", m, err)
+		}
+		if want := outcomeFromFullReport(rep); !reflect.DeepEqual(got, want) {
+			return fmt.Errorf("sim: minute %d: faulted verdicts diverge from the unfaulted baseline (%d vs %d members)",
+				m, got.Members, want.Members)
+		}
+		latMu.Lock()
+		res.ProbesCompared++
+		latMu.Unlock()
+		return nil
+	}
+
+	for m := 0; m < cfg.Minutes; m++ {
+		// Arm this minute's faults.
+		inStall := within(m, cfg.Faults.FsyncStallFrom, cfg.Faults.FsyncStallMinutes)
+		if inStall {
+			stallNS.Store(int64(cfg.Faults.FsyncStallDelay))
+		} else {
+			stallNS.Store(0)
+		}
+		partitioned.Store(within(m, cfg.Faults.PartitionFrom, cfg.Faults.PartitionMinutes))
+
+		// Compose the minute's offered load: per city, the diurnal
+		// fraction of the churn-present fleet fabricates and uploads.
+		var jobs []uploadJob
+		for _, cs := range cities {
+			mp, err := cs.run.ProfilesForMinute(m, false)
+			if err != nil {
+				return nil, err
+			}
+			var present []int
+			for v := 0; v < cs.run.Cfg.Vehicles; v++ {
+				if cs.join[v] <= m && m < cs.leave[v] {
+					present = append(present, v)
+				}
+			}
+			frac := diurnalFraction(cfg.Diurnal, m, cfg.Minutes)
+			want := int(math.Ceil(frac * float64(len(present))))
+			if want < 2 {
+				want = min(2, len(present))
+			}
+			perm := rng.Perm(len(present))
+			active := make([]*vp.Profile, 0, want)
+			for _, pi := range perm[:want] {
+				active = append(active, mp.Profiles[present[pi]])
+			}
+			ti := core.MarkTrustedNearest(active, cs.site.Center())
+			trustedWire := active[ti].Marshal()
+			// The trusted anchor lands first (retried through the
+			// gate like any upload), then mirrors to the baseline.
+			if err := api.UploadTrustedVP("bench", active[ti]); err != nil {
+				return nil, fmt.Errorf("sim: scenario trusted upload minute %d: %w", m, err)
+			}
+			if err := baseline.UploadTrustedVP("bench", trustedWire); err != nil {
+				return nil, err
+			}
+			res.OfferedVPs++
+			res.AckedVPs++
+			anonProfiles := make([]*vp.Profile, 0, len(active)-1)
+			for i, p := range active {
+				if i != ti {
+					anonProfiles = append(anonProfiles, p)
+				}
+			}
+			for off := 0; off < len(anonProfiles); off += cfg.BatchSize {
+				end := min(off+cfg.BatchSize, len(anonProfiles))
+				jobs = append(jobs, uploadJob{profiles: anonProfiles[off:end], mirror: true})
+				res.OfferedVPs += end - off
+			}
+		}
+		// Burst-ring saturation: duplicate storms ride the slow-disk
+		// window.
+		if inStall && cfg.Faults.SaturateFactor > 0 {
+			unique := len(jobs)
+			for k := 0; k < cfg.Faults.SaturateFactor; k++ {
+				for _, j := range jobs[:unique] {
+					jobs = append(jobs, uploadJob{profiles: j.profiles})
+				}
+			}
+		}
+		rng.Shuffle(len(jobs), func(i, j int) { jobs[i], jobs[j] = jobs[j], jobs[i] })
+
+		// Drain the minute concurrently; while it drains, a prober
+		// keeps investigating the previous minute through the same
+		// admission layer — the "answers during the storm" invariant.
+		jobCh := make(chan uploadJob)
+		errCh := make(chan error, cfg.Uploaders+1)
+		var wg sync.WaitGroup
+		for u := 0; u < cfg.Uploaders; u++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := range jobCh {
+					t0 := time.Now()
+					bres, err := api.UploadVPBatch(j.profiles)
+					if err != nil {
+						errCh <- fmt.Errorf("sim: scenario batch upload minute %d: %w", m, err)
+						return
+					}
+					lat := time.Since(t0)
+					if bres.Rejected != 0 || bres.Stored+bres.Duplicates != len(j.profiles) {
+						errCh <- fmt.Errorf("sim: scenario batch result %+v for %d profiles", bres, len(j.profiles))
+						return
+					}
+					latMu.Lock()
+					uploadLat = append(uploadLat, lat)
+					if j.mirror {
+						res.AckedBatches++
+						res.AckedVPs += len(j.profiles)
+					}
+					latMu.Unlock()
+					if j.mirror {
+						if _, err := baseline.UploadVPBatch(vp.MarshalBatch(j.profiles)); err != nil {
+							errCh <- fmt.Errorf("sim: scenario baseline mirror minute %d: %w", m, err)
+							return
+						}
+					}
+				}
+			}()
+		}
+		if m > 0 {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for _, cs := range cities {
+					if err := probeCompare(cs, int64(m-1), true); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}()
+		}
+		for _, j := range jobs {
+			jobCh <- j
+		}
+		close(jobCh)
+		wg.Wait()
+		select {
+		case err := <-errCh:
+			return nil, err
+		default:
+		}
+
+		// Hot probe: the minute that just landed, on both systems.
+		for _, cs := range cities {
+			if err := probeCompare(cs, int64(m), true); err != nil {
+				return nil, err
+			}
+		}
+
+		// Incidents: solicitation plus the correlated board-poll spike.
+		for _, inc := range cfg.Incidents {
+			if inc.Minute != m {
+				continue
+			}
+			if inc.City < 0 || inc.City >= len(cities) {
+				return nil, fmt.Errorf("sim: incident city %d out of range", inc.City)
+			}
+			cs := cities[inc.City]
+			units := inc.Units
+			if units <= 0 {
+				units = 2
+			}
+			if _, err := api.OpenSolicitation("bench",
+				cs.site.Min.X, cs.site.Min.Y, cs.site.Max.X, cs.site.Max.Y,
+				int64(m), units); err != nil {
+				return nil, fmt.Errorf("sim: incident solicitation minute %d: %w", m, err)
+			}
+			res.Incidents++
+			polls := inc.Polls
+			if polls <= 0 {
+				polls = 4
+			}
+			var pw sync.WaitGroup
+			pollErr := make(chan error, polls)
+			for p := 0; p < polls; p++ {
+				pw.Add(1)
+				go func() {
+					defer pw.Done()
+					t0 := time.Now()
+					if _, err := api.EvidenceBoard(); err != nil {
+						pollErr <- fmt.Errorf("sim: incident board poll minute %d: %w", m, err)
+						return
+					}
+					if _, err := api.Solicitations(); err != nil {
+						pollErr <- fmt.Errorf("sim: incident solicitation poll minute %d: %w", m, err)
+						return
+					}
+					latMu.Lock()
+					evLat = append(evLat, time.Since(t0))
+					latMu.Unlock()
+				}()
+			}
+			pw.Wait()
+			select {
+			case err := <-pollErr:
+				return nil, err
+			default:
+			}
+		}
+
+		// Partition check: inside the window the board must be
+		// unreachable — a poll that succeeds means the partition
+		// middleware leaked.
+		if partitioned.Load() {
+			if _, err := api.EvidenceBoard(); err == nil {
+				return nil, fmt.Errorf("sim: minute %d: evidence board answered through the partition", m)
+			}
+			res.PartitionRejects++
+		}
+
+		// Checkpoint cadence, honoring the snapshotter pause.
+		if (m+1)%cfg.SnapshotEvery == 0 {
+			if within(m, cfg.Faults.SnapshotPauseFrom, cfg.Faults.SnapshotPauseMinutes) {
+				res.SnapshotsSkipped++
+			} else {
+				if err := sys.Checkpoint(); err != nil {
+					return nil, err
+				}
+				res.SnapshotsWritten++
+			}
+		}
+	}
+
+	// Disarm every fault for the final grading pass.
+	stallNS.Store(0)
+	partitioned.Store(false)
+	res.StalledFsyncs = stalled.Load()
+
+	// Final pass: every (city, minute) must answer bit-for-bit like
+	// the baseline; the digest over these outcomes is the fingerprint.
+	h := sha256.New()
+	for ci, cs := range cities {
+		for m := 0; m < cfg.Minutes; m++ {
+			if err := probeCompare(cs, int64(m), false); err != nil {
+				return nil, fmt.Errorf("sim: final pass: %w", err)
+			}
+			rep, err := baseline.InvestigateReport("bench", cs.site, int64(m))
+			if err != nil {
+				return nil, err
+			}
+			binary.Write(h, binary.BigEndian, int64(ci))
+			binary.Write(h, binary.BigEndian, int64(m))
+			binary.Write(h, binary.BigEndian, int64(rep.Members))
+			binary.Write(h, binary.BigEndian, int64(rep.Edges))
+			binary.Write(h, binary.BigEndian, int64(rep.InSite))
+			for _, v := range rep.Verdicts {
+				h.Write(v.ID[:])
+				binary.Write(h, binary.BigEndian, v.Legitimate)
+				binary.Write(h, binary.BigEndian, v.Trusted)
+				binary.Write(h, binary.BigEndian, v.InSite)
+				binary.Write(h, binary.BigEndian, int64(v.Hops))
+			}
+		}
+	}
+	res.ProbeDigest = hex.EncodeToString(h.Sum(nil))
+
+	// Structural invariants.
+	stats, err := api.StatsFull()
+	if err != nil {
+		return nil, err
+	}
+	res.IngestShed = stats.Overload.Ingest.Shed
+	res.InvestigateShed = stats.Overload.Investigate.Shed
+	res.EvidenceShed = stats.Overload.Evidence.Shed
+	res.Client429s = api.Seen429()
+	if res.InvestigateShed != 0 {
+		return nil, fmt.Errorf("sim: %d investigations shed — the investigate gate must never starve", res.InvestigateShed)
+	}
+	if total := res.IngestShed + res.EvidenceShed; res.Client429s != total {
+		return nil, fmt.Errorf("sim: clients saw %d x 429 but the server shed %d — counters diverge", res.Client429s, total)
+	}
+	sysLen, baseLen := sys.Store().Len(), baseline.Store().Len()
+	res.ZeroAckedLoss = sysLen == res.OfferedVPs && baseLen == res.OfferedVPs && res.AckedVPs == res.OfferedVPs
+	if !res.ZeroAckedLoss {
+		return nil, fmt.Errorf("sim: acked loss: offered %d, acked %d, stored %d (baseline %d)",
+			res.OfferedVPs, res.AckedVPs, sysLen, baseLen)
+	}
+
+	// SLO grading.
+	res.Upload.Requests = len(uploadLat)
+	res.Upload.P50MS, res.Upload.P99MS = latencyPercentilesMS(uploadLat)
+	res.Investigate.Requests = len(probeLat)
+	res.Investigate.P50MS, res.Investigate.P99MS = latencyPercentilesMS(probeLat)
+	res.EvidencePoll.Requests = len(evLat)
+	res.EvidencePoll.P50MS, res.EvidencePoll.P99MS = latencyPercentilesMS(evLat)
+	if lim := cfg.SLO.UploadP99; lim > 0 && res.Upload.P99MS > float64(lim.Microseconds())/1e3 {
+		res.Violations = append(res.Violations, fmt.Sprintf("upload p99 %.1f ms exceeds %v", res.Upload.P99MS, lim))
+	}
+	if lim := cfg.SLO.InvestigateP99; lim > 0 && res.Investigate.P99MS > float64(lim.Microseconds())/1e3 {
+		res.Violations = append(res.Violations, fmt.Sprintf("investigate p99 %.1f ms exceeds %v", res.Investigate.P99MS, lim))
+	}
+	if lim := cfg.SLO.EvidenceP99; lim > 0 && res.EvidencePoll.P99MS > float64(lim.Microseconds())/1e3 {
+		res.Violations = append(res.Violations, fmt.Sprintf("evidence p99 %.1f ms exceeds %v", res.EvidencePoll.P99MS, lim))
+	}
+	if len(res.Violations) > 0 {
+		return res, fmt.Errorf("sim: SLO violated: %s", strings.Join(res.Violations, "; "))
+	}
+
+	err = sys.Close()
+	sys = nil
+	return res, err
+}
+
+// diurnalFraction evaluates the activity curve at minute m: the
+// configured per-minute series (cycled), or the built-in sinusoidal
+// day between 0.2 and 1.0.
+func diurnalFraction(curve []float64, m, minutes int) float64 {
+	if len(curve) > 0 {
+		f := curve[m%len(curve)]
+		if f <= 0 {
+			return 0.1
+		}
+		if f > 1 {
+			return 1
+		}
+		return f
+	}
+	return 0.6 + 0.4*math.Sin(2*math.Pi*float64(m)/float64(max(minutes, 2)))
+}

@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestScenarioQuick drives the acceptance scenario: two cities, fleet
+// churn, a diurnal curve, a mid-run WAL fsync stall with a duplicate
+// saturation storm against a deliberately tight ingest gate, a
+// snapshotter pause, an incident-driven evidence spike, and a
+// final-minute evidence-board partition. It asserts the structural
+// invariants the engine itself enforces (zero acked loss, probes
+// bit-for-bit equal to the unfaulted baseline, investigations never
+// shed) and the overload behavior the fault plan must provoke
+// (uploads shed, clients retried through it).
+func TestScenarioQuick(t *testing.T) {
+	res, err := Scenario(QuickScenarioConfig(7))
+	if err != nil {
+		t.Fatalf("Scenario: %v", err)
+	}
+	if !res.ZeroAckedLoss {
+		t.Fatal("acked-batch loss through the fsync stall")
+	}
+	if res.OfferedVPs == 0 || res.AckedVPs != res.OfferedVPs {
+		t.Fatalf("offered %d acked %d", res.OfferedVPs, res.AckedVPs)
+	}
+	if res.InvestigateShed != 0 {
+		t.Fatalf("%d investigations shed during overload", res.InvestigateShed)
+	}
+	if res.IngestShed == 0 {
+		t.Fatal("tight ingest gate under a saturation storm shed nothing")
+	}
+	if res.Client429s != res.IngestShed+res.EvidenceShed {
+		t.Fatalf("client saw %d x 429, server shed %d", res.Client429s, res.IngestShed+res.EvidenceShed)
+	}
+	if res.StalledFsyncs == 0 {
+		t.Fatal("fsync stall window injected no delays")
+	}
+	if res.PartitionRejects == 0 {
+		t.Fatal("evidence-board partition rejected nothing")
+	}
+	if res.SnapshotsSkipped == 0 || res.SnapshotsWritten == 0 {
+		t.Fatalf("snapshot cadence: %d written, %d skipped", res.SnapshotsWritten, res.SnapshotsSkipped)
+	}
+	if res.Incidents != 1 {
+		t.Fatalf("incidents fired: %d", res.Incidents)
+	}
+	// ProbesCompared: concurrent probes (minutes 1..4 x 2 cities) +
+	// hot probes (5 x 2) + final pass (5 x 2) = 28.
+	if res.ProbesCompared < 20 {
+		t.Fatalf("only %d probes compared against the baseline", res.ProbesCompared)
+	}
+	if res.Upload.Requests == 0 || res.Upload.P99MS <= 0 {
+		t.Fatalf("upload SLO not populated: %+v", res.Upload)
+	}
+	if res.Investigate.Requests == 0 || res.EvidencePoll.Requests == 0 {
+		t.Fatalf("probe/evidence SLO not populated: %+v / %+v", res.Investigate, res.EvidencePoll)
+	}
+	if len(res.ProbeDigest) != 64 {
+		t.Fatalf("probe digest %q", res.ProbeDigest)
+	}
+	// The report must serialize: it is the CI artifact.
+	if _, err := json.Marshal(res); err != nil {
+		t.Fatalf("marshal SLO report: %v", err)
+	}
+}
+
+// TestScenarioDeterministic pins the engine's fingerprint: two runs
+// with the same seed must converge on a bit-identical served state —
+// shedding, retries, and fault timing may differ, but the acked
+// profile set and every probe verdict may not.
+func TestScenarioDeterministic(t *testing.T) {
+	cfg := QuickScenarioConfig(11)
+	// Drop the saturation storm to keep the repeat run fast; the
+	// stall and partition remain.
+	cfg.Faults.SaturateFactor = 0
+	cfg.Faults.FsyncStallDelay = 10 * 1e6 // 10ms
+	a, err := Scenario(cfg)
+	if err != nil {
+		t.Fatalf("run A: %v", err)
+	}
+	b, err := Scenario(cfg)
+	if err != nil {
+		t.Fatalf("run B: %v", err)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("same-seed scenarios diverged:\nA %s\nB %s", a.Fingerprint(), b.Fingerprint())
+	}
+	if a.OfferedVPs != b.OfferedVPs || a.ProbeDigest != b.ProbeDigest {
+		t.Fatalf("offered %d/%d digest %s/%s", a.OfferedVPs, b.OfferedVPs, a.ProbeDigest, b.ProbeDigest)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"viewmap/internal/core"
 	"viewmap/internal/geo"
@@ -37,6 +38,11 @@ type CityConfig struct {
 	Alpha float64
 	// DSRCRangeM is the link radius; zero selects 400 m.
 	DSRCRangeM float64
+	// OriginX and OriginY place the city's lower-left corner; zero
+	// keeps the grid at the coordinate origin. Multi-city scenarios
+	// offset each city so their footprints — and investigation sites —
+	// stay disjoint while sharing one minute-sharded store.
+	OriginX, OriginY float64
 	// Seed drives everything.
 	Seed int64
 }
@@ -84,6 +90,7 @@ func NewCityRun(cfg CityConfig) (*CityRun, error) {
 	city, err := roadnet.BuildGrid(roadnet.GridConfig{
 		Cols: cfg.BlocksX + 1, Rows: cfg.BlocksY + 1,
 		Spacing: cfg.SpacingM, BuildingFill: cfg.BuildingFill,
+		Origin: geo.Pt(cfg.OriginX, cfg.OriginY),
 	})
 	if err != nil {
 		return nil, err
@@ -94,7 +101,9 @@ func NewCityRun(cfg CityConfig) (*CityRun, error) {
 	half := cfg.SpacingM / 2 * cfg.BuildingFill
 	for cx := 0; cx < cfg.BlocksX; cx++ {
 		for cy := 0; cy < cfg.BlocksY; cy++ {
-			center := geo.Pt(float64(cx)*cfg.SpacingM+cfg.SpacingM/2, float64(cy)*cfg.SpacingM+cfg.SpacingM/2)
+			center := geo.Pt(
+				cfg.OriginX+float64(cx)*cfg.SpacingM+cfg.SpacingM/2,
+				cfg.OriginY+float64(cy)*cfg.SpacingM+cfg.SpacingM/2)
 			ix.AddBuilding(geo.RectAround(center, half))
 		}
 	}
@@ -109,6 +118,15 @@ func NewCityRun(cfg CityConfig) (*CityRun, error) {
 		Cfg: cfg, City: city, Index: ix, Trace: trace,
 		rng: rand.New(rand.NewSource(cfg.Seed + 1)),
 	}, nil
+}
+
+// Area returns the city's footprint rectangle (origin to the far
+// street corner).
+func (cr *CityRun) Area() geo.Rect {
+	return geo.NewRect(
+		geo.Pt(cr.Cfg.OriginX, cr.Cfg.OriginY),
+		geo.Pt(cr.Cfg.OriginX+float64(cr.Cfg.BlocksX)*cr.Cfg.SpacingM,
+			cr.Cfg.OriginY+float64(cr.Cfg.BlocksY)*cr.Cfg.SpacingM))
 }
 
 // neighborPairs returns, for minute m, the unordered vehicle pairs
@@ -200,8 +218,21 @@ func (cr *CityRun) ProfilesForMinute(m int, withGuards bool) (*MinuteProfiles, e
 	}
 	pairs := cr.neighborPairs(m)
 	out.Pairs = pairs
-	neighborsOf := make(map[int][]int)
+	// Link in sorted pair order: map iteration order would leak into
+	// the neighbor lists and, through guard-target sampling below,
+	// make same-seed runs diverge.
+	keys := make([][2]int, 0, len(pairs))
 	for k := range pairs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	neighborsOf := make(map[int][]int)
+	for _, k := range keys {
 		if err := vp.LinkMutually(out.Profiles[k[0]], out.Profiles[k[1]]); err != nil {
 			return nil, err
 		}

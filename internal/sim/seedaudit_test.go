@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestSeedAuditNoGlobalRand walks every non-test source file of the
+// simulation-feeding packages and rejects calls through math/rand's
+// package-global source (rand.Intn, rand.Float64, rand.Shuffle, ...).
+// All simulation randomness must flow from an explicitly seeded
+// *rand.Rand so that same-seed runs — and the scenario engine's
+// fingerprint — stay reproducible. Constructing sources (rand.New,
+// rand.NewSource) is the one permitted use. crypto/rand is exempt: it
+// backs real secrets and must never be seeded.
+func TestSeedAuditNoGlobalRand(t *testing.T) {
+	pkgs := []string{"sim", "core", "vp", "vd", "mobility", "roadnet", "tracker", "server", "client"}
+	allowed := map[string]bool{"New": true, "NewSource": true}
+	fset := token.NewFileSet()
+	var violations []string
+	for _, pkg := range pkgs {
+		dir := filepath.Join("..", pkg)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("reading %s: %v", dir, err)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			path := filepath.Join(dir, name)
+			f, err := parser.ParseFile(fset, path, nil, 0)
+			if err != nil {
+				t.Fatalf("parsing %s: %v", path, err)
+			}
+			// Collect the local identifiers bound to math/rand (the
+			// default "rand" or any alias like mrand).
+			mathRandNames := map[string]bool{}
+			for _, imp := range f.Imports {
+				p, _ := strconv.Unquote(imp.Path.Value)
+				if p != "math/rand" && p != "math/rand/v2" {
+					continue
+				}
+				local := "rand"
+				if imp.Name != nil {
+					local = imp.Name.Name
+				}
+				mathRandNames[local] = true
+			}
+			if len(mathRandNames) == 0 {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				id, ok := sel.X.(*ast.Ident)
+				// Only flag selectors on the package identifier itself
+				// (id.Obj == nil); rng.Intn on a *rand.Rand variable
+				// resolves to a local object and is the sanctioned form.
+				if !ok || id.Obj != nil || !mathRandNames[id.Name] {
+					return true
+				}
+				if !allowed[sel.Sel.Name] {
+					violations = append(violations, violationAt(fset, call, pkg, sel.Sel.Name))
+				}
+				return true
+			})
+		}
+	}
+	if len(violations) > 0 {
+		t.Fatalf("unseeded math/rand globals found (use a seeded *rand.Rand):\n  %s",
+			strings.Join(violations, "\n  "))
+	}
+}
+
+// violationAt renders one violation with its source position.
+func violationAt(fset *token.FileSet, n ast.Node, pkg, fn string) string {
+	pos := fset.Position(n.Pos())
+	return pos.String() + ": internal/" + pkg + " calls rand." + fn + " on the global source"
+}

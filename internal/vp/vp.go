@@ -580,9 +580,12 @@ func BuildGuard(net *roadnet.Network, neighborL1, ownLast geo.Point, startUnix i
 	}
 	samples := route.SamplePerSecond(speed, vd.SegmentSeconds, jitter)
 
-	q, err := vd.NewSecret()
-	if err != nil {
-		return nil, err
+	// The guard's secret comes from the caller's rng, not crypto/rand:
+	// guards are unredeemable chaff, and callers (simulation engines,
+	// vehicle agents) rely on same-seed fabrication being reproducible.
+	var q vd.Secret
+	for i := range q {
+		q[i] = byte(rng.Intn(256))
 	}
 	r := vd.DeriveVPID(q)
 	vds := make([]vd.VD, vd.SegmentSeconds)
