@@ -12,7 +12,7 @@ COVER_BASELINE ?= 77.0
 # Per-target budget for the native fuzz targets in the `fuzz` job.
 FUZZTIME ?= 30s
 
-.PHONY: build vet test check race bench-smoke bench-micro lint-docs coverage fuzz scenario-smoke
+.PHONY: build vet test check race bench-smoke bench-micro lint-docs coverage fuzz scenario-smoke slo-check overhead-smoke
 
 build:
 	$(GO) build ./...
@@ -39,9 +39,11 @@ check: build vet test
 # adds concurrent batch uploaders hammering the burst pipeline's ring
 # handoff and group commit. The scenario engine joins with concurrent
 # uploaders retrying through the admission gates, a concurrent prober,
-# and the fsync-stall hook firing under the WAL's group commit.
+# and the fsync-stall hook firing under the WAL's group commit. The
+# observability histograms take concurrent recorders against snapshot
+# readers on sharded atomics.
 race:
-	$(GO) test -race ./internal/core/... ./internal/geo/... ./internal/server/... ./internal/evidence/... ./internal/attack/...
+	$(GO) test -race ./internal/core/... ./internal/geo/... ./internal/obs/... ./internal/server/... ./internal/evidence/... ./internal/attack/...
 	$(GO) test -race -short -run 'TestEvidencePipelineSmall|TestAttackServingCampaigns|TestContinuousSmall|TestSaturationSmall|TestScenarioQuick' ./internal/sim/
 
 # Documentation hygiene: formatting, vet, complete doc comments on the
@@ -79,6 +81,25 @@ bench-smoke:
 # to BENCH_scenario.json — CI uploads it as an artifact.
 scenario-smoke:
 	$(GO) run ./cmd/viewmap-bench -run scenario -scale quick -json BENCH_scenario.json
+
+# Per-commit SLO regression gate: a fresh quick-scale scenario run is
+# compared against the committed baseline BENCH_scenario.json. Each
+# endpoint class's candidate p99 must stay within baseline x 3 + 50 ms
+# (loose enough for CI machine noise, hard enough to catch an
+# accidental lock or per-record fsync), the run must report zero acked
+# loss, and it must carry no scenario-internal SLO violations. When a
+# deliberate change moves the latency profile, regenerate the baseline
+# with scenario-smoke and commit it. See docs/observability.md.
+slo-check:
+	$(GO) run ./cmd/viewmap-bench -run scenario -scale quick -json BENCH_scenario.candidate.json
+	$(GO) run ./cmd/slocheck -baseline BENCH_scenario.json -candidate BENCH_scenario.candidate.json
+	@rm -f BENCH_scenario.candidate.json
+
+# Observability overhead budget: ingest saturation with the metrics
+# registry on vs off, best-of-N; fails if instrumented throughput
+# drops below 95% of the no-op baseline.
+overhead-smoke:
+	$(GO) run ./cmd/viewmap-bench -run metrics-overhead -scale quick
 
 # Coverage gate: the full ./internal/... profile must not regress
 # below the recorded baseline.

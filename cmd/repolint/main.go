@@ -10,7 +10,11 @@
 //     the persistence spec uses to pin prose to its encoder/decoder —
 //     names a declaration (`Ident` or `Type.Method`) that actually
 //     exists in that file, so format docs cannot drift from the code
-//     silently.
+//     silently, and
+//   - the metric catalog in docs/observability.md matches the Metric*
+//     constants of internal/obs exactly, in both directions — every
+//     registered series is documented and every documented name is
+//     registered.
 //
 // Usage:
 //
@@ -31,6 +35,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"strings"
 )
 
@@ -75,6 +80,12 @@ func main() {
 		os.Exit(2)
 	}
 	findings = append(findings, mdFindings...)
+	metricFindings, err := lintMetricsCatalog(*root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	findings = append(findings, metricFindings...)
 
 	for _, f := range findings {
 		fmt.Println(f)
@@ -272,6 +283,83 @@ func goDecls(cache map[string]map[string]bool, path string) (map[string]bool, er
 	}
 	cache[path] = names
 	return names, nil
+}
+
+// metricToken matches a metric family name in the observability doc;
+// suffix stripping folds the _bucket/_sum/_count series of one
+// histogram back to its family.
+var (
+	metricToken  = regexp.MustCompile(`\bviewmap_[a-z0-9_]+`)
+	metricSuffix = regexp.MustCompile(`_(bucket|sum|count)$`)
+)
+
+// lintMetricsCatalog cross-checks the metric catalog in
+// docs/observability.md against the Metric* string constants of
+// internal/obs, in both directions: a registered metric the doc does
+// not mention is an undocumented series, and a documented name the
+// registry does not export is catalog drift. Both fail CI — the doc
+// is the operator's contract for what /v1/metrics serves.
+func lintMetricsCatalog(root string) ([]string, error) {
+	registered := map[string]bool{}
+	obsDir := filepath.Join(root, "internal", "obs")
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, obsDir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return nil, fmt.Errorf("repolint: parsing %s: %w", obsDir, err)
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				d, ok := decl.(*ast.GenDecl)
+				if !ok || d.Tok != token.CONST {
+					continue
+				}
+				for _, spec := range d.Specs {
+					s, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, name := range s.Names {
+						if !strings.HasPrefix(name.Name, "Metric") || i >= len(s.Values) {
+							continue
+						}
+						if lit, ok := s.Values[i].(*ast.BasicLit); ok && lit.Kind == token.STRING {
+							registered[strings.Trim(lit.Value, `"`)] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(registered) == 0 {
+		return []string{fmt.Sprintf("%s: no Metric* string constants found (catalog check has nothing to pin)", obsDir)}, nil
+	}
+
+	docPath := filepath.Join(root, "docs", "observability.md")
+	data, err := os.ReadFile(docPath)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: missing (the metric catalog must document internal/obs)", docPath)}, nil
+	}
+	documented := map[string]bool{}
+	for _, tok := range metricToken.FindAllString(string(data), -1) {
+		documented[metricSuffix.ReplaceAllString(tok, "")] = true
+	}
+
+	var findings []string
+	for name := range registered {
+		if !documented[name] {
+			findings = append(findings, fmt.Sprintf("%s: registered metric %q is not documented", docPath, name))
+		}
+	}
+	for name := range documented {
+		if !registered[name] {
+			findings = append(findings, fmt.Sprintf("%s: documented metric %q is not registered in internal/obs", docPath, name))
+		}
+	}
+	sort.Strings(findings)
+	return findings, nil
 }
 
 // receiverName unwraps a method receiver to its type name.

@@ -1,0 +1,122 @@
+// Command slocheck is the per-commit SLO regression gate: it compares
+// a candidate scenario SLO report (a fresh `viewmap-bench -run
+// scenario -json` artifact) against the committed baseline
+// (BENCH_scenario.json) and exits non-zero if any endpoint's p99
+// regressed beyond the tolerance band.
+//
+// Usage:
+//
+//	slocheck -baseline BENCH_scenario.json -candidate BENCH_scenario.candidate.json
+//	         [-max-ratio 3.0] [-floor-ms 50]
+//
+// The band is deliberately loose — scenario latencies ride CI machine
+// noise — but hard: a candidate p99 above baseline*max-ratio+floor-ms
+// fails the build, as does a candidate that lost acknowledged data or
+// violated a scenario-internal SLO. The floor keeps microsecond-scale
+// baselines (investigate, evidence poll) from failing on scheduler
+// jitter alone; the ratio catches order-of-magnitude regressions on
+// every class. See docs/observability.md for the workflow.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"viewmap/internal/sim"
+)
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_scenario.json", "committed scenario SLO baseline")
+	candidate := flag.String("candidate", "", "fresh scenario SLO report to gate")
+	maxRatio := flag.Float64("max-ratio", 3.0, "candidate p99 may be at most baseline p99 times this ratio (plus the floor)")
+	floorMS := flag.Float64("floor-ms", 50, "absolute slack in milliseconds added on top of the ratio band")
+	flag.Parse()
+	if *candidate == "" {
+		fmt.Fprintln(os.Stderr, "slocheck: -candidate is required")
+		os.Exit(2)
+	}
+
+	base, err := loadReport(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "slocheck: %v\n", err)
+		os.Exit(2)
+	}
+	cand, err := loadReport(*candidate)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "slocheck: %v\n", err)
+		os.Exit(2)
+	}
+
+	violations := compareReports(base, cand, *maxRatio, *floorMS)
+	for _, c := range classComparisons(base, cand) {
+		fmt.Printf("%-18s baseline p99 %8.1f ms, candidate p99 %8.1f ms (limit %8.1f ms)\n",
+			c.name, c.base, c.cand, c.base**maxRatio+*floorMS)
+	}
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "slocheck: FAIL: %s\n", v)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("slocheck: candidate within the SLO band")
+}
+
+func loadReport(path string) (*sim.ScenarioResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r sim.ScenarioResult
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// classComparison pairs one endpoint class's baseline and candidate
+// p99 for gating and display.
+type classComparison struct {
+	name       string
+	base, cand float64
+	// optional marks classes absent from older baselines (the
+	// server-side histograms); they gate only when the baseline has
+	// them.
+	optional bool
+	baseSeen bool
+}
+
+func classComparisons(base, cand *sim.ScenarioResult) []classComparison {
+	return []classComparison{
+		{"upload", base.Upload.P99MS, cand.Upload.P99MS, false, true},
+		{"investigate", base.Investigate.P99MS, cand.Investigate.P99MS, false, true},
+		{"evidence_poll", base.EvidencePoll.P99MS, cand.EvidencePoll.P99MS, false, true},
+		{"server_upload", base.ServerUpload.P99MS, cand.ServerUpload.P99MS, true, base.ServerUpload.Requests > 0},
+		{"server_investigate", base.ServerInvestigate.P99MS, cand.ServerInvestigate.P99MS, true, base.ServerInvestigate.Requests > 0},
+	}
+}
+
+// compareReports returns every way the candidate fails the gate:
+// structural invariants first (acked loss, scenario-internal SLO
+// violations), then per-class p99 regressions beyond
+// baseline*maxRatio+floorMS.
+func compareReports(base, cand *sim.ScenarioResult, maxRatio, floorMS float64) []string {
+	var out []string
+	if !cand.ZeroAckedLoss {
+		out = append(out, "candidate lost acknowledged data (zero_acked_loss=false)")
+	}
+	for _, v := range cand.Violations {
+		out = append(out, "candidate scenario SLO violation: "+v)
+	}
+	for _, c := range classComparisons(base, cand) {
+		if c.optional && !c.baseSeen {
+			continue
+		}
+		if limit := c.base*maxRatio + floorMS; c.cand > limit {
+			out = append(out, fmt.Sprintf("%s p99 %.1f ms exceeds %.1f ms (baseline %.1f ms x %.1f + %.0f ms floor)",
+				c.name, c.cand, limit, c.base, maxRatio, floorMS))
+		}
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"viewmap/internal/sim"
+)
+
+func gateBaseline() *sim.ScenarioResult {
+	return &sim.ScenarioResult{
+		Upload:            sim.EndpointSLO{Requests: 44, P99MS: 348.4},
+		Investigate:       sim.EndpointSLO{Requests: 18, P99MS: 6.8},
+		EvidencePoll:      sim.EndpointSLO{Requests: 4, P99MS: 1.4},
+		ServerUpload:      sim.EndpointSLO{Requests: 64, P99MS: 260},
+		ServerInvestigate: sim.EndpointSLO{Requests: 18, P99MS: 4.2},
+		ZeroAckedLoss:     true,
+		Violations:        []string{},
+	}
+}
+
+func TestCompareWithinBandPasses(t *testing.T) {
+	base := gateBaseline()
+	cand := gateBaseline()
+	// Noise within the band: double one class, leave the rest.
+	cand.Upload.P99MS = base.Upload.P99MS * 2
+	if v := compareReports(base, cand, 3.0, 50); len(v) != 0 {
+		t.Fatalf("in-band candidate flagged: %v", v)
+	}
+}
+
+func TestCompareSeededRegressionFails(t *testing.T) {
+	base := gateBaseline()
+	cand := gateBaseline()
+	// Seeded regression: just past the band on one class.
+	cand.Investigate.P99MS = base.Investigate.P99MS*3.0 + 50 + 1
+	v := compareReports(base, cand, 3.0, 50)
+	if len(v) != 1 {
+		t.Fatalf("seeded regression produced %d violations: %v", len(v), v)
+	}
+	if !strings.Contains(v[0], "investigate p99") {
+		t.Fatalf("violation names the wrong class: %q", v[0])
+	}
+}
+
+func TestCompareFloorAbsorbsMicrosecondJitter(t *testing.T) {
+	base := gateBaseline()
+	base.EvidencePoll.P99MS = 0.3
+	cand := gateBaseline()
+	// 40 ms on a 0.3 ms baseline is a 130x ratio but under the 50 ms
+	// floor — scheduler jitter, not a regression.
+	cand.EvidencePoll.P99MS = 40
+	if v := compareReports(base, cand, 3.0, 50); len(v) != 0 {
+		t.Fatalf("floor did not absorb jitter: %v", v)
+	}
+}
+
+func TestCompareStructuralInvariants(t *testing.T) {
+	base := gateBaseline()
+	cand := gateBaseline()
+	cand.ZeroAckedLoss = false
+	cand.Violations = []string{"upload p99 900.0 ms exceeds 500ms"}
+	v := compareReports(base, cand, 3.0, 50)
+	if len(v) != 2 {
+		t.Fatalf("structural failures produced %d violations: %v", len(v), v)
+	}
+	if !strings.Contains(v[0], "zero_acked_loss") || !strings.Contains(v[1], "scenario SLO violation") {
+		t.Fatalf("violations: %v", v)
+	}
+}
+
+func TestCompareServerSideGatesOnlyWithBaseline(t *testing.T) {
+	// An old baseline without server-side histograms (Requests==0)
+	// must not gate those classes; a new one must.
+	old := gateBaseline()
+	old.ServerUpload = sim.EndpointSLO{}
+	old.ServerInvestigate = sim.EndpointSLO{}
+	cand := gateBaseline()
+	cand.ServerUpload.P99MS = 1e6
+	if v := compareReports(old, cand, 3.0, 50); len(v) != 0 {
+		t.Fatalf("server-side class gated against an empty baseline: %v", v)
+	}
+	if v := compareReports(gateBaseline(), cand, 3.0, 50); len(v) != 1 {
+		t.Fatalf("server-side regression not gated: %v", v)
+	}
+}

@@ -120,6 +120,7 @@ func experiments() []experiment {
 		{"overhead", "VD/VP communication and storage overhead", runOverhead},
 		{"serving", "sustained-ingest serving: cached viewmaps vs rebuild-per-request (not in the paper)", runServing},
 		{"ingest-saturation", "burst-pipeline ingest saturation: VPs/s, ack latency, allocs/record (not in the paper)", runIngestSaturation},
+		{"metrics-overhead", "observability overhead smoke: ingest saturation with metrics on vs off, fails beyond 5% (not in the paper)", runMetricsOverhead},
 		{"evidence", "evidence pipeline: solicit, anonymous deliver + cascade verify, payout, blurred release (not in the paper)", runEvidence},
 		{"attack-serving", "online attack campaigns through the live HTTP serving path, cross-checked offline (not in the paper)", runAttackServing},
 		{"continuous", "durable continuous operation: ingest WAL, snapshots, retention, mid-run crash+recover (not in the paper)", runContinuous},
@@ -464,6 +465,55 @@ func runIngestSaturation(scale string, seed int64) error {
 	for _, r := range dres.Rows() {
 		fmt.Println(r)
 	}
+	return nil
+}
+
+// runMetricsOverhead is the observability overhead smoke: the same
+// ingest-saturation load with the metrics registry on (the default)
+// and off (the no-op baseline), best-of-N each to shave scheduler
+// noise. The histograms are two atomic adds per sample, so the two
+// numbers should be indistinguishable; the run fails if metrics-on
+// throughput drops more than 5% below metrics-off.
+func runMetricsOverhead(scale string, seed int64) error {
+	cfg := sim.SaturationConfig{
+		VehiclesPerMinute: 100,
+		Minutes:           pick(scale, 6, 12),
+		BatchSize:         64,
+		Uploaders:         4,
+		Seed:              seed,
+	}
+	trials := pick(scale, 3, 5)
+	best := func(disable bool) (float64, error) {
+		c := cfg
+		c.DisableMetrics = disable
+		var top float64
+		for i := 0; i < trials; i++ {
+			res, err := sim.Saturation(c)
+			if err != nil {
+				return 0, err
+			}
+			if res.VPsPerSec > top {
+				top = res.VPsPerSec
+			}
+		}
+		return top, nil
+	}
+	offBest, err := best(true)
+	if err != nil {
+		return err
+	}
+	onBest, err := best(false)
+	if err != nil {
+		return err
+	}
+	ratio := onBest / offBest
+	fmt.Printf("metrics off: %.0f VPs/s (best of %d)\n", offBest, trials)
+	fmt.Printf("metrics on:  %.0f VPs/s (best of %d)\n", onBest, trials)
+	fmt.Printf("ratio: %.3f (floor 0.950)\n", ratio)
+	if ratio < 0.95 {
+		return fmt.Errorf("metrics overhead: on/off throughput ratio %.3f below 0.95", ratio)
+	}
+	fmt.Println("observability overhead within budget")
 	return nil
 }
 

@@ -9,6 +9,7 @@
 //	               [-db PATH] [-state PATH] [-dsrc-range 400] [-no-viewmap-cache]
 //	               [-wal PATH] [-wal-sync 0s] [-snapshot-interval 60s]
 //	               [-retention N] [-resident-minutes N]
+//	               [-no-metrics] [-slow-request 1s] [-pprof localhost:6060]
 //
 // If no authority token is supplied a random one is generated and
 // printed at startup; authorities pass it in the X-Viewmap-Authority
@@ -33,6 +34,13 @@
 // three persistence modes are mutually exclusive; use -wal for
 // anything long-running.
 //
+// Observability: GET /v1/metrics serves every latency histogram in
+// Prometheus text format and the latency/pipeline blocks of
+// GET /v1/stats serve the same data as quantiles (-no-metrics turns
+// both off); requests slower than -slow-request log one line with the
+// per-stage span breakdown; -pprof ADDR serves net/http/pprof on a
+// separate listener. docs/observability.md is the full guide.
+//
 // The store shards by unit-time window and links every uploaded VP
 // into its minute's viewmap at ingest, so investigations are answered
 // from cached, already-linked viewmaps. -no-viewmap-cache disables
@@ -47,6 +55,7 @@ import (
 	"io/fs"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers the /debug/pprof handlers on DefaultServeMux for -pprof
 	"os"
 	"os/signal"
 	"syscall"
@@ -75,11 +84,16 @@ func main() {
 	evidenceSlots := flag.Int("evidence-slots", 0, "concurrent evidence/reward admissions (0 = default of 32)")
 	evidenceQueue := flag.Int("evidence-queue", 0, "bounded evidence wait queue (0 = default of 128)")
 	retryAfter := flag.Duration("retry-after", 0, "backoff hint sent with 429 sheds, rounded up to whole seconds (0 = default of 1s)")
+	noMetrics := flag.Bool("no-metrics", false, "disable the observability registry (GET /v1/metrics renders empty; the latency/pipeline stats blocks vanish)")
+	slowRequest := flag.Duration("slow-request", time.Second, "log one structured line, with the per-stage span breakdown, for requests slower than this (0 = off)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060; empty = off)")
 	flag.Parse()
 
 	cfg := server.Config{
 		AuthorityToken: *token,
 		BankBits:       *bankBits,
+		DisableMetrics: *noMetrics,
+		SlowRequest:    *slowRequest,
 		Store: server.StoreConfig{
 			DSRCRange:           *dsrcRange,
 			DisableViewmapCache: *noCache,
@@ -151,6 +165,14 @@ func main() {
 	}
 	log.Printf("ViewMap system service listening on %s", *addr)
 	log.Printf("authority token: %s", sys.AuthorityToken())
+	if *pprofAddr != "" {
+		// pprof gets its own listener so profiling endpoints never share
+		// the public address (and never pass through admission control).
+		go func() {
+			log.Printf("pprof listening on %s", *pprofAddr)
+			log.Printf("pprof server exited: %v", http.ListenAndServe(*pprofAddr, nil))
+		}()
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,

@@ -237,6 +237,11 @@ type RetentionStats struct {
 	ColdResident int `json:"coldResident"`
 	// EvictedMinutes counts minutes living only in segment files.
 	EvictedMinutes int `json:"evictedMinutes"`
+	// Evictions counts shard evictions this process lifetime.
+	Evictions int64 `json:"evictions"`
+	// EvictionTotalMS is the cumulative eviction wall time (spill +
+	// drop) in milliseconds.
+	EvictionTotalMS float64 `json:"evictionTotalMs"`
 }
 
 // DurabilityStats describe the WAL/snapshot runtime in GET /v1/stats.
@@ -253,6 +258,14 @@ type DurabilityStats struct {
 	Snapshots int `json:"snapshots"`
 	// Replayed counts WAL records replayed at the last recovery.
 	Replayed int `json:"replayed"`
+	// Fsyncs counts group-commit fsyncs; FsyncTotalMS is their
+	// cumulative wall time in milliseconds.
+	Fsyncs       int64   `json:"fsyncs"`
+	FsyncTotalMS float64 `json:"fsyncTotalMs"`
+	// SnapshotTotalMS and LastSnapshotMS are the cumulative and
+	// most-recent checkpoint wall times in milliseconds.
+	SnapshotTotalMS float64 `json:"snapshotTotalMs"`
+	LastSnapshotMS  float64 `json:"lastSnapshotMs"`
 	// LastError is the most recent background durability failure.
 	LastError string `json:"lastError,omitempty"`
 }
@@ -307,6 +320,58 @@ type ServiceStats struct {
 	Evidence EvidenceStats `json:"evidence"`
 	// Overload carries the admission-control counters.
 	Overload OverloadStats `json:"overload"`
+	// Latency holds the server-side per-endpoint request-latency
+	// summaries, ascending by path; empty when server metrics are off.
+	Latency []EndpointLatency `json:"latency"`
+	// Pipeline holds the server-side ingest-stage latency summaries.
+	Pipeline PipelineStats `json:"pipeline"`
+}
+
+// EndpointLatency is one endpoint's server-side request-latency
+// summary in GET /v1/stats. Quantiles are histogram bucket upper
+// bounds: a true p99 of v reports as some e with v <= e < 2v.
+type EndpointLatency struct {
+	// Endpoint is the request path ("other" for unregistered paths).
+	Endpoint string `json:"endpoint"`
+	// Requests counts recorded requests.
+	Requests uint64 `json:"requests"`
+	// P50MS and P99MS are latency quantile estimates in milliseconds.
+	P50MS float64 `json:"p50Ms"`
+	P99MS float64 `json:"p99Ms"`
+}
+
+// PipelineStage is one ingest-pipeline stage's latency summary in
+// GET /v1/stats.
+type PipelineStage struct {
+	// Stage is the stage label (decode, ring_wait, link_stage, commit,
+	// wal_append, fsync).
+	Stage string `json:"stage"`
+	// Count is the number of recorded spans.
+	Count uint64 `json:"count"`
+	// P50US and P99US are span quantile estimates in microseconds.
+	P50US float64 `json:"p50Us"`
+	P99US float64 `json:"p99Us"`
+	// TotalMS is the cumulative recorded span time in milliseconds.
+	TotalMS float64 `json:"totalMs"`
+}
+
+// WALBatchStats summarizes the WAL group-commit batch-size histogram
+// in GET /v1/stats.
+type WALBatchStats struct {
+	// Commits counts group-commit fsyncs observed.
+	Commits uint64 `json:"commits"`
+	// P50Records and P99Records are records-per-fsync quantile
+	// estimates.
+	P50Records uint64 `json:"p50Records"`
+	P99Records uint64 `json:"p99Records"`
+}
+
+// PipelineStats is the ingest-pipeline block of GET /v1/stats.
+type PipelineStats struct {
+	// Stages holds one summary per instrumented stage, pipeline order.
+	Stages []PipelineStage `json:"stages"`
+	// WALCommitBatch summarizes records per group-commit fsync.
+	WALCommitBatch WALBatchStats `json:"walCommitBatch"`
 }
 
 // StatsFull fetches every service counter, including the evidence

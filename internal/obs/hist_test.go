@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// TestHistogramConcurrentRecordAndSnapshot hammers one histogram from
+// many recorders while snapshots are taken and merged concurrently —
+// the -race run of this test is the lock-freedom proof — and then
+// verifies no observation was lost once the recorders drain.
+func TestHistogramConcurrentRecordAndSnapshot(t *testing.T) {
+	h := &Histogram{}
+	const (
+		writers   = 8
+		perWriter = 5000
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Concurrent snapshotters: merge pairs of snapshots while the
+	// recorders run; counts observed mid-flight must be monotone and
+	// internally consistent (Count equals the bucket sum).
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				a, b := h.Snapshot(), h.Snapshot()
+				a.Merge(b)
+				var sum uint64
+				for _, c := range b.Buckets {
+					sum += c
+				}
+				if b.Count != sum {
+					t.Errorf("snapshot count %d != bucket sum %d", b.Count, sum)
+					return
+				}
+			}
+		}()
+	}
+	var rec sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		rec.Add(1)
+		go func(seed int64) {
+			defer rec.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perWriter; i++ {
+				h.Record(rng.Int63n(1 << 30))
+			}
+		}(int64(w + 1))
+	}
+	rec.Wait()
+	close(stop)
+	wg.Wait()
+	final := h.Snapshot()
+	if final.Count != writers*perWriter {
+		t.Fatalf("lost observations: %d recorded, %d counted", writers*perWriter, final.Count)
+	}
+}
+
+// TestHistogramQuantileBrackets pins the accuracy contract of the
+// power-of-two buckets against a sorted reference: for every tested
+// quantile of every randomized sample set, the estimate e of true
+// value v satisfies v <= e < 2v.
+func TestHistogramQuantileBrackets(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	quantiles := []float64{0.5, 0.9, 0.99, 1.0}
+	for trial := 0; trial < 20; trial++ {
+		n := 100 + rng.Intn(4000)
+		h := &Histogram{}
+		vals := make([]uint64, n)
+		for i := range vals {
+			// Mix scales so every trial spans many buckets.
+			v := uint64(1+rng.Int63n(1<<uint(8+rng.Intn(30)))) | 1
+			vals[i] = v
+			h.Record(int64(v))
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		snap := h.Snapshot()
+		if snap.Count != uint64(n) {
+			t.Fatalf("trial %d: count %d != %d", trial, snap.Count, n)
+		}
+		for _, q := range quantiles {
+			rank := int(q*float64(n)+0.9999999) - 1
+			if rank < 0 {
+				rank = 0
+			}
+			if rank >= n {
+				rank = n - 1
+			}
+			truth := vals[rank]
+			est := snap.Quantile(q)
+			if est < truth || est >= 2*truth {
+				t.Fatalf("trial %d q=%v: estimate %d outside [%d, %d)", trial, q, est, truth, 2*truth)
+			}
+		}
+	}
+}
+
+// TestHistogramMergeEqualsUnion: merging snapshots of two histograms
+// equals the snapshot of one histogram fed both streams.
+func TestHistogramMergeEqualsUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a, b, union := &Histogram{}, &Histogram{}, &Histogram{}
+	for i := 0; i < 3000; i++ {
+		v := rng.Int63n(1 << 40)
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+		union.Record(v)
+	}
+	got := a.Snapshot()
+	got.Merge(b.Snapshot())
+	want := union.Snapshot()
+	if got != want {
+		t.Fatalf("merged snapshot differs from union:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestHistogramNilAndEdgeValues: nil receivers no-op, negatives clamp
+// to bucket zero, and huge values land in the top bucket.
+func TestHistogramNilAndEdgeValues(t *testing.T) {
+	var nilH *Histogram
+	nilH.Record(42) // must not panic
+	if s := nilH.Snapshot(); s.Count != 0 {
+		t.Fatalf("nil histogram counted %d", s.Count)
+	}
+	h := &Histogram{}
+	h.Record(-5)
+	h.Record(0)
+	h.Record(int64(^uint64(0) >> 1)) // MaxInt64
+	s := h.Snapshot()
+	if s.Buckets[0] != 2 {
+		t.Fatalf("zero bucket holds %d, want 2", s.Buckets[0])
+	}
+	if s.Buckets[63] != 1 {
+		t.Fatalf("top bucket holds %d, want 1", s.Buckets[63])
+	}
+	if got := s.Quantile(1.0); got != BucketUpper(63) {
+		t.Fatalf("max quantile %d, want %d", got, BucketUpper(63))
+	}
+}

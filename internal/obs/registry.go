@@ -1,0 +1,285 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Stage names one instrumented stage of the ingest pipeline, in
+// pipeline order: wire decode+validate, burst-ring wait, link-worker
+// Stage, CommitStaged under the shard lock, WAL append (including the
+// group-commit wait), and the fsync itself.
+type Stage int
+
+// The instrumented pipeline stages. NumStages is the array bound for
+// per-stage state, not a stage.
+const (
+	StageDecode Stage = iota
+	StageRingWait
+	StageLink
+	StageCommit
+	StageWALAppend
+	StageFsync
+	NumStages
+)
+
+var stageNames = [NumStages]string{
+	StageDecode:    "decode",
+	StageRingWait:  "ring_wait",
+	StageLink:      "link_stage",
+	StageCommit:    "commit",
+	StageWALAppend: "wal_append",
+	StageFsync:     "fsync",
+}
+
+// String returns the stage's label as exposed on /v1/metrics and in
+// the stats pipeline block.
+func (s Stage) String() string {
+	if s < 0 || s >= NumStages {
+		return "unknown"
+	}
+	return stageNames[s]
+}
+
+// Metric family names served by the registry's Prometheus exposition.
+// cmd/repolint cross-checks this list against the catalog in
+// docs/observability.md, both directions: a metric added here without
+// a doc row — or documented without existing — fails the docs job.
+const (
+	// MetricHTTPRequestSeconds is the per-endpoint request latency
+	// histogram (label: endpoint), measured around the whole handler
+	// including admission queueing.
+	MetricHTTPRequestSeconds = "viewmap_http_request_seconds"
+	// MetricIngestStageSeconds is the per-stage ingest pipeline
+	// latency histogram (label: stage; see Stage for the values).
+	MetricIngestStageSeconds = "viewmap_ingest_stage_seconds"
+	// MetricWALCommitBatchRecords is the WAL group-commit batch-size
+	// histogram: records made durable per fsync.
+	MetricWALCommitBatchRecords = "viewmap_wal_commit_batch_records"
+	// MetricAdmissionQueueDepth is the admission-gate queue depth
+	// histogram (label: class), sampled at every arrival.
+	MetricAdmissionQueueDepth = "viewmap_admission_queue_depth"
+)
+
+// Registry holds the fixed metric families of one server. All
+// histograms are created up front — the lookup on the record path is
+// a read-only map access or array index, never a lock or an
+// allocation. A nil or disabled registry hands out nil histograms,
+// whose Record is a nil-check no-op; that is the "metrics off"
+// configuration the overhead smoke compares against.
+type Registry struct {
+	enabled   bool
+	endpoints map[string]*Histogram
+	other     *Histogram
+	stages    [NumStages]*Histogram
+	walBatch  *Histogram
+	depth     map[string]*Histogram
+}
+
+// NewRegistry builds a registry over the given endpoint paths and
+// admission-class names. When enabled is false every accessor returns
+// nil and the exposition renders empty families.
+func NewRegistry(enabled bool, endpoints, classes []string) *Registry {
+	r := &Registry{enabled: enabled}
+	if !enabled {
+		return r
+	}
+	r.endpoints = make(map[string]*Histogram, len(endpoints))
+	for _, e := range endpoints {
+		r.endpoints[e] = &Histogram{}
+	}
+	r.other = &Histogram{}
+	for i := range r.stages {
+		r.stages[i] = &Histogram{}
+	}
+	r.walBatch = &Histogram{}
+	r.depth = make(map[string]*Histogram, len(classes))
+	for _, c := range classes {
+		r.depth[c] = &Histogram{}
+	}
+	return r
+}
+
+// Enabled reports whether the registry records anything.
+func (r *Registry) Enabled() bool { return r != nil && r.enabled }
+
+// Endpoint returns the latency histogram for a request path; paths
+// not registered up front share the "other" histogram.
+func (r *Registry) Endpoint(path string) *Histogram {
+	if !r.Enabled() {
+		return nil
+	}
+	if h, ok := r.endpoints[path]; ok {
+		return h
+	}
+	return r.other
+}
+
+// Stage returns the pipeline histogram for one ingest stage.
+func (r *Registry) Stage(s Stage) *Histogram {
+	if !r.Enabled() || s < 0 || s >= NumStages {
+		return nil
+	}
+	return r.stages[s]
+}
+
+// WALBatch returns the group-commit batch-size histogram.
+func (r *Registry) WALBatch() *Histogram {
+	if !r.Enabled() {
+		return nil
+	}
+	return r.walBatch
+}
+
+// QueueDepth returns the admission-queue-depth histogram for a class,
+// or nil for an unknown class.
+func (r *Registry) QueueDepth(class string) *Histogram {
+	if !r.Enabled() {
+		return nil
+	}
+	return r.depth[class]
+}
+
+// EndpointSnapshots returns a merged snapshot per registered endpoint
+// path (the catch-all under "other"), skipping empty ones.
+func (r *Registry) EndpointSnapshots() map[string]Snapshot {
+	out := make(map[string]Snapshot)
+	if !r.Enabled() {
+		return out
+	}
+	for p, h := range r.endpoints {
+		if s := h.Snapshot(); s.Count > 0 {
+			out[p] = s
+		}
+	}
+	if s := r.other.Snapshot(); s.Count > 0 {
+		out["other"] = s
+	}
+	return out
+}
+
+// StageSnapshots returns one snapshot per pipeline stage, indexed by
+// Stage.
+func (r *Registry) StageSnapshots() [NumStages]Snapshot {
+	var out [NumStages]Snapshot
+	if !r.Enabled() {
+		return out
+	}
+	for i, h := range r.stages {
+		out[i] = h.Snapshot()
+	}
+	return out
+}
+
+// WALBatchSnapshot returns the group-commit batch-size snapshot.
+func (r *Registry) WALBatchSnapshot() Snapshot {
+	if !r.Enabled() {
+		return Snapshot{}
+	}
+	return r.walBatch.Snapshot()
+}
+
+// WritePrometheus renders every family in the Prometheus text
+// exposition format (version 0.0.4), deterministically ordered.
+// Duration histograms are converted from recorded nanoseconds to
+// seconds; size histograms stay in raw counts.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	writeFamily(w, MetricHTTPRequestSeconds, "endpoint", r.sortedEndpoints(), true)
+	stages := make([]labeledHist, 0, NumStages)
+	if r.Enabled() {
+		for i, h := range r.stages {
+			stages = append(stages, labeledHist{Stage(i).String(), h})
+		}
+	}
+	writeFamily(w, MetricIngestStageSeconds, "stage", stages, true)
+	var batch []labeledHist
+	if r.Enabled() {
+		batch = []labeledHist{{"", r.walBatch}}
+	}
+	writeFamily(w, MetricWALCommitBatchRecords, "", batch, false)
+	var depth []labeledHist
+	if r.Enabled() {
+		classes := make([]string, 0, len(r.depth))
+		for c := range r.depth {
+			classes = append(classes, c)
+		}
+		sort.Strings(classes)
+		for _, c := range classes {
+			depth = append(depth, labeledHist{c, r.depth[c]})
+		}
+	}
+	writeFamily(w, MetricAdmissionQueueDepth, "class", depth, false)
+}
+
+type labeledHist struct {
+	label string
+	h     *Histogram
+}
+
+func (r *Registry) sortedEndpoints() []labeledHist {
+	if !r.Enabled() {
+		return nil
+	}
+	paths := make([]string, 0, len(r.endpoints))
+	for p := range r.endpoints {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	out := make([]labeledHist, 0, len(paths)+1)
+	for _, p := range paths {
+		out = append(out, labeledHist{p, r.endpoints[p]})
+	}
+	return append(out, labeledHist{"other", r.other})
+}
+
+// writeFamily emits one histogram family. Cumulative buckets stop at
+// the highest non-empty bucket (a valid exposition — `le` stays
+// increasing and +Inf always closes the series), keeping the payload
+// proportional to the value range actually observed.
+func writeFamily(w io.Writer, name, labelKey string, series []labeledHist, seconds bool) {
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	for _, s := range series {
+		snap := s.h.Snapshot()
+		label := ""
+		if labelKey != "" {
+			label = labelKey + `="` + s.label + `",`
+		}
+		top := -1
+		for b, c := range snap.Buckets {
+			if c > 0 {
+				top = b
+			}
+		}
+		var cum uint64
+		for b := 0; b <= top; b++ {
+			cum += snap.Buckets[b]
+			fmt.Fprintf(w, "%s_bucket{%sle=\"%s\"} %d\n",
+				name, label, formatBound(BucketUpper(b), seconds), cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, label, snap.Count)
+		sum := float64(snap.Sum)
+		if seconds {
+			sum /= 1e9
+		}
+		if labelKey != "" {
+			fmt.Fprintf(w, "%s_sum{%s=%q} %s\n", name, labelKey, s.label, formatFloat(sum))
+			fmt.Fprintf(w, "%s_count{%s=%q} %d\n", name, labelKey, s.label, snap.Count)
+		} else {
+			fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(sum))
+			fmt.Fprintf(w, "%s_count %d\n", name, snap.Count)
+		}
+	}
+}
+
+func formatBound(upper uint64, seconds bool) string {
+	if !seconds {
+		return strconv.FormatUint(upper, 10)
+	}
+	return formatFloat(float64(upper) / 1e9)
+}
+
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRegistryPrometheusExposition drives a small registry and checks
+// the text exposition: every family header present, cumulative
+// buckets monotone, label sets and unit conversion correct.
+func TestRegistryPrometheusExposition(t *testing.T) {
+	r := NewRegistry(true, []string{"/v1/vp/batch", "/v1/investigate"}, []string{"ingest", "investigate"})
+	r.Endpoint("/v1/vp/batch").Record(int64(3 * time.Millisecond))
+	r.Endpoint("/v1/vp/batch").Record(int64(9 * time.Millisecond))
+	r.Endpoint("/v1/unknown").Record(int64(time.Millisecond)) // lands in "other"
+	r.Stage(StageDecode).Record(int64(40 * time.Microsecond))
+	r.WALBatch().Record(7)
+	r.QueueDepth("ingest").Record(3)
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE " + MetricHTTPRequestSeconds + " histogram",
+		"# TYPE " + MetricIngestStageSeconds + " histogram",
+		"# TYPE " + MetricWALCommitBatchRecords + " histogram",
+		"# TYPE " + MetricAdmissionQueueDepth + " histogram",
+		MetricHTTPRequestSeconds + `_count{endpoint="/v1/vp/batch"} 2`,
+		MetricHTTPRequestSeconds + `_count{endpoint="other"} 1`,
+		MetricIngestStageSeconds + `_count{stage="decode"} 1`,
+		MetricWALCommitBatchRecords + `_bucket{le="7"} 1`,
+		MetricWALCommitBatchRecords + "_count 1",
+		MetricAdmissionQueueDepth + `_count{class="ingest"} 1`,
+		`le="+Inf"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRegistryDisabled: a disabled (or nil) registry hands out nil
+// histograms, records nothing, and renders empty families.
+func TestRegistryDisabled(t *testing.T) {
+	for _, r := range []*Registry{nil, NewRegistry(false, []string{"/x"}, []string{"ingest"})} {
+		if r.Enabled() {
+			t.Fatal("disabled registry reports enabled")
+		}
+		if h := r.Endpoint("/x"); h != nil {
+			t.Fatal("disabled registry returned a live histogram")
+		}
+		r.Endpoint("/x").Record(5) // nil receiver: must not panic
+		r.Stage(StageFsync).Record(5)
+		r.WALBatch().Record(5)
+		r.QueueDepth("ingest").Record(5)
+		if n := len(r.EndpointSnapshots()); n != 0 {
+			t.Fatalf("disabled registry snapshotted %d endpoints", n)
+		}
+		var b strings.Builder
+		r.WritePrometheus(&b)
+		if strings.Contains(b.String(), "_count{") {
+			t.Fatalf("disabled exposition has series:\n%s", b.String())
+		}
+	}
+}
+
+// TestTraceSpansAndContext covers the trace lifecycle: minting,
+// context round-trip, concurrent-safe span accumulation, and the
+// slow-log rendering order.
+func TestTraceSpansAndContext(t *testing.T) {
+	tr := StartTrace()
+	if tr.ID() == 0 {
+		t.Fatal("trace ID zero")
+	}
+	if StartTrace().ID() == tr.ID() {
+		t.Fatal("trace IDs collide")
+	}
+	ctx := WithTrace(context.Background(), tr)
+	if got := TraceFrom(ctx); got != tr {
+		t.Fatal("context round-trip lost the trace")
+	}
+	if got := TraceFrom(context.Background()); got != nil {
+		t.Fatal("empty context yielded a trace")
+	}
+	tr.Observe(StageCommit, 2*time.Millisecond)
+	tr.Observe(StageDecode, time.Millisecond)
+	tr.Observe(StageCommit, time.Millisecond)
+	if ns := tr.SpanNS(StageCommit); ns != int64(3*time.Millisecond) {
+		t.Fatalf("commit span %d", ns)
+	}
+	spans := tr.Spans()
+	if spans != "decode=1ms commit=3ms" {
+		t.Fatalf("spans rendered %q", spans)
+	}
+	var nilT *Trace
+	nilT.Observe(StageDecode, time.Second) // no-op
+	if nilT.Spans() != "" || nilT.ID() != 0 {
+		t.Fatal("nil trace not inert")
+	}
+}

@@ -9,10 +9,12 @@ import (
 	"io"
 	"math/big"
 	"net/http"
+	"time"
 
 	"viewmap/internal/anon"
 	"viewmap/internal/evidence"
 	"viewmap/internal/geo"
+	"viewmap/internal/obs"
 	"viewmap/internal/reward"
 	"viewmap/internal/vd"
 )
@@ -47,12 +49,15 @@ const sessionHeader = "X-Session"
 //	POST /v1/evidence/payout         {"id","secret","blinded"} (X-Session, single use)
 //	POST /v1/evidence/redeem         {"m":"b64","sig":"dec"}
 //	GET  /v1/evidence/video?id=hex   blurred release (authority)
-//	GET  /v1/stats                   {"vps":N,...,"ingest":{...},"shards":[...],"retention":{...},"durability":{...},"evidence":{...},"overload":{...}}
+//	GET  /v1/stats                   {"vps":N,...,"ingest":{...},"shards":[...],"retention":{...},"durability":{...},"evidence":{...},"overload":{...},"latency":[...],"pipeline":{...}}
+//	GET  /v1/metrics                 Prometheus text exposition (docs/observability.md)
 //
-// Every endpoint except GET /v1/stats and GET /v1/bank sits behind a
-// per-class admission gate (overload.go): when a class's slots and
-// wait queue are both full the request is shed with 429 Too Many
-// Requests and a Retry-After header instead of queueing unboundedly.
+// Every endpoint except GET /v1/stats, GET /v1/metrics, and
+// GET /v1/bank sits behind a per-class admission gate (overload.go):
+// when a class's slots and wait queue are both full the request is
+// shed with 429 Too Many Requests and a Retry-After header instead of
+// queueing unboundedly. The whole surface is wrapped in withTelemetry
+// (telemetry.go), which times every request and traces the slow ones.
 func Handler(sys *System) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/vp", func(w http.ResponseWriter, r *http.Request) {
@@ -77,7 +82,7 @@ func Handler(sys *System) http.Handler {
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
-		res, err := sys.UploadVPBatch(body)
+		res, err := sys.uploadVPBatch(body, obs.TraceFrom(r.Context()))
 		if err != nil {
 			httpError(w, http.StatusBadRequest, err)
 			return
@@ -405,6 +410,10 @@ func Handler(sys *System) http.Handler {
 		writeJSON(w, out)
 	})
 
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		sys.metrics.WritePrometheus(w)
+	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		ev := sys.Evidence().StatsSnapshot()
 		shardStats := sys.Store().ShardStats()
@@ -417,6 +426,34 @@ func Handler(sys *System) http.Handler {
 			shards[i] = shardStatJSON{
 				Minute: sh.Minute, VPs: sh.VPs,
 				Quarantined: sh.Quarantined, Epoch: sh.Epoch,
+			}
+		}
+		lat := sys.LatencyStats()
+		latJSON := make([]endpointLatencyJSON, len(lat))
+		for i, l := range lat {
+			latJSON[i] = endpointLatencyJSON{
+				Endpoint: l.Endpoint,
+				Requests: l.Requests,
+				P50MS:    float64(l.P50) / float64(time.Millisecond),
+				P99MS:    float64(l.P99) / float64(time.Millisecond),
+			}
+		}
+		pipe := sys.PipelineStatsSnapshot()
+		pipeJSON := pipelineStatsJSON{
+			Stages: make([]pipelineStageJSON, len(pipe.Stages)),
+			WALCommitBatch: walBatchJSON{
+				Commits:    pipe.WALCommitBatch.Commits,
+				P50Records: pipe.WALCommitBatch.P50Records,
+				P99Records: pipe.WALCommitBatch.P99Records,
+			},
+		}
+		for i, st := range pipe.Stages {
+			pipeJSON.Stages[i] = pipelineStageJSON{
+				Stage:   st.Stage,
+				Count:   st.Count,
+				P50US:   float64(st.P50) / float64(time.Microsecond),
+				P99US:   float64(st.P99) / float64(time.Microsecond),
+				TotalMS: float64(st.Total) / float64(time.Millisecond),
 			}
 		}
 		writeJSON(w, statsResponse{
@@ -435,15 +472,21 @@ func Handler(sys *System) http.Handler {
 				ResidentMinutes: ret.ResidentMinutes,
 				ColdResident:    ret.ColdResident,
 				EvictedMinutes:  ret.EvictedMinutes,
+				Evictions:       ret.Evictions,
+				EvictionTotalMS: ret.EvictionTotalMS,
 			},
 			Durability: durabilityStatsJSON{
-				Enabled:     dur.Enabled,
-				AppendedLSN: dur.AppendedLSN,
-				SyncedLSN:   dur.SyncedLSN,
-				SnapshotLSN: dur.SnapshotLSN,
-				Snapshots:   dur.Snapshots,
-				Replayed:    dur.Replayed,
-				LastError:   dur.LastError,
+				Enabled:         dur.Enabled,
+				AppendedLSN:     dur.AppendedLSN,
+				SyncedLSN:       dur.SyncedLSN,
+				SnapshotLSN:     dur.SnapshotLSN,
+				Snapshots:       dur.Snapshots,
+				Replayed:        dur.Replayed,
+				Fsyncs:          dur.Fsyncs,
+				FsyncTotalMS:    dur.FsyncTotalMS,
+				SnapshotTotalMS: dur.SnapshotTotalMS,
+				LastSnapshotMS:  dur.LastSnapshotMS,
+				LastError:       dur.LastError,
 			},
 			Evidence: evidenceStatsJSON{
 				OpenSolicitations:  ev.OpenSolicitations,
@@ -459,9 +502,11 @@ func Handler(sys *System) http.Handler {
 				Evidence:          classStatsJSON(ov.Evidence),
 				RetryAfterSeconds: ov.RetryAfterSeconds,
 			},
+			Latency:  latJSON,
+			Pipeline: pipeJSON,
 		})
 	})
-	return withAdmission(sys.overload, mux)
+	return withTelemetry(sys, withAdmission(sys.overload, mux))
 }
 
 // Wire types.
@@ -543,16 +588,44 @@ type bankResponse struct {
 }
 
 type statsResponse struct {
-	VPs         int                 `json:"vps"`
-	Trusted     int                 `json:"trusted"`
-	ReviewQueue int                 `json:"reviewQueue"`
-	Minutes     int                 `json:"minutes"`
-	Ingest      ingestStatsJSON     `json:"ingest"`
-	Shards      []shardStatJSON     `json:"shards"`
-	Retention   retentionStatsJSON  `json:"retention"`
-	Durability  durabilityStatsJSON `json:"durability"`
-	Evidence    evidenceStatsJSON   `json:"evidence"`
-	Overload    overloadStatsJSON   `json:"overload"`
+	VPs         int                   `json:"vps"`
+	Trusted     int                   `json:"trusted"`
+	ReviewQueue int                   `json:"reviewQueue"`
+	Minutes     int                   `json:"minutes"`
+	Ingest      ingestStatsJSON       `json:"ingest"`
+	Shards      []shardStatJSON       `json:"shards"`
+	Retention   retentionStatsJSON    `json:"retention"`
+	Durability  durabilityStatsJSON   `json:"durability"`
+	Evidence    evidenceStatsJSON     `json:"evidence"`
+	Overload    overloadStatsJSON     `json:"overload"`
+	Latency     []endpointLatencyJSON `json:"latency"`
+	Pipeline    pipelineStatsJSON     `json:"pipeline"`
+}
+
+type endpointLatencyJSON struct {
+	Endpoint string  `json:"endpoint"`
+	Requests uint64  `json:"requests"`
+	P50MS    float64 `json:"p50Ms"`
+	P99MS    float64 `json:"p99Ms"`
+}
+
+type pipelineStageJSON struct {
+	Stage   string  `json:"stage"`
+	Count   uint64  `json:"count"`
+	P50US   float64 `json:"p50Us"`
+	P99US   float64 `json:"p99Us"`
+	TotalMS float64 `json:"totalMs"`
+}
+
+type walBatchJSON struct {
+	Commits    uint64 `json:"commits"`
+	P50Records uint64 `json:"p50Records"`
+	P99Records uint64 `json:"p99Records"`
+}
+
+type pipelineStatsJSON struct {
+	Stages         []pipelineStageJSON `json:"stages"`
+	WALCommitBatch walBatchJSON        `json:"walCommitBatch"`
 }
 
 type classAdmissionJSON struct {
@@ -577,19 +650,25 @@ type overloadStatsJSON struct {
 }
 
 type retentionStatsJSON struct {
-	ResidentMinutes int `json:"residentMinutes"`
-	ColdResident    int `json:"coldResident"`
-	EvictedMinutes  int `json:"evictedMinutes"`
+	ResidentMinutes int     `json:"residentMinutes"`
+	ColdResident    int     `json:"coldResident"`
+	EvictedMinutes  int     `json:"evictedMinutes"`
+	Evictions       int64   `json:"evictions"`
+	EvictionTotalMS float64 `json:"evictionTotalMs"`
 }
 
 type durabilityStatsJSON struct {
-	Enabled     bool   `json:"enabled"`
-	AppendedLSN uint64 `json:"appendedLSN"`
-	SyncedLSN   uint64 `json:"syncedLSN"`
-	SnapshotLSN uint64 `json:"snapshotLSN"`
-	Snapshots   int    `json:"snapshots"`
-	Replayed    int    `json:"replayed"`
-	LastError   string `json:"lastError,omitempty"`
+	Enabled         bool    `json:"enabled"`
+	AppendedLSN     uint64  `json:"appendedLSN"`
+	SyncedLSN       uint64  `json:"syncedLSN"`
+	SnapshotLSN     uint64  `json:"snapshotLSN"`
+	Snapshots       int     `json:"snapshots"`
+	Replayed        int     `json:"replayed"`
+	Fsyncs          int64   `json:"fsyncs"`
+	FsyncTotalMS    float64 `json:"fsyncTotalMs"`
+	SnapshotTotalMS float64 `json:"snapshotTotalMs"`
+	LastSnapshotMS  float64 `json:"lastSnapshotMs"`
+	LastError       string  `json:"lastError,omitempty"`
 }
 
 type ingestStatsJSON struct {

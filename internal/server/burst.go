@@ -4,7 +4,9 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"viewmap/internal/obs"
 	"viewmap/internal/vp"
 )
 
@@ -50,6 +52,13 @@ type burst struct {
 	// attack-facing counters alone, like PutReplay always has.
 	countRejects bool
 	done         chan struct{}
+
+	// tr, when non-nil, is the originating request's trace; the worker
+	// charges the burst's ring-wait, Stage, and commit spans to it.
+	// enqueued stamps the ring push for the ring-wait span; zero when
+	// observability is off (the worker then skips all timing).
+	tr       *obs.Trace
+	enqueued time.Time
 
 	// Results, written by the worker before close(done).
 	stored      int
@@ -215,9 +224,35 @@ func failBursts(bs []*burst) {
 // acquisition. Returns false — with nothing committed and the staging
 // state abandoned — when the shard was evicted underneath.
 func (s *Store) processBursts(sh *minuteShard, bursts []*burst) bool {
+	// All stage timing keys off the push timestamp: submitBurst stamps
+	// it only when observability is on, so the disabled path pays an
+	// IsZero check per burst and no clock reads.
+	timed := false
+	for _, b := range bursts {
+		if !b.enqueued.IsZero() {
+			timed = true
+			break
+		}
+	}
+	if timed {
+		pickup := time.Now()
+		for _, b := range bursts {
+			if b.enqueued.IsZero() {
+				continue
+			}
+			wait := pickup.Sub(b.enqueued)
+			s.metrics.Stage(obs.StageRingWait).Record(int64(wait))
+			b.tr.Observe(obs.StageRingWait, wait)
+		}
+	}
+
 	// Stage phase: admission, candidate enumeration, Bloom probing.
 	// Builder staging state is worker-private, so no lock is held.
 	for _, b := range bursts {
+		var stageStart time.Time
+		if timed {
+			stageStart = time.Now()
+		}
 		for i, p := range b.profiles {
 			ok, err := sh.builder.Stage(p)
 			switch {
@@ -227,10 +262,19 @@ func (s *Store) processBursts(sh *minuteShard, bursts []*burst) bool {
 				b.quarantined++
 			}
 		}
+		if timed {
+			d := time.Since(stageStart)
+			s.metrics.Stage(obs.StageLink).Record(int64(d))
+			b.tr.Observe(obs.StageLink, d)
+		}
 	}
 
 	// Commit phase: splice the staged graph and append the slab under
 	// one lock hold.
+	var commitStart time.Time
+	if timed {
+		commitStart = time.Now()
+	}
 	sh.mu.Lock()
 	if sh.evicted {
 		sh.mu.Unlock()
@@ -256,6 +300,17 @@ func (s *Store) processBursts(sh *minuteShard, bursts []*burst) bool {
 	sh.dirty = true
 	minute := sh.builder.Minute()
 	sh.mu.Unlock()
+
+	if timed {
+		// One CommitStaged covered the whole drain: the histogram gets
+		// one sample, and every covered request is charged the full
+		// span (spans may therefore overlap across requests).
+		d := time.Since(commitStart)
+		s.metrics.Stage(obs.StageCommit).Record(int64(d))
+		for _, b := range bursts {
+			b.tr.Observe(obs.StageCommit, d)
+		}
+	}
 
 	// Accounting and acknowledgement, off the shard lock.
 	for _, b := range bursts {
@@ -289,7 +344,7 @@ func (s *Store) processBursts(sh *minuteShard, bursts []*burst) bool {
 // fails with errStoreClosed once the store is shut down. With the
 // viewmap cache disabled there is no linking and no worker; the
 // profiles append directly under the shard lock.
-func (s *Store) submitBurst(m int64, profiles []*vp.Profile, countRejects bool) (*burst, error) {
+func (s *Store) submitBurst(m int64, profiles []*vp.Profile, countRejects bool, tr *obs.Trace) (*burst, error) {
 	for {
 		if s.closed.Load() {
 			return nil, errStoreClosed
@@ -318,7 +373,10 @@ func (s *Store) submitBurst(m int64, profiles []*vp.Profile, countRejects bool) 
 			s.noteMinute(m)
 			return b, nil
 		}
-		b := &burst{profiles: profiles, countRejects: countRejects, done: make(chan struct{})}
+		b := &burst{profiles: profiles, countRejects: countRejects, done: make(chan struct{}), tr: tr}
+		if s.metrics.Enabled() || tr != nil {
+			b.enqueued = time.Now()
+		}
 		if !sh.ring.push(b) {
 			continue
 		}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"viewmap/internal/geo"
+	"viewmap/internal/obs"
 	"viewmap/internal/reward"
 	"viewmap/internal/vd"
 	"viewmap/internal/vp"
@@ -160,6 +161,10 @@ type durabilityRuntime struct {
 	snapshotLSN uint64
 	replayed    int
 	lastErr     error
+	// snapshotTime / lastSnapshotTime track cumulative and most-recent
+	// Checkpoint wall time for the stats surface.
+	snapshotTime     time.Duration
+	lastSnapshotTime time.Duration
 }
 
 // OpenDurable builds a System for indefinite operation: it recovers
@@ -223,6 +228,7 @@ func OpenDurable(cfg Config, dcfg DurabilityConfig) (*System, error) {
 		return nil, fmt.Errorf("server: opening WAL: %w", err)
 	}
 	w.setFsync(dcfg.Fsync)
+	w.metrics = sys.metrics
 	sys.wal = w
 
 	if !haveSnap {
@@ -281,6 +287,7 @@ func (sys *System) Checkpoint() error {
 	d := sys.durable
 	d.checkpointMu.Lock()
 	defer d.checkpointMu.Unlock()
+	start := time.Now()
 	lsn := d.inflight.barrier(sys.wal.AppendedLSN())
 	path := d.cfg.SnapshotPath
 	tmp := path + ".tmp"
@@ -319,9 +326,12 @@ func (sys *System) Checkpoint() error {
 	if err := sys.wal.truncateThrough(lsn); err != nil {
 		return err
 	}
+	elapsed := time.Since(start)
 	d.mu.Lock()
 	d.snapshots++
 	d.snapshotLSN = lsn
+	d.snapshotTime += elapsed
+	d.lastSnapshotTime = elapsed
 	d.mu.Unlock()
 	return nil
 }
@@ -417,11 +427,20 @@ func (sys *System) journalIngest(typ byte, body []byte) (release func(), err err
 	if sys.wal == nil {
 		return func() {}, nil
 	}
+	var start time.Time
+	if sys.metrics.Enabled() {
+		start = time.Now()
+	}
 	var lsn uint64
 	_, err = sys.wal.Append(typ, body, func(l uint64) {
 		lsn = l
 		sys.durable.inflight.add(l)
 	})
+	if !start.IsZero() {
+		// The append blocks through the group commit, so this span is
+		// append + sync wait — the full durability cost of the request.
+		sys.metrics.Stage(obs.StageWALAppend).Record(int64(time.Since(start)))
+	}
 	if err != nil {
 		if lsn != 0 {
 			sys.durable.inflight.done(lsn)
@@ -451,6 +470,26 @@ func (sys *System) journalIngestVec(typ byte, frags [][]byte) (release func(), e
 		return nil, fmt.Errorf("%w: %v", ErrDurability, err)
 	}
 	return func() { sys.durable.inflight.done(lsn) }, nil
+}
+
+// journalIngestVecTraced is journalIngestVec plus observability: the
+// append-through-group-commit wall time lands in the WAL-append stage
+// histogram and, when tr is non-nil, on the request's trace.
+func (sys *System) journalIngestVecTraced(typ byte, frags [][]byte, tr *obs.Trace) (release func(), err error) {
+	if sys.wal == nil {
+		return func() {}, nil
+	}
+	var start time.Time
+	if sys.metrics.Enabled() || tr != nil {
+		start = time.Now()
+	}
+	release, err = sys.journalIngestVec(typ, frags)
+	if !start.IsZero() {
+		d := time.Since(start)
+		sys.metrics.Stage(obs.StageWALAppend).Record(int64(d))
+		tr.Observe(obs.StageWALAppend, d)
+	}
+	return release, err
 }
 
 // journalCommitted appends a record for a mutation that is already
@@ -708,6 +747,14 @@ type DurabilityStats struct {
 	Snapshots int
 	// Replayed counts WAL records replayed at the last recovery.
 	Replayed int
+	// Fsyncs counts group-commit fsyncs; FsyncTotalMS is their
+	// cumulative wall time in milliseconds.
+	Fsyncs       int64
+	FsyncTotalMS float64
+	// SnapshotTotalMS and LastSnapshotMS are the cumulative and
+	// most-recent Checkpoint wall times in milliseconds.
+	SnapshotTotalMS float64
+	LastSnapshotMS  float64
 	// LastError is the most recent background durability failure
 	// (empty when healthy).
 	LastError string
@@ -722,10 +769,12 @@ func (sys *System) DurabilityStatsSnapshot() DurabilityStats {
 	d := sys.durable
 	d.mu.Lock()
 	st := DurabilityStats{
-		Enabled:     true,
-		SnapshotLSN: d.snapshotLSN,
-		Snapshots:   d.snapshots,
-		Replayed:    d.replayed,
+		Enabled:         true,
+		SnapshotLSN:     d.snapshotLSN,
+		Snapshots:       d.snapshots,
+		Replayed:        d.replayed,
+		SnapshotTotalMS: float64(d.snapshotTime) / float64(time.Millisecond),
+		LastSnapshotMS:  float64(d.lastSnapshotTime) / float64(time.Millisecond),
 	}
 	if d.lastErr != nil {
 		st.LastError = d.lastErr.Error()
@@ -733,5 +782,7 @@ func (sys *System) DurabilityStatsSnapshot() DurabilityStats {
 	d.mu.Unlock()
 	st.AppendedLSN = sys.wal.AppendedLSN()
 	st.SyncedLSN = sys.wal.SyncedLSN()
+	st.Fsyncs = sys.wal.fsyncs.Load()
+	st.FsyncTotalMS = float64(sys.wal.fsyncNS.Load()) / float64(time.Millisecond)
 	return st
 }

@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"viewmap/internal/obs"
 )
 
 // Server-side overload discipline. Under a city-scale upload storm the
@@ -29,8 +31,9 @@ import (
 type endpointClass int
 
 const (
-	// classNone marks endpoints that are never gated (stats, bank key):
-	// monitoring must keep working during the very overload it reports.
+	// classNone marks endpoints that are never gated (stats, metrics,
+	// bank key): monitoring must keep working during the very overload
+	// it reports.
 	classNone endpointClass = iota
 	// classIngest covers the upload paths: anonymous and trusted VP
 	// uploads, batched uploads, and legacy video submissions.
@@ -51,7 +54,7 @@ func classifyEndpoint(path string) endpointClass {
 	case "/v1/investigate", "/v1/investigate/period", "/v1/investigate/report",
 		"/v1/evidence/solicit", "/v1/evidence/video":
 		return classInvestigate
-	case "/v1/stats", "/v1/bank":
+	case "/v1/stats", "/v1/bank", "/v1/metrics":
 		return classNone
 	}
 	if strings.HasPrefix(path, "/v1/evidence/") ||
@@ -166,12 +169,37 @@ func (g *admissionGate) snapshot() ClassAdmissionStats {
 	}
 }
 
+// className is the label an admission class carries on
+// viewmap_admission_queue_depth and in docs; classNone has none.
+func (c endpointClass) className() string {
+	switch c {
+	case classIngest:
+		return "ingest"
+	case classInvestigate:
+		return "investigate"
+	case classEvidence:
+		return "evidence"
+	}
+	return ""
+}
+
+// admissionClassNames lists the gated classes, in gate order — the
+// label set of the queue-depth histogram.
+func admissionClassNames() []string {
+	return []string{"ingest", "investigate", "evidence"}
+}
+
 // overloadLimiter holds the three class gates behind the HTTP surface.
 type overloadLimiter struct {
 	ingest      *admissionGate
 	investigate *admissionGate
 	evidence    *admissionGate
 	retryAfter  time.Duration
+
+	// metrics, when non-nil, receives the per-class queue depth
+	// observed at every gated arrival (attached by NewSystem; the
+	// limiter itself stays registry-free for tests).
+	metrics *obs.Registry
 }
 
 func newOverloadLimiter(cfg OverloadConfig) *overloadLimiter {
@@ -211,11 +239,13 @@ func (l *overloadLimiter) retryAfterSeconds() int {
 // Retry-After header and never reaches next.
 func withAdmission(l *overloadLimiter, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		g := l.gate(classifyEndpoint(r.URL.Path))
+		class := classifyEndpoint(r.URL.Path)
+		g := l.gate(class)
 		if g == nil {
 			next.ServeHTTP(w, r)
 			return
 		}
+		l.metrics.QueueDepth(class.className()).Record(g.queued.Load())
 		if !g.tryAcquire() {
 			w.Header().Set("Retry-After", strconv.Itoa(l.retryAfterSeconds()))
 			httpError(w, http.StatusTooManyRequests, errOverloaded)

@@ -44,6 +44,7 @@ func TestClassifyEndpoint(t *testing.T) {
 		{"/v1/solicitations", classEvidence},
 		{"/v1/rewards", classEvidence},
 		{"/v1/stats", classNone},
+		{"/v1/metrics", classNone},
 		{"/v1/bank", classNone},
 		{"/unknown", classNone},
 	}

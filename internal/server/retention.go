@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
 
 	"viewmap/internal/vp"
 )
@@ -133,6 +134,7 @@ func (s *Store) trimCold() (int, error) {
 // versioned copy of the slab; if ingest grows the shard meanwhile the
 // spill restarts, so the segment always matches the dropped state.
 func (s *Store) evictShard(m int64) error {
+	start := time.Now()
 	for {
 		sh := s.shard(m)
 		if sh == nil {
@@ -182,6 +184,10 @@ func (s *Store) evictShard(m int64) error {
 		if s.onEvict != nil {
 			s.onEvict(m)
 		}
+		// Eviction runs on the background sweep, never a request path, so
+		// the timing is unconditional (spill + drop, including retries).
+		s.evictions.Add(1)
+		s.evictionNS.Add(int64(time.Since(start)))
 		return nil
 	}
 }
@@ -422,13 +428,22 @@ type RetentionStats struct {
 	ColdResident int
 	// EvictedMinutes counts minutes that live only in segment files.
 	EvictedMinutes int
+	// Evictions counts shard evictions this process lifetime;
+	// EvictionTotalMS is their cumulative wall time (spill + drop) in
+	// milliseconds.
+	Evictions       int64
+	EvictionTotalMS float64
 }
 
 // RetentionStatsSnapshot reads the current resident/evicted split.
 func (s *Store) RetentionStatsSnapshot() RetentionStats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	st := RetentionStats{ResidentMinutes: len(s.shards)}
+	st := RetentionStats{
+		ResidentMinutes: len(s.shards),
+		Evictions:       s.evictions.Load(),
+		EvictionTotalMS: float64(s.evictionNS.Load()) / float64(time.Millisecond),
+	}
 	for _, sh := range s.shards {
 		if sh.cold {
 			st.ColdResident++

@@ -13,6 +13,7 @@ import (
 
 	"viewmap/internal/core"
 	"viewmap/internal/geo"
+	"viewmap/internal/obs"
 	"viewmap/internal/vd"
 	"viewmap/internal/vp"
 )
@@ -84,6 +85,17 @@ type Store struct {
 	rejectedCount  atomic.Int64
 	duplicateCount atomic.Int64
 	wireRejected   atomic.Int64
+
+	// metrics, when non-nil, receives the pipeline-stage histograms
+	// recorded by the link workers (ring wait, Stage, CommitStaged).
+	// NewSystem attaches the registry; a bare Store records nothing.
+	metrics *obs.Registry
+
+	// Retention-eviction timing (satellite of the fsync-visibility
+	// fix): evictions counts completed shard evictions, evictionNS the
+	// cumulative wall time spent writing segments and dropping shards.
+	evictions  atomic.Int64
+	evictionNS atomic.Int64
 }
 
 // StoreConfig parameterizes the VP database.
@@ -299,7 +311,7 @@ func (s *Store) putClaimed(p *vp.Profile, count bool) error {
 		}
 		return ErrDuplicate
 	}
-	b, err := s.submitBurst(p.Minute(), []*vp.Profile{p}, count)
+	b, err := s.submitBurst(p.Minute(), []*vp.Profile{p}, count, nil)
 	if err != nil {
 		s.ids.Delete(p.ID())
 		return err
@@ -351,6 +363,13 @@ func (s *Store) PutBatch(ps []*vp.Profile) BatchResult {
 // top; the System's batch upload handler calls it directly, having
 // validated each profile exactly once during admission.
 func (s *Store) putValidated(ps []*vp.Profile) BatchResult {
+	return s.putValidatedTraced(ps, nil)
+}
+
+// putValidatedTraced is putValidated carrying the request's trace so
+// the per-minute bursts can charge their ring-wait, Stage, and commit
+// spans back to the originating upload.
+func (s *Store) putValidatedTraced(ps []*vp.Profile, tr *obs.Trace) BatchResult {
 	var res BatchResult
 	byMinute := make(map[int64][]*vp.Profile)
 	for _, p := range ps {
@@ -365,7 +384,7 @@ func (s *Store) putValidated(ps []*vp.Profile) BatchResult {
 		byMinute[p.Minute()] = append(byMinute[p.Minute()], p)
 	}
 	for m, group := range byMinute {
-		b, err := s.submitBurst(m, group, true)
+		b, err := s.submitBurst(m, group, true, tr)
 		if err != nil {
 			// The minute's segment is unreadable (or the store is shut
 			// down); release the claims so a retry after the operator

@@ -15,6 +15,7 @@ import (
 	"viewmap/internal/core"
 	"viewmap/internal/evidence"
 	"viewmap/internal/geo"
+	"viewmap/internal/obs"
 	"viewmap/internal/reward"
 	"viewmap/internal/vd"
 	"viewmap/internal/vp"
@@ -41,6 +42,13 @@ type System struct {
 	// overload holds the per-endpoint-class admission gates the HTTP
 	// handler sheds load through (overload.go).
 	overload *overloadLimiter
+
+	// metrics is the observability registry (telemetry.go); always
+	// non-nil, disabled (nil histograms) under Config.DisableMetrics.
+	metrics *obs.Registry
+	// slowRequest is the tracing threshold: a request slower than this
+	// logs one structured line with its span breakdown; zero disables.
+	slowRequest time.Duration
 
 	mu            sync.Mutex
 	solicitations map[vd.VPID]*Solicitation
@@ -116,6 +124,16 @@ type Config struct {
 	// Overload bounds concurrent work per endpoint class on the HTTP
 	// surface (overload.go); the zero value selects generous defaults.
 	Overload OverloadConfig
+	// DisableMetrics turns the observability registry into a no-op:
+	// every histogram access returns nil and the record path reduces
+	// to a nil check. The overhead smoke (viewmap-bench -run
+	// metrics-overhead) compares this path against the default.
+	DisableMetrics bool
+	// SlowRequest is the tracing threshold: a request slower than this
+	// emits one structured log line with its per-stage span breakdown.
+	// Zero disables slow-request logging (the default; viewmap-server
+	// arms it with -slow-request).
+	SlowRequest time.Duration
 }
 
 // NewSystem creates a system service.
@@ -151,10 +169,17 @@ func NewSystem(cfg Config) (*System, error) {
 		evidence:       ev,
 		authorityToken: token,
 		overload:       newOverloadLimiter(cfg.Overload),
+		metrics:        obs.NewRegistry(!cfg.DisableMetrics, knownEndpoints(), admissionClassNames()),
+		slowRequest:    cfg.SlowRequest,
 		solicitations:  make(map[vd.VPID]*Solicitation),
 		rewardsPosted:  make(map[vd.VPID]*RewardOffer),
 		verdicts:       make(map[investigationKey]verdictEntry),
 	}
+	// Pipeline stages recorded below the HTTP layer (ring wait, Stage,
+	// CommitStaged) and the admission gates' queue-depth sampling share
+	// the system's registry.
+	store.metrics = sys.metrics
+	sys.overload.metrics = sys.metrics
 	// An evicted minute drops its viewmap with the shard; the verdicts
 	// computed from it must not outlive it (evict-then-reload equality
 	// is re-established through a fresh extraction and verification).
@@ -238,6 +263,15 @@ const maxBatchRecords = 1 << 14
 // (truncated length or body, trailing bytes, oversized batch) aborts
 // with an error.
 func (sys *System) UploadVPBatch(data []byte) (BatchResult, error) {
+	return sys.uploadVPBatch(data, nil)
+}
+
+// uploadVPBatch is UploadVPBatch carrying the request's trace (nil
+// for internal callers): the decode+validate pass is timed here, the
+// WAL append inside journalIngestVec, and the ring/link/commit stages
+// by the shard workers the trace rides to.
+func (sys *System) uploadVPBatch(data []byte, tr *obs.Trace) (BatchResult, error) {
+	decodeStart := time.Now()
 	records, err := vp.SplitBatch(data, maxBatchRecords)
 	if err != nil {
 		return BatchResult{}, err
@@ -296,19 +330,22 @@ func (sys *System) UploadVPBatch(data []byte) (BatchResult, error) {
 			journalRecs = append(journalRecs, rec)
 		}
 	}
+	decodeNS := time.Since(decodeStart)
+	sys.metrics.Stage(obs.StageDecode).Record(int64(decodeNS))
+	tr.Observe(obs.StageDecode, decodeNS)
 	if len(journalRecs) > 0 {
 		// Ack-after-append: the admitted records hit the log (and the
 		// disk), re-framed with the batch wire format, before any
 		// profile commits; replay re-parses them with the same
 		// per-record failure policy. The fragments alias the request
 		// body — the journal write copies nothing.
-		release, err := sys.journalIngestVec(walRecVPBatch, batchWireFrags(journalRecs))
+		release, err := sys.journalIngestVecTraced(walRecVPBatch, batchWireFrags(journalRecs), tr)
 		if err != nil {
 			return BatchResult{}, err
 		}
 		defer release()
 	}
-	put := sys.store.putValidated(valid)
+	put := sys.store.putValidatedTraced(valid, tr)
 	res.Stored, res.Duplicates = put.Stored, put.Duplicates
 	res.Rejected += put.Rejected
 	return res, nil

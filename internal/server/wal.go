@@ -10,7 +10,10 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"viewmap/internal/obs"
 )
 
 // Ingest write-ahead log. Every admitted mutation — VP uploads (single,
@@ -99,6 +102,14 @@ type wal struct {
 	// DurabilityConfig.Fsync replaces it (via setFsync) so fault plans
 	// can inject slow-disk stalls on the group-commit path.
 	fsync func(*os.File) error
+
+	// metrics, when non-nil, receives the fsync latency and the
+	// group-commit batch size of every sync (attached by OpenDurable).
+	metrics *obs.Registry
+	// fsyncs / fsyncNS count group-commit fsyncs and their cumulative
+	// wall time for GET /v1/stats; kept even when metrics are off.
+	fsyncs  atomic.Int64
+	fsyncNS atomic.Int64
 }
 
 // setFsync installs a replacement for the file-sync call on the
@@ -288,14 +299,21 @@ func (w *wal) syncLocked() {
 		w.cond.Broadcast()
 		return
 	}
+	batch := w.buffed - w.synced
 	if err := w.bw.Flush(); err != nil {
 		w.fail(err)
 		return
 	}
+	start := time.Now()
 	if err := w.fsync(w.f); err != nil {
 		w.fail(err)
 		return
 	}
+	elapsed := time.Since(start)
+	w.fsyncs.Add(1)
+	w.fsyncNS.Add(int64(elapsed))
+	w.metrics.Stage(obs.StageFsync).Record(int64(elapsed))
+	w.metrics.WALBatch().Record(int64(batch))
 	w.synced = w.buffed
 	w.cond.Broadcast()
 }

@@ -241,10 +241,16 @@ type ScenarioResult struct {
 	// AckedBatches counts acknowledged unique upload batches.
 	AckedBatches int `json:"acked_batches"`
 	// Upload, Investigate, and EvidencePoll are the per-endpoint SLO
-	// summaries.
+	// summaries, measured client-side (retries and backoff included).
 	Upload       EndpointSLO `json:"upload"`
 	Investigate  EndpointSLO `json:"investigate"`
 	EvidencePoll EndpointSLO `json:"evidence_poll"`
+	// ServerUpload and ServerInvestigate are the same two paths as
+	// measured by the server's own latency histograms (handler wall
+	// time, no client retries; quantiles are histogram bucket upper
+	// bounds, so a true p99 of v reports as v <= estimate < 2v).
+	ServerUpload      EndpointSLO `json:"server_upload"`
+	ServerInvestigate EndpointSLO `json:"server_investigate"`
 	// IngestShed, InvestigateShed, and EvidenceShed mirror the
 	// server's admission-gate shed counters at run end.
 	IngestShed      uint64 `json:"ingest_shed"`
@@ -300,6 +306,9 @@ func (r *ScenarioResult) Rows() []string {
 		fmt.Sprintf("investigate SLO: %d requests, p50 %.1f ms, p99 %.1f ms; evidence polls: %d, p99 %.1f ms",
 			r.Investigate.Requests, r.Investigate.P50MS, r.Investigate.P99MS,
 			r.EvidencePoll.Requests, r.EvidencePoll.P99MS),
+		fmt.Sprintf("server-side: upload %d requests p99 %.1f ms, investigate %d requests p99 %.1f ms (histogram upper bounds)",
+			r.ServerUpload.Requests, r.ServerUpload.P99MS,
+			r.ServerInvestigate.Requests, r.ServerInvestigate.P99MS),
 		fmt.Sprintf("shed: ingest %d, investigate %d, evidence %d (clients saw %d x 429); %d fsyncs stalled",
 			r.IngestShed, r.InvestigateShed, r.EvidenceShed, r.Client429s, r.StalledFsyncs),
 		fmt.Sprintf("faults ridden out: %d incidents, %d partition rejects, %d snapshots written, %d paused",
@@ -800,6 +809,17 @@ func Scenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	res.Investigate.P50MS, res.Investigate.P99MS = latencyPercentilesMS(probeLat)
 	res.EvidencePoll.Requests = len(evLat)
 	res.EvidencePoll.P50MS, res.EvidencePoll.P99MS = latencyPercentilesMS(evLat)
+	// Server-side view of the same paths, from the endpoint histograms
+	// already fetched above.
+	for _, l := range stats.Latency {
+		slo := EndpointSLO{Requests: int(l.Requests), P50MS: l.P50MS, P99MS: l.P99MS}
+		switch l.Endpoint {
+		case "/v1/vp/batch":
+			res.ServerUpload = slo
+		case "/v1/investigate/report":
+			res.ServerInvestigate = slo
+		}
+	}
 	if lim := cfg.SLO.UploadP99; lim > 0 && res.Upload.P99MS > float64(lim.Microseconds())/1e3 {
 		res.Violations = append(res.Violations, fmt.Sprintf("upload p99 %.1f ms exceeds %v", res.Upload.P99MS, lim))
 	}

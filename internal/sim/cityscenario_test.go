@@ -57,6 +57,28 @@ func TestScenarioQuick(t *testing.T) {
 	if res.Investigate.Requests == 0 || res.EvidencePoll.Requests == 0 {
 		t.Fatalf("probe/evidence SLO not populated: %+v / %+v", res.Investigate, res.EvidencePoll)
 	}
+	// Server-side/client-side parity: the server's own endpoint
+	// histograms must be populated and bracket the client view from
+	// below. The server measures handler wall time while the client
+	// adds connection overhead, queueing, retries, and backoff, so the
+	// server p99 must not exceed the client p99 by more than the
+	// histogram's power-of-two bucketing (×2) plus slack for the
+	// samples the client never timed (shed-then-retried requests).
+	if res.ServerUpload.Requests == 0 || res.ServerUpload.P99MS <= 0 {
+		t.Fatalf("server-side upload latency not populated: %+v", res.ServerUpload)
+	}
+	if res.ServerInvestigate.Requests == 0 || res.ServerInvestigate.P99MS <= 0 {
+		t.Fatalf("server-side investigate latency not populated: %+v", res.ServerInvestigate)
+	}
+	// The server sees at least every acknowledged batch (requests the
+	// client retried are counted per attempt server-side).
+	if res.ServerUpload.Requests < res.Upload.Requests {
+		t.Fatalf("server saw %d uploads, clients completed %d", res.ServerUpload.Requests, res.Upload.Requests)
+	}
+	if res.ServerUpload.P99MS > 2*res.Upload.P99MS+50 {
+		t.Fatalf("server upload p99 %.1f ms implausibly above client %.1f ms",
+			res.ServerUpload.P99MS, res.Upload.P99MS)
+	}
 	if len(res.ProbeDigest) != 64 {
 		t.Fatalf("probe digest %q", res.ProbeDigest)
 	}

@@ -58,6 +58,10 @@ type SaturationConfig struct {
 	// committed fsync (ack-after-append), so the numbers include the
 	// journal.
 	Durable bool
+	// DisableMetrics runs the server with the observability registry
+	// off — the no-op baseline the metrics-overhead experiment compares
+	// the default (metrics on) against.
+	DisableMetrics bool
 	// Seed drives the synthetic trajectories.
 	Seed int64
 }
@@ -125,6 +129,7 @@ func Saturation(cfg SaturationConfig) (*SaturationResult, error) {
 	}
 
 	var sys *server.System
+	scfg := server.Config{AuthorityToken: "bench", Bank: bank, DisableMetrics: cfg.DisableMetrics}
 	if cfg.Durable {
 		dir, derr := os.MkdirTemp("", "viewmap-saturation-*")
 		if derr != nil {
@@ -132,11 +137,11 @@ func Saturation(cfg SaturationConfig) (*SaturationResult, error) {
 		}
 		defer os.RemoveAll(dir)
 		sys, err = server.OpenDurable(
-			server.Config{AuthorityToken: "bench", Bank: bank},
+			scfg,
 			server.DurabilityConfig{WALPath: filepath.Join(dir, "ingest.wal")},
 		)
 	} else {
-		sys, err = server.NewSystem(server.Config{AuthorityToken: "bench", Bank: bank})
+		sys, err = server.NewSystem(scfg)
 	}
 	if err != nil {
 		return nil, err
