@@ -41,10 +41,14 @@ check: build vet test
 # uploaders retrying through the admission gates, a concurrent prober,
 # and the fsync-stall hook firing under the WAL's group commit. The
 # observability histograms take concurrent recorders against snapshot
-# readers on sharded atomics.
+# readers on sharded atomics. The warm-vs-cold flood equivalence test
+# races the streaming watch notifications and the verdict cache against
+# interleaved online-attack ingest (the server package's watch e2e and
+# the core equivalence property already ride in the fully raced line
+# above).
 race:
 	$(GO) test -race ./internal/core/... ./internal/geo/... ./internal/obs/... ./internal/server/... ./internal/evidence/... ./internal/attack/...
-	$(GO) test -race -short -run 'TestEvidencePipelineSmall|TestAttackServingCampaigns|TestContinuousSmall|TestSaturationSmall|TestScenarioQuick' ./internal/sim/
+	$(GO) test -race -short -run 'TestEvidencePipelineSmall|TestAttackServingCampaigns|TestContinuousSmall|TestSaturationSmall|TestScenarioQuick|TestOnlineFloodWarmColdEquivalence|TestReverifyBenchmarkSmoke' ./internal/sim/
 
 # Documentation hygiene: formatting, vet, complete doc comments on the
 # exported surface of the service-facing packages, resolvable relative
@@ -59,7 +63,10 @@ lint-docs:
 # full benchmark run. The following lines smoke the evidence pipeline
 # and the online attack campaigns through the viewmap-bench binary
 # itself (quick scale, one shot; attack-serving fails hard on any
-# online/offline divergence or accepted fake). The ingest-saturation
+# online/offline divergence or accepted fake). The reverify shot runs
+# the post-flood re-verification comparison, which hard-fails if the
+# warm-started TrustRank path ever answers differently from the cold
+# recompute. The ingest-saturation
 # shot drives the burst pipeline through the real batch endpoint,
 # cross-checks the resulting viewmap against the offline builder, and
 # rewrites BENCH_ingest.json — the committed baseline; diff it against
@@ -69,6 +76,7 @@ bench-smoke:
 	$(GO) run ./cmd/viewmap-bench -run evidence -scale quick
 	$(GO) run ./cmd/viewmap-bench -run attack-serving -scale quick
 	$(GO) run ./cmd/viewmap-bench -run continuous -scale quick
+	$(GO) run ./cmd/viewmap-bench -run reverify -scale quick
 	$(GO) run ./cmd/viewmap-bench -run ingest-saturation -scale quick -json BENCH_ingest.json
 
 # One quick-scale scenario-engine run through the bench binary: two

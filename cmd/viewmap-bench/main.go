@@ -35,7 +35,7 @@ type experiment struct {
 var jsonOut string
 
 func main() {
-	runName := flag.String("run", "all", "experiment to run (all, ablation, serving, evidence, attack-serving, ingest-saturation, scenario, table1, fig8, fig9, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17, table2, fig20, fig21, fig22ab, fig22c, fig22d, fig22e, fig22f, overhead)")
+	runName := flag.String("run", "all", "experiment to run (all, ablation, serving, reverify, evidence, attack-serving, ingest-saturation, scenario, table1, fig8, fig9, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17, table2, fig20, fig21, fig22ab, fig22c, fig22d, fig22e, fig22f, overhead)")
 	scale := flag.String("scale", "quick", "quick or full")
 	seed := flag.Int64("seed", 42, "base random seed")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
@@ -119,6 +119,7 @@ func experiments() []experiment {
 		{"fig22f", "viewmap member VP percentage", runFig22F},
 		{"overhead", "VD/VP communication and storage overhead", runOverhead},
 		{"serving", "sustained-ingest serving: cached viewmaps vs rebuild-per-request (not in the paper)", runServing},
+		{"reverify", "post-flood re-verification: warm-started TrustRank vs cold recompute, equality-gated (not in the paper)", runReverify},
 		{"ingest-saturation", "burst-pipeline ingest saturation: VPs/s, ack latency, allocs/record (not in the paper)", runIngestSaturation},
 		{"metrics-overhead", "observability overhead smoke: ingest saturation with metrics on vs off, fails beyond 5% (not in the paper)", runMetricsOverhead},
 		{"evidence", "evidence pipeline: solicit, anonymous deliver + cascade verify, payout, blurred release (not in the paper)", runEvidence},
@@ -402,6 +403,23 @@ func runServing(scale string, seed int64) error {
 		BatchSize:         64,
 		WarmRequests:      pick(scale, 20, 100),
 		Seed:              seed,
+	})
+	if err != nil {
+		return err
+	}
+	for _, r := range res.Rows() {
+		fmt.Println(r)
+	}
+	return nil
+}
+
+func runReverify(scale string, seed int64) error {
+	res, err := sim.Reverify(sim.ReverifyConfig{
+		Vehicles:     pick(scale, 220, 1000),
+		Waves:        pick(scale, 4, 10),
+		FakesPerWave: pick(scale, 40, 120),
+		BatchSize:    64,
+		Seed:         seed,
 	})
 	if err != nil {
 		return err

@@ -1,6 +1,7 @@
 package client
 
 import (
+	"bufio"
 	"bytes"
 	"crypto/rand"
 	"crypto/rsa"
@@ -14,6 +15,7 @@ import (
 	"math/big"
 	mrand "math/rand"
 	"net/http"
+	"net/url"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -162,12 +164,18 @@ func (a *API) do(method, path, contentType string, payload []byte, authority str
 }
 
 // retryWait picks the pause before a retry: the server's Retry-After
-// hint in whole seconds when present and positive, exponential backoff
-// from the configured base otherwise, plus up to 50% jitter.
+// hint when present and positive — either delay-seconds or an HTTP-date,
+// the two forms RFC 9110 §10.2.3 allows — exponential backoff from the
+// configured base otherwise, plus up to 50% jitter. An unparseable or
+// non-positive hint falls back to the exponential schedule.
 func (a *API) retryWait(retryAfter string, attempt int) time.Duration {
 	wait := a.backoff << min(attempt, 10)
 	if secs, err := strconv.Atoi(retryAfter); err == nil && secs > 0 {
 		wait = time.Duration(secs) * time.Second
+	} else if t, err := http.ParseTime(retryAfter); err == nil {
+		if d := time.Until(t); d > 0 {
+			wait = d
+		}
 	}
 	a.jitterMu.Lock()
 	j := a.jitter.Int63n(int64(wait)/2 + 1)
@@ -378,6 +386,95 @@ func (a *API) InvestigateReport(token string, minX, minY, maxX, maxY float64, mi
 		copy(res.Verdicts[i].ID[:], b)
 	}
 	return res, nil
+}
+
+// WatchReport is one streamed report from GET /v1/investigate/watch.
+type WatchReport struct {
+	// Minute is the watched minute.
+	Minute int64
+	// Epoch is the report's content epoch; pass it as the next watch's
+	// fromEpoch to resume without re-receiving this state.
+	Epoch uint64
+	// Members and Edges describe the verified viewmap.
+	Members, Edges int
+	// InSite counts members whose trajectories enter the site.
+	InSite int
+	// Legitimate lists the members marked LEGITIMATE, in ascending
+	// identifier order.
+	Legitimate []vd.VPID
+}
+
+// WatchInvestigation streams fresh investigation reports for (site,
+// minute) as the server's graph advances, calling fn once per report:
+// the current state first (unless fromEpoch suppresses it), then one
+// call per content change. fn returning a non-nil error stops the
+// watch with that error; otherwise the watch returns nil when the
+// server ends the stream (timeout elapsed or maxReports delivered,
+// both zero-able to take the server's defaults). Authority only.
+func (a *API) WatchInvestigation(token string, minX, minY, maxX, maxY float64, minute int64,
+	fromEpoch uint64, maxReports int, timeout time.Duration, fn func(WatchReport) error) error {
+	q := url.Values{}
+	q.Set("minX", strconv.FormatFloat(minX, 'g', -1, 64))
+	q.Set("minY", strconv.FormatFloat(minY, 'g', -1, 64))
+	q.Set("maxX", strconv.FormatFloat(maxX, 'g', -1, 64))
+	q.Set("maxY", strconv.FormatFloat(maxY, 'g', -1, 64))
+	q.Set("minute", strconv.FormatInt(minute, 10))
+	if fromEpoch > 0 {
+		q.Set("fromEpoch", strconv.FormatUint(fromEpoch, 10))
+	}
+	if maxReports > 0 {
+		q.Set("maxReports", strconv.Itoa(maxReports))
+	}
+	if timeout > 0 {
+		q.Set("timeoutMs", strconv.FormatInt(int64(timeout/time.Millisecond), 10))
+	}
+	resp, err := a.do("GET", "/v1/investigate/watch?"+q.Encode(), "", nil, token)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var wire struct {
+			Error      string   `json:"error"`
+			Minute     int64    `json:"minute"`
+			Epoch      uint64   `json:"epoch"`
+			Members    int      `json:"members"`
+			Edges      int      `json:"edges"`
+			InSite     int      `json:"inSite"`
+			Legitimate []string `json:"legitimate"`
+		}
+		if err := json.Unmarshal(line, &wire); err != nil {
+			return fmt.Errorf("client: bad watch line: %w", err)
+		}
+		if wire.Error != "" {
+			return fmt.Errorf("client: server says %q mid-stream", wire.Error)
+		}
+		rep := WatchReport{
+			Minute: wire.Minute, Epoch: wire.Epoch,
+			Members: wire.Members, Edges: wire.Edges, InSite: wire.InSite,
+			Legitimate: make([]vd.VPID, len(wire.Legitimate)),
+		}
+		for i, s := range wire.Legitimate {
+			b, err := hex.DecodeString(s)
+			if err != nil || len(b) != len(vd.VPID{}) {
+				return fmt.Errorf("client: bad id %q in watch report", s)
+			}
+			copy(rep.Legitimate[i][:], b)
+		}
+		if err := fn(rep); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
 }
 
 // fetchIDs reads an {ids:[hex]} response.

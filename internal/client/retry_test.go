@@ -133,3 +133,38 @@ func TestRetryBudgetExhausted(t *testing.T) {
 		t.Fatalf("Seen429 = %d, want 3", got)
 	}
 }
+
+// TestRetryWaitParsesBothRetryAfterForms pins retryWait to RFC 9110
+// §10.2.3: Retry-After may be delay-seconds or an HTTP-date, and both
+// must be honored; garbage and past dates fall back to the
+// exponential schedule. The pre-fix parser only understood the
+// integer form, so an HTTP-date hint silently degraded to the (much
+// shorter) backoff and the client hammered a server that had asked
+// for a longer pause.
+func TestRetryWaitParsesBothRetryAfterForms(t *testing.T) {
+	api, _, _ := retryHarness(t, 0, "", 4)
+	base := 10 * time.Millisecond
+
+	// Delay-seconds form: 3 seconds plus at most 50% jitter.
+	if w := api.retryWait("3", 0); w < 3*time.Second || w > 4500*time.Millisecond {
+		t.Fatalf("delay-seconds wait = %v, want [3s, 4.5s]", w)
+	}
+
+	// HTTP-date form: a date ~5s out yields a wait near that span
+	// (slightly less by the time it is computed) plus jitter.
+	date := time.Now().Add(5 * time.Second).UTC().Format(http.TimeFormat)
+	if w := api.retryWait(date, 0); w < 3500*time.Millisecond || w > 8*time.Second {
+		t.Fatalf("HTTP-date wait = %v, want roughly [3.5s, 8s]", w)
+	}
+
+	// A date in the past carries no usable pause: exponential fallback.
+	past := time.Now().Add(-5 * time.Second).UTC().Format(http.TimeFormat)
+	if w := api.retryWait(past, 1); w < base<<1 || w > (base<<1)*3/2 {
+		t.Fatalf("past-date wait = %v, want exponential fallback [%v, %v]", w, base<<1, (base<<1)*3/2)
+	}
+
+	// Garbage: exponential fallback too.
+	if w := api.retryWait("soonish", 0); w < base || w > base*3/2 {
+		t.Fatalf("garbage wait = %v, want [%v, %v]", w, base, base*3/2)
+	}
+}

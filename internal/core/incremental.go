@@ -168,6 +168,7 @@ type IncrementalBuilder struct {
 	trusted  []int
 	index    map[vd.VPID]int
 	epoch    uint64
+	edges    int
 
 	// Staging state, private to the single staging goroutine. boxes
 	// spans committed AND staged nodes (len == total()); wboxes is the
@@ -211,13 +212,10 @@ func (b *IncrementalBuilder) Len() int { return len(b.profiles) }
 func (b *IncrementalBuilder) Epoch() uint64 { return b.epoch }
 
 // NumEdges returns the number of viewlinks in the maintained graph.
-func (b *IncrementalBuilder) NumEdges() int {
-	total := 0
-	for _, a := range b.adj {
-		total += len(a)
-	}
-	return total / 2
-}
+// It is an O(1) counter maintained by CommitStaged, so callers can use
+// it (together with Len) to size the perturbation since a previous
+// epoch when deciding between warm and cold re-verification.
+func (b *IncrementalBuilder) NumEdges() int { return b.edges }
 
 // total returns the number of committed plus staged nodes.
 func (b *IncrementalBuilder) total() int { return len(b.profiles) + len(b.pending) }
@@ -321,6 +319,7 @@ func (b *IncrementalBuilder) CommitStaged() int {
 		if s.p.Trusted {
 			b.trusted = append(b.trusted, node)
 		}
+		b.edges += len(s.neighbors)
 		b.epoch++
 	}
 	b.pending = b.pending[:0]
@@ -470,30 +469,11 @@ func (b *IncrementalBuilder) ViewmapFor(site geo.Rect, margin float64) (*Viewmap
 		margin = b.cfg.DSRCRange
 	}
 
-	// Nearest trusted VP, by trajectory-sample distance to the site
-	// center. Scanning trusted nodes in insertion order with a strict
-	// less keeps tie-breaking identical to Build's scan.
-	siteCenter := site.Center()
-	bestDist := -1.0
-	nearestTrusted := -1
-	for _, t := range b.trusted {
-		p := b.profiles[t]
-		for i := range p.VDs {
-			if d := p.VDs[i].L.Dist(siteCenter); nearestTrusted < 0 || d < bestDist {
-				bestDist = d
-				nearestTrusted = t
-			}
-		}
-	}
+	nearestTrusted := b.nearestTrustedTo(site.Center())
 	if nearestTrusted < 0 {
 		return nil, ErrNoTrusted
 	}
-
-	cover := site
-	for i := range b.profiles[nearestTrusted].VDs {
-		cover = expand(cover, b.profiles[nearestTrusted].VDs[i].L)
-	}
-	cover = cover.Inflate(margin)
+	cover := b.coverFor(site, nearestTrusted, margin)
 
 	vm := &Viewmap{
 		Coverage: cover,
@@ -529,6 +509,37 @@ func (b *IncrementalBuilder) ViewmapFor(site geo.Rect, margin float64) (*Viewmap
 	}
 	vm.ensureCSR()
 	return vm, nil
+}
+
+// nearestTrustedTo returns the trusted node whose trajectory comes
+// nearest the site center, -1 when the minute holds no trusted VP.
+// Scanning trusted nodes in insertion order with a strict less keeps
+// tie-breaking identical to Build's scan, so every extraction path
+// (batch Build, ViewmapFor, SiteView) selects the same anchor.
+func (b *IncrementalBuilder) nearestTrustedTo(siteCenter geo.Point) int {
+	bestDist := -1.0
+	nearestTrusted := -1
+	for _, t := range b.trusted {
+		p := b.profiles[t]
+		for i := range p.VDs {
+			if d := p.VDs[i].L.Dist(siteCenter); nearestTrusted < 0 || d < bestDist {
+				bestDist = d
+				nearestTrusted = t
+			}
+		}
+	}
+	return nearestTrusted
+}
+
+// coverFor spans the coverage area encompassing the site and the given
+// trusted node's trajectory, inflated by margin — Build's coverage
+// rule.
+func (b *IncrementalBuilder) coverFor(site geo.Rect, trusted int, margin float64) geo.Rect {
+	cover := site
+	for i := range b.profiles[trusted].VDs {
+		cover = expand(cover, b.profiles[trusted].VDs[i].L)
+	}
+	return cover.Inflate(margin)
 }
 
 // ErrNoTrusted is returned by Build and by ViewmapFor when the minute

@@ -53,28 +53,79 @@ func (c TrustRankConfig) withDefaults() TrustRankConfig {
 // The trust distribution vector d places equal mass on each trusted VP;
 // a node's score flows out divided equally among its undirected edges.
 func (vm *Viewmap) TrustRank(cfg TrustRankConfig) ([]float64, error) {
+	scores, _, err := vm.trustRank(cfg)
+	return scores, err
+}
+
+// TrustRankFrom resumes the power iteration from a previously
+// converged score vector instead of the trust distribution vector.
+// The fixed point of P = delta*M*P + (1-delta)*d is unique and the
+// update contracts the L1 distance by delta per step, so any starting
+// vector converges to the same scores; starting near the fixed point
+// just takes fewer iterations. prev covers an id-prefix of the current
+// nodes (new nodes start from d); a nil prev, or one longer than the
+// viewmap, falls back to the cold start. Returns the scores and the
+// number of iterations executed.
+func (vm *Viewmap) TrustRankFrom(prev []float64, cfg TrustRankConfig) ([]float64, int, error) {
 	cfg = cfg.withDefaults()
+	d, p, err := vm.trustSeed(cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	if prev != nil && len(prev) <= len(p) {
+		copy(p, prev)
+	}
+	scores, iters := vm.powerIterate(d, p, cfg)
+	return scores, iters, nil
+}
+
+// trustRank is TrustRank plus the iteration count.
+func (vm *Viewmap) trustRank(cfg TrustRankConfig) ([]float64, int, error) {
+	cfg = cfg.withDefaults()
+	d, p, err := vm.trustSeed(cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	scores, iters := vm.powerIterate(d, p, cfg)
+	return scores, iters, nil
+}
+
+// trustSeed validates the viewmap and config and returns the trust
+// distribution vector d and the cold starting vector p (a copy of d).
+// cfg must already carry defaults.
+func (vm *Viewmap) trustSeed(cfg TrustRankConfig) (d, p []float64, err error) {
 	if cfg.Damping <= 0 || cfg.Damping >= 1 {
-		return nil, fmt.Errorf("core: damping must be in (0,1), got %v", cfg.Damping)
+		return nil, nil, fmt.Errorf("core: damping must be in (0,1), got %v", cfg.Damping)
 	}
 	n := len(vm.Profiles)
 	if n == 0 {
-		return nil, errors.New("core: empty viewmap")
+		return nil, nil, errors.New("core: empty viewmap")
 	}
 	if len(vm.Trusted) == 0 {
-		return nil, errors.New("core: viewmap has no trusted VP")
+		return nil, nil, errors.New("core: viewmap has no trusted VP")
 	}
 	vm.ensureCSR()
-	d := make([]float64, n)
+	d = make([]float64, n)
 	share := 1.0 / float64(len(vm.Trusted))
 	for _, t := range vm.Trusted {
 		d[t] = share
 	}
-	p := make([]float64, n)
+	p = make([]float64, n)
 	copy(p, d)
+	return d, p, nil
+}
+
+// powerIterate runs the damped power iteration from starting vector p
+// until the L1 residual drops below cfg.Epsilon or cfg.MaxIterations,
+// returning the final vector and the iteration count. cfg must already
+// carry defaults.
+func (vm *Viewmap) powerIterate(d, p []float64, cfg TrustRankConfig) ([]float64, int) {
+	n := len(p)
 	next := make([]float64, n)
 	off, adj := vm.csrOff, vm.csrAdj
+	iters := 0
 	for iter := 0; iter < cfg.MaxIterations; iter++ {
+		iters++
 		for i := range next {
 			next[i] = (1 - cfg.Damping) * d[i]
 		}
@@ -101,7 +152,7 @@ func (vm *Viewmap) TrustRank(cfg TrustRankConfig) ([]float64, error) {
 			break
 		}
 	}
-	return p, nil
+	return p, iters
 }
 
 // Verdict is the outcome of verifying the VPs inside an investigation
@@ -130,14 +181,20 @@ func (v *Verdict) LegitimateIDs(vm *Viewmap) []vd.VPID {
 // compute trust scores, mark the highest-scored in-site VP legitimate,
 // then mark everything reachable from it strictly via in-site VPs.
 func (vm *Viewmap) VerifySite(siteNodes []int, cfg TrustRankConfig) (*Verdict, error) {
-	scores, err := vm.TrustRank(cfg)
+	v, _, err := vm.verifySiteScored(siteNodes, cfg)
+	return v, err
+}
+
+// verifySiteScored is VerifySite plus the power-iteration count.
+func (vm *Viewmap) verifySiteScored(siteNodes []int, cfg TrustRankConfig) (*Verdict, int, error) {
+	scores, iters, err := vm.trustRank(cfg)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	gap := cfg.LayerGapRatio
 	verdict := &Verdict{Scores: scores, Anchor: -1}
 	if len(siteNodes) == 0 {
-		return verdict, nil
+		return verdict, iters, nil
 	}
 	n := len(vm.Profiles)
 	inSite := make([]bool, n)
@@ -178,7 +235,161 @@ func (vm *Viewmap) VerifySite(siteNodes []int, cfg TrustRankConfig) (*Verdict, e
 		verdict.Legitimate = cutSecondaryLayer(verdict.Legitimate, scores, gap)
 	}
 	sort.Ints(verdict.Legitimate)
-	return verdict, nil
+	return verdict, iters, nil
+}
+
+// VerifyStats reports how a verification converged.
+type VerifyStats struct {
+	// Iterations is the number of power-iteration steps executed.
+	Iterations int
+	// Warm reports whether the verdict came from the certified
+	// warm-start path; false means the cold VerifySite path ran (either
+	// by request or because the warm run could not certify its verdict).
+	Warm bool
+}
+
+// VerifySiteFrom is VerifySite warm-started from a previously converged
+// score vector. The verdict is always identical to VerifySite's on the
+// same viewmap: Algorithm 1 only consumes the scores through the
+// highest-scored in-site node, and the legitimate set it yields is that
+// node's connected component of the in-site induced subgraph. The warm
+// iteration therefore stops as soon as the component ordering is
+// provably settled: with L1 residual D between consecutive iterates,
+// the distance to the fixed point is at most c*D for c = delta/(1-delta)
+// (geometric-series tail of the delta-contraction), and the cold path
+// stops with residual below epsilon, i.e. within c*epsilon of the fixed
+// point. Once the gap between the best and second-best component maxima
+// exceeds c*(D+epsilon), both the fixed point's and the cold vector's
+// in-site argmax provably land in the warm leader's component, so the
+// legitimate set — and hence the verdict — matches the cold one
+// bit-for-bit. If the iteration instead reaches epsilon-convergence or
+// the iteration cap without certifying (ambiguous components, exact
+// ties), the warm work is discarded and the exact cold path runs.
+// Anchor may name a different member of the same component than the
+// cold run when scores inside it are still settling; Legitimate and
+// Scores' fixed point are unaffected. A nil prev, a prev longer than
+// the viewmap, an empty site, or a positive LayerGapRatio (whose layer
+// cut reads raw score values) always takes the cold path.
+func (vm *Viewmap) VerifySiteFrom(siteNodes []int, prev []float64, cfg TrustRankConfig) (*Verdict, VerifyStats, error) {
+	c := cfg.withDefaults()
+	n := len(vm.Profiles)
+	if prev == nil || len(prev) > n || c.LayerGapRatio > 0 || len(siteNodes) == 0 {
+		v, iters, err := vm.verifySiteScored(siteNodes, cfg)
+		return v, VerifyStats{Iterations: iters}, err
+	}
+	d, p, err := vm.trustSeed(c)
+	if err != nil {
+		return nil, VerifyStats{}, err
+	}
+	copy(p, prev)
+	// Connected components of the in-site induced subgraph: the
+	// legitimate set is always exactly one of these.
+	inSite := make([]bool, n)
+	for _, i := range siteNodes {
+		inSite[i] = true
+	}
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	ncomp := 0
+	var queue []int
+	for _, s := range siteNodes {
+		if comp[s] >= 0 {
+			continue
+		}
+		comp[s] = ncomp
+		queue = append(queue[:0], s)
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			for _, v := range vm.csrAdj[vm.csrOff[u]:vm.csrOff[u+1]] {
+				if inSite[v] && comp[v] < 0 {
+					comp[v] = ncomp
+					queue = append(queue, int(v))
+				}
+			}
+		}
+		ncomp++
+	}
+	coef := c.Damping / (1 - c.Damping)
+	compMax := make([]float64, ncomp)
+	next := make([]float64, n)
+	off, adj := vm.csrOff, vm.csrAdj
+	iters := 0
+	certified := false
+	for iter := 0; iter < c.MaxIterations; iter++ {
+		iters++
+		for i := range next {
+			next[i] = (1 - c.Damping) * d[i]
+		}
+		for u := 0; u < n; u++ {
+			lo, hi := off[u], off[u+1]
+			if lo == hi || p[u] == 0 {
+				continue
+			}
+			out := c.Damping * p[u] / float64(hi-lo)
+			for _, v := range adj[lo:hi] {
+				next[v] += out
+			}
+		}
+		var delta float64
+		for i := range next {
+			diff := next[i] - p[i]
+			if diff < 0 {
+				diff = -diff
+			}
+			delta += diff
+		}
+		p, next = next, p
+		if ncomp == 1 {
+			// A single component is the verdict regardless of scores.
+			certified = true
+			break
+		}
+		best1, best2 := -1.0, -1.0
+		for i := range compMax {
+			compMax[i] = -1
+		}
+		for _, s := range siteNodes {
+			if v := p[s]; v > compMax[comp[s]] {
+				compMax[comp[s]] = v
+			}
+		}
+		for _, v := range compMax {
+			if v > best1 {
+				best1, best2 = v, best1
+			} else if v > best2 {
+				best2 = v
+			}
+		}
+		if best1-best2 > coef*(delta+c.Epsilon) {
+			certified = true
+			break
+		}
+		if delta < c.Epsilon {
+			break
+		}
+	}
+	if !certified {
+		v, coldIters, err := vm.verifySiteScored(siteNodes, cfg)
+		return v, VerifyStats{Iterations: iters + coldIters}, err
+	}
+	// Anchor: highest-scored in-site node, ties toward the lower id
+	// (siteNodes ascends; strict > keeps the first maximum).
+	anchor := siteNodes[0]
+	for _, i := range siteNodes[1:] {
+		if p[i] > p[anchor] {
+			anchor = i
+		}
+	}
+	verdict := &Verdict{Scores: p, Anchor: anchor}
+	for _, s := range siteNodes {
+		if comp[s] == comp[anchor] {
+			verdict.Legitimate = append(verdict.Legitimate, s)
+		}
+	}
+	sort.Ints(verdict.Legitimate)
+	return verdict, VerifyStats{Iterations: iters, Warm: true}, nil
 }
 
 // cutSecondaryLayer drops nodes below the widest consecutive score

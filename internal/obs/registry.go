@@ -61,6 +61,17 @@ const (
 	// MetricAdmissionQueueDepth is the admission-gate queue depth
 	// histogram (label: class), sampled at every arrival.
 	MetricAdmissionQueueDepth = "viewmap_admission_queue_depth"
+	// MetricTrustRankIterations is the power-iteration count histogram
+	// per verification (label: mode), split by whether the run warm-
+	// started from a cached score vector or recomputed cold.
+	MetricTrustRankIterations = "viewmap_trustrank_iterations"
+)
+
+// TrustRank verification modes, the values of MetricTrustRankIterations's
+// mode label.
+const (
+	TrustRankWarm = "warm"
+	TrustRankCold = "cold"
 )
 
 // Registry holds the fixed metric families of one server. All
@@ -76,6 +87,7 @@ type Registry struct {
 	stages    [NumStages]*Histogram
 	walBatch  *Histogram
 	depth     map[string]*Histogram
+	trustrank map[string]*Histogram
 }
 
 // NewRegistry builds a registry over the given endpoint paths and
@@ -98,6 +110,10 @@ func NewRegistry(enabled bool, endpoints, classes []string) *Registry {
 	r.depth = make(map[string]*Histogram, len(classes))
 	for _, c := range classes {
 		r.depth[c] = &Histogram{}
+	}
+	r.trustrank = map[string]*Histogram{
+		TrustRankWarm: {},
+		TrustRankCold: {},
 	}
 	return r
 }
@@ -140,6 +156,31 @@ func (r *Registry) QueueDepth(class string) *Histogram {
 		return nil
 	}
 	return r.depth[class]
+}
+
+// TrustRank returns the power-iteration-count histogram for one
+// verification mode (TrustRankWarm or TrustRankCold), or nil for an
+// unknown mode.
+func (r *Registry) TrustRank(mode string) *Histogram {
+	if !r.Enabled() {
+		return nil
+	}
+	return r.trustrank[mode]
+}
+
+// TrustRankSnapshots returns one iteration-count snapshot per
+// verification mode, keyed by mode, skipping empty ones.
+func (r *Registry) TrustRankSnapshots() map[string]Snapshot {
+	out := make(map[string]Snapshot)
+	if !r.Enabled() {
+		return out
+	}
+	for mode, h := range r.trustrank {
+		if s := h.Snapshot(); s.Count > 0 {
+			out[mode] = s
+		}
+	}
+	return out
 }
 
 // EndpointSnapshots returns a merged snapshot per registered endpoint
@@ -211,6 +252,18 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 		}
 	}
 	writeFamily(w, MetricAdmissionQueueDepth, "class", depth, false)
+	var tr []labeledHist
+	if r.Enabled() {
+		modes := make([]string, 0, len(r.trustrank))
+		for m := range r.trustrank {
+			modes = append(modes, m)
+		}
+		sort.Strings(modes)
+		for _, m := range modes {
+			tr = append(tr, labeledHist{m, r.trustrank[m]})
+		}
+	}
+	writeFamily(w, MetricTrustRankIterations, "mode", tr, false)
 }
 
 type labeledHist struct {

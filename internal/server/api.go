@@ -9,9 +9,12 @@ import (
 	"io"
 	"math/big"
 	"net/http"
+	"net/url"
+	"strconv"
 	"time"
 
 	"viewmap/internal/anon"
+	"viewmap/internal/core"
 	"viewmap/internal/evidence"
 	"viewmap/internal/geo"
 	"viewmap/internal/obs"
@@ -30,6 +33,18 @@ const authorityHeader = "X-Viewmap-Authority"
 // Evidence deliveries and payouts refuse a missing or replayed id.
 const sessionHeader = "X-Session"
 
+// Watch-endpoint bounds. A watch holds one of the investigate-class
+// admission slots for its whole duration (see overload.go), so the
+// stream lifetime is capped: timeoutMs defaults to watchDefaultTimeout
+// and is clamped to watchMaxTimeout. Minutes with no resident shard
+// cannot be waited on through a commit channel; those are polled at
+// watchPollInterval until they materialize.
+const (
+	watchDefaultTimeout = 30 * time.Second
+	watchMaxTimeout     = 60 * time.Second
+	watchPollInterval   = 200 * time.Millisecond
+)
+
 // Handler returns the system's HTTP API.
 //
 //	POST /v1/vp                      binary VP upload (anonymous)
@@ -37,6 +52,7 @@ const sessionHeader = "X-Session"
 //	POST /v1/vp/trusted              binary VP upload (authority)
 //	POST /v1/investigate             {"site":{...},"minute":N} (authority)
 //	POST /v1/investigate/report      {"site":{...},"minute":N} -> per-VP verdicts (authority)
+//	GET  /v1/investigate/watch       streamed NDJSON reports on epoch advance (authority)
 //	GET  /v1/solicitations           {"ids":["hex",...]}
 //	POST /v1/video                   {"id":"hex","chunks":["b64",...]}
 //	GET  /v1/rewards                 {"ids":["hex",...]}
@@ -171,6 +187,127 @@ func Handler(sys *System) http.Handler {
 			}
 		}
 		writeJSON(w, out)
+	})
+	// GET /v1/investigate/watch streams fresh investigation reports as
+	// NDJSON (one JSON object per line, flushed immediately): the current
+	// state first, then one line per content-epoch advance — ingest that
+	// lands outside the site's coverage area advances the builder but not
+	// the content epoch and is never re-reported. Query parameters:
+	// minX/minY/maxX/maxY (site), minute, and optionally fromEpoch
+	// (suppress reports at or below this content epoch; resume token),
+	// maxReports (close the stream after N reports), and timeoutMs
+	// (stream lifetime, clamped to watchMaxTimeout). Errors before the
+	// first report are plain HTTP errors; after it, a final
+	// {"error":...} line. The stream ends cleanly (200, possibly zero
+	// lines) on timeout or client disconnect.
+	mux.HandleFunc("GET /v1/investigate/watch", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		site, err := rectFromQuery(q)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		minute, err := strconv.ParseInt(q.Get("minute"), 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("server: bad minute %q", q.Get("minute")))
+			return
+		}
+		var fromEpoch uint64
+		if s := q.Get("fromEpoch"); s != "" {
+			if fromEpoch, err = strconv.ParseUint(s, 10, 64); err != nil {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("server: bad fromEpoch %q", s))
+				return
+			}
+		}
+		var maxReports int
+		if s := q.Get("maxReports"); s != "" {
+			if maxReports, err = strconv.Atoi(s); err != nil || maxReports < 0 {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("server: bad maxReports %q", s))
+				return
+			}
+		}
+		timeout := watchDefaultTimeout
+		if s := q.Get("timeoutMs"); s != "" {
+			ms, err := strconv.Atoi(s)
+			if err != nil || ms <= 0 {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("server: bad timeoutMs %q", s))
+				return
+			}
+			timeout = time.Duration(ms) * time.Millisecond
+		}
+		if timeout > watchMaxTimeout {
+			timeout = watchMaxTimeout
+		}
+		token := r.Header.Get(authorityHeader)
+
+		deadline := time.NewTimer(timeout)
+		defer deadline.Stop()
+		ctx := r.Context()
+		flusher, _ := w.(http.Flusher)
+		enc := json.NewEncoder(w)
+		started := false
+		last := fromEpoch
+		sent := 0
+		for {
+			// Grab the change channel BEFORE snapshotting: a commit that
+			// lands between the snapshot and the wait closes this channel,
+			// so the wakeup cannot be lost.
+			_, ch := sys.Store().MinuteChange(minute)
+			report, cepoch, err := sys.InvestigateSnapshot(token, site, minute)
+			switch {
+			case err == nil:
+				if cepoch > last {
+					if !started {
+						w.Header().Set("Content-Type", "application/x-ndjson")
+						started = true
+					}
+					if err := enc.Encode(watchReportJSON{
+						Minute: report.Minute, Epoch: cepoch,
+						Members: report.Members, Edges: report.Edges, InSite: report.InSite,
+						Legitimate: encodeIDs(report.Legitimate),
+					}); err != nil {
+						return
+					}
+					if flusher != nil {
+						flusher.Flush()
+					}
+					last = cepoch
+					sent++
+					if maxReports > 0 && sent >= maxReports {
+						return
+					}
+				}
+			case errors.Is(err, ErrNoMinute), errors.Is(err, core.ErrNoTrusted):
+				// Benign absences: the minute (or its first trusted VP) may
+				// yet arrive within the watch window — keep waiting.
+			default:
+				if !started {
+					httpError(w, statusFor(err), err)
+					return
+				}
+				_ = enc.Encode(map[string]string{"error": err.Error()})
+				if flusher != nil {
+					flusher.Flush()
+				}
+				return
+			}
+			var pollC <-chan time.Time
+			if ch == nil {
+				// No resident shard to wait on; poll until it appears.
+				pollC = time.After(watchPollInterval)
+			}
+			select {
+			case <-ctx.Done():
+				return
+			case <-deadline.C:
+				if !started {
+					w.Header().Set("Content-Type", "application/x-ndjson")
+				}
+				return
+			case <-ch:
+			case <-pollC:
+			}
+		}
 	})
 	mux.HandleFunc("GET /v1/solicitations", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, idsResponse{IDs: encodeIDs(sys.Solicitations())})
@@ -502,8 +639,9 @@ func Handler(sys *System) http.Handler {
 				Evidence:          classStatsJSON(ov.Evidence),
 				RetryAfterSeconds: ov.RetryAfterSeconds,
 			},
-			Latency:  latJSON,
-			Pipeline: pipeJSON,
+			Latency:   latJSON,
+			Pipeline:  pipeJSON,
+			TrustRank: trustRankJSON(sys.TrustRankStats()),
 		})
 	})
 	return withTelemetry(sys, withAdmission(sys.overload, mux))
@@ -541,6 +679,18 @@ type investigatePeriodResponse struct {
 	// Minutes holds one report per minute of the period; null entries
 	// mark minutes for which no viewmap could be built.
 	Minutes []*investigateResponse `json:"minutes"`
+}
+
+// watchReportJSON is one NDJSON line of GET /v1/investigate/watch.
+// Epoch is the report's content epoch — the resume token for a
+// follow-up watch's fromEpoch.
+type watchReportJSON struct {
+	Minute     int64    `json:"minute"`
+	Epoch      uint64   `json:"epoch"`
+	Members    int      `json:"members"`
+	Edges      int      `json:"edges"`
+	InSite     int      `json:"inSite"`
+	Legitimate []string `json:"legitimate"`
 }
 
 type batchResponse struct {
@@ -588,18 +738,41 @@ type bankResponse struct {
 }
 
 type statsResponse struct {
-	VPs         int                   `json:"vps"`
-	Trusted     int                   `json:"trusted"`
-	ReviewQueue int                   `json:"reviewQueue"`
-	Minutes     int                   `json:"minutes"`
-	Ingest      ingestStatsJSON       `json:"ingest"`
-	Shards      []shardStatJSON       `json:"shards"`
-	Retention   retentionStatsJSON    `json:"retention"`
-	Durability  durabilityStatsJSON   `json:"durability"`
-	Evidence    evidenceStatsJSON     `json:"evidence"`
-	Overload    overloadStatsJSON     `json:"overload"`
-	Latency     []endpointLatencyJSON `json:"latency"`
-	Pipeline    pipelineStatsJSON     `json:"pipeline"`
+	VPs         int                          `json:"vps"`
+	Trusted     int                          `json:"trusted"`
+	ReviewQueue int                          `json:"reviewQueue"`
+	Minutes     int                          `json:"minutes"`
+	Ingest      ingestStatsJSON              `json:"ingest"`
+	Shards      []shardStatJSON              `json:"shards"`
+	Retention   retentionStatsJSON           `json:"retention"`
+	Durability  durabilityStatsJSON          `json:"durability"`
+	Evidence    evidenceStatsJSON            `json:"evidence"`
+	Overload    overloadStatsJSON            `json:"overload"`
+	Latency     []endpointLatencyJSON        `json:"latency"`
+	Pipeline    pipelineStatsJSON            `json:"pipeline"`
+	TrustRank   map[string]trustRankModeJSON `json:"trustrank"`
+}
+
+// trustRankModeJSON summarizes one verification mode ("warm"/"cold")
+// in GET /v1/stats: how many verifications ran that way and how many
+// power iterations they needed.
+type trustRankModeJSON struct {
+	Verifications uint64 `json:"verifications"`
+	P50Iterations uint64 `json:"p50Iterations"`
+	P99Iterations uint64 `json:"p99Iterations"`
+}
+
+// trustRankJSON converts the mode snapshots to their wire form.
+func trustRankJSON(stats map[string]TrustRankModeStats) map[string]trustRankModeJSON {
+	out := make(map[string]trustRankModeJSON, len(stats))
+	for mode, s := range stats {
+		out[mode] = trustRankModeJSON{
+			Verifications: s.Verifications,
+			P50Iterations: s.P50Iterations,
+			P99Iterations: s.P99Iterations,
+		}
+	}
+	return out
 }
 
 type endpointLatencyJSON struct {
@@ -751,6 +924,20 @@ type videoResponse struct {
 
 // Helpers.
 
+// rectFromQuery decodes a site rectangle from minX/minY/maxX/maxY
+// query parameters.
+func rectFromQuery(q url.Values) (geo.Rect, error) {
+	var vals [4]float64
+	for i, k := range [4]string{"minX", "minY", "maxX", "maxY"} {
+		v, err := strconv.ParseFloat(q.Get(k), 64)
+		if err != nil {
+			return geo.Rect{}, fmt.Errorf("server: bad %s %q", k, q.Get(k))
+		}
+		vals[i] = v
+	}
+	return geo.NewRect(geo.Pt(vals[0], vals[1]), geo.Pt(vals[2], vals[3])), nil
+}
+
 func decodeJSON(r *http.Request, v interface{}) error {
 	dec := json.NewDecoder(io.LimitReader(r.Body, maxUploadBytes))
 	dec.DisallowUnknownFields()
@@ -794,6 +981,8 @@ func statusFor(err error) int {
 		return http.StatusBadRequest
 	case errors.Is(err, ErrUnauthorized):
 		return http.StatusUnauthorized
+	case errors.Is(err, ErrDurability):
+		return http.StatusServiceUnavailable
 	default:
 		return http.StatusBadRequest
 	}

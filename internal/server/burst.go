@@ -298,6 +298,8 @@ func (s *Store) processBursts(sh *minuteShard, bursts []*burst) bool {
 		sh.quarantined += b.quarantined
 	}
 	sh.dirty = true
+	close(sh.changed)
+	sh.changed = make(chan struct{})
 	minute := sh.builder.Minute()
 	sh.mu.Unlock()
 
@@ -362,6 +364,8 @@ func (s *Store) submitBurst(m int64, profiles []*vp.Profile, countRejects bool, 
 			}
 			sh.profiles = append(sh.profiles, profiles...)
 			sh.dirty = true
+			close(sh.changed)
+			sh.changed = make(chan struct{})
 			sh.mu.Unlock()
 			for _, p := range profiles {
 				b.stored++

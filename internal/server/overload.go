@@ -52,7 +52,11 @@ func classifyEndpoint(path string) endpointClass {
 	case "/v1/vp", "/v1/vp/batch", "/v1/vp/trusted", "/v1/video":
 		return classIngest
 	case "/v1/investigate", "/v1/investigate/period", "/v1/investigate/report",
+		"/v1/investigate/watch",
 		"/v1/evidence/solicit", "/v1/evidence/video":
+		// A watch stream holds its investigate slot for its whole
+		// (bounded) lifetime, so long watches trade against interactive
+		// investigation capacity; see the watch timeout clamp in api.go.
 		return classInvestigate
 	case "/v1/stats", "/v1/bank", "/v1/metrics":
 		return classNone

@@ -168,6 +168,10 @@ func (s *Store) evictShard(m int64) error {
 			s.ids.Store(p.ID(), evictedRef{minute: m})
 		}
 		sh.evicted = true
+		// Wake any watch stream parked on the shard; the commit paths
+		// check evicted under this same lock before closing, so the
+		// channel closes exactly once.
+		close(sh.changed)
 		delete(s.shards, m)
 		if version > 0 {
 			// An empty shard (created for an in-flight burst that has
@@ -181,9 +185,6 @@ func (s *Store) evictShard(m int64) error {
 		// worker drains (failing queued bursts back to their submitters,
 		// who re-resolve against the successor shard) and exits.
 		sh.stopLinkWorker()
-		if s.onEvict != nil {
-			s.onEvict(m)
-		}
 		// Eviction runs on the background sweep, never a request path, so
 		// the timing is unconditional (spill + drop, including retries).
 		s.evictions.Add(1)
@@ -316,7 +317,7 @@ func (s *Store) reloadSegment(m int64) (*minuteShard, error) {
 	have := s.segments[m]
 	s.mu.RUnlock()
 	if !have {
-		return nil, fmt.Errorf("server: no profiles stored for minute %d", m)
+		return nil, fmt.Errorf("%w %d", ErrNoMinute, m)
 	}
 	profiles, err := s.readSegment(m)
 	if err != nil {

@@ -55,10 +55,6 @@ type Store struct {
 	newestMinute atomic.Int64
 	// touchSeq stamps shard recency for the cold-set LRU.
 	touchSeq atomic.Uint64
-	// onEvict, when set, is called after a minute shard is evicted
-	// (outside all store locks); the System drops the minute's verdict
-	// cache entries through it.
-	onEvict func(minute int64)
 
 	// ids maps VPID -> *vp.Profile across all shards. An ingest claims
 	// its identifier here first, with one atomic LoadOrStore: losers
@@ -133,10 +129,15 @@ type minuteShard struct {
 	// what to link).
 	profiles []*vp.Profile
 	builder  *core.IncrementalBuilder
-	// cache holds site viewmaps extracted from the builder, keyed by
-	// site rectangle and valid while the stamped epoch matches the
-	// builder's. Bounded by viewmapCacheMax.
-	cache map[geo.Rect]cachedViewmap
+	// cache holds per-site incremental extractions of the builder's
+	// graph, keyed by site rectangle: each SiteView keeps its induced
+	// subgraph patched under the minute's ingest instead of
+	// re-extracting per epoch. Bounded by viewmapCacheMax.
+	cache map[geo.Rect]*core.SiteView
+	// changed is closed and replaced (under mu) whenever a commit lands
+	// in the shard, waking investigation watch streams; eviction closes
+	// it without replacement. Never nil.
+	changed chan struct{}
 	// quarantined counts profiles stored in the slab that the
 	// incremental linker refused to link (implausible trajectories):
 	// they are in the database — construction decides what to link —
@@ -169,12 +170,6 @@ type minuteShard struct {
 // noMinute is newestMinute's value before the first ingest.
 const noMinute = int64(-1) << 62
 
-// cachedViewmap is one cache entry: the viewmap extracted at epoch.
-type cachedViewmap struct {
-	epoch uint64
-	vm    *core.Viewmap
-}
-
 // viewmapCacheMax bounds the per-shard site-viewmap cache. Distinct
 // investigation sites per minute are few (an incident has one site;
 // period investigations reuse it across minutes), so a handful of
@@ -198,6 +193,13 @@ func NewStoreWith(cfg StoreConfig) *Store {
 // ErrDuplicate is returned when a VP identifier is already stored.
 var ErrDuplicate = errors.New("server: VP already stored")
 
+// ErrNoMinute is returned by the viewmap accessors when the queried
+// minute holds no stored profiles at all — neither resident nor in a
+// segment file. It marks the benign "nothing happened that minute"
+// case, as distinct from transient failures (an unreadable segment)
+// that callers must propagate rather than misreport as empty.
+var ErrNoMinute = errors.New("server: no profiles stored for minute")
+
 // shard returns the shard for minute m, or nil when none exists.
 func (s *Store) shard(m int64) *minuteShard {
 	s.mu.RLock()
@@ -215,7 +217,8 @@ func (s *Store) newShard(m int64) *minuteShard {
 			DSRCRange:        s.cfg.DSRCRange,
 			RequirePlausible: true,
 		}),
-		cache: make(map[geo.Rect]cachedViewmap),
+		cache:   make(map[geo.Rect]*core.SiteView),
+		changed: make(chan struct{}),
 	}
 	if !s.cfg.DisableViewmapCache {
 		sh.ring = newIngestRing()
@@ -643,24 +646,35 @@ func (s *Store) MinuteEpoch(m int64) uint64 {
 	return sh.builder.Epoch()
 }
 
-// ViewmapFor returns the viewmap for an investigation site and
-// minute. On the incremental path (the default) the minute's
-// maintained graph is already linked, so this is an induced-subgraph
-// extraction — and a repeated site on an unchanged minute is a pure
-// cache hit returning the previously extracted viewmap. With
-// DisableViewmapCache set, the viewmap is rebuilt from scratch with
-// core.Build on every call (the rebuild-per-request baseline).
+// ViewmapFor returns the viewmap for an investigation site and minute
+// (SiteViewmap without the identity stamps, for callers that do not
+// cache verdicts).
+func (s *Store) ViewmapFor(site geo.Rect, minute int64) (*core.Viewmap, error) {
+	vm, _, _, err := s.SiteViewmap(site, minute)
+	return vm, err
+}
+
+// SiteViewmap returns the viewmap for an investigation site and
+// minute, together with its content epoch and extraction generation
+// (see core.SiteView.Refresh). On the incremental path (the default)
+// the minute's maintained graph is already linked and each site keeps
+// a patched induced subgraph, so a repeated site pays only for the
+// ingest delta since its last extraction — zero when the minute's
+// content around the site is unchanged. With DisableViewmapCache set,
+// the viewmap is rebuilt from scratch with core.Build on every call
+// (the rebuild-per-request baseline) and both stamps are zero: the
+// identity is unknown and callers must not cache verdicts under it.
 //
 // The returned viewmap is immutable; later ingests produce new
 // viewmaps rather than mutating published ones, so callers may use it
 // without locking, concurrently with further uploads.
-func (s *Store) ViewmapFor(site geo.Rect, minute int64) (*core.Viewmap, error) {
+func (s *Store) SiteViewmap(site geo.Rect, minute int64) (*core.Viewmap, uint64, uint64, error) {
 	sh, err := s.residentShard(minute)
 	if err != nil {
-		return nil, err
+		return nil, 0, 0, err
 	}
 	if sh == nil {
-		return nil, fmt.Errorf("server: no profiles stored for minute %d", minute)
+		return nil, 0, 0, fmt.Errorf("%w %d", ErrNoMinute, minute)
 	}
 	if s.cfg.DisableViewmapCache {
 		// Baseline: snapshot the slab under the lock, relink outside it.
@@ -668,30 +682,45 @@ func (s *Store) ViewmapFor(site geo.Rect, minute int64) (*core.Viewmap, error) {
 		profiles := make([]*vp.Profile, len(sh.profiles))
 		copy(profiles, sh.profiles)
 		sh.mu.Unlock()
-		return core.Build(profiles, core.BuildConfig{
+		vm, err := core.Build(profiles, core.BuildConfig{
 			Site: site, Minute: minute,
 			DSRCRange:        s.cfg.DSRCRange,
 			RequirePlausible: true,
 		})
+		return vm, 0, 0, err
 	}
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	epoch := sh.builder.Epoch()
-	if c, ok := sh.cache[site]; ok && c.epoch == epoch {
-		return c.vm, nil
-	}
-	vm, err := sh.builder.ViewmapFor(site, 0)
-	if err != nil {
-		return nil, err
-	}
-	if len(sh.cache) >= viewmapCacheMax {
-		// Evict any stale or arbitrary entry; the cache is tiny and
-		// entries from older epochs are dead weight anyway.
-		for k := range sh.cache {
-			delete(sh.cache, k)
-			break
+	sv := sh.cache[site]
+	if sv == nil {
+		if len(sh.cache) >= viewmapCacheMax {
+			// Evict an arbitrary entry; the cache is tiny and a re-created
+			// SiteView only costs one fresh extraction.
+			for k := range sh.cache {
+				delete(sh.cache, k)
+				break
+			}
 		}
+		sv = core.NewSiteView(sh.builder, site, 0)
+		sh.cache[site] = sv
 	}
-	sh.cache[site] = cachedViewmap{epoch: epoch, vm: vm}
-	return vm, nil
+	return sv.Refresh()
+}
+
+// MinuteChange returns the minute's current builder epoch and a
+// channel that is closed on the next commit into the minute (or when
+// the minute's shard is evicted — re-resolve and re-arm). The channel
+// is read under the same shard lock that commits advance the epoch
+// under, so a caller that reads (epoch, ch), then finds no fresh
+// content at that epoch, can safely block on ch: any later commit
+// closes it. A nil channel means the minute is not resident; callers
+// poll instead of blocking.
+func (s *Store) MinuteChange(m int64) (uint64, <-chan struct{}) {
+	sh := s.shard(m)
+	if sh == nil {
+		return 0, nil
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.builder.Epoch(), sh.changed
 }

@@ -55,14 +55,18 @@ type System struct {
 	rewardsPosted map[vd.VPID]*RewardOffer
 	reviewQueue   []*Submission
 
-	// verdicts caches TrustRank verification results per investigated
-	// (site, minute). An entry is valid only while the store still
-	// serves the identical cached viewmap it was computed from —
-	// pointer identity doubles as the epoch check, so ingest into the
-	// minute (which refreshes the store's cached viewmap) invalidates
-	// the verdict with it. Bounded by verdictCacheMax.
-	verdictMu sync.Mutex
-	verdicts  map[investigationKey]verdictEntry
+	// verdicts caches converged TrustRank verifications per investigated
+	// (site, minute). Entry identity is the extraction's content epoch
+	// (core.SiteView.Refresh): a deterministic function of the minute's
+	// graph, so a verdict survives viewmap re-extraction and even a
+	// segment evict/reload of the whole minute — the replayed minute
+	// reproduces the same content epochs bit for bit. When the content
+	// did change, the cached entry's converged score vector warm-starts
+	// the re-verification (verifiedSite). Bounded by verdictCacheMax
+	// with deterministic least-recently-used eviction (verdictSeq).
+	verdictMu  sync.Mutex
+	verdicts   map[investigationKey]*verdictEntry
+	verdictSeq uint64
 }
 
 // investigationKey identifies one repeated investigation.
@@ -71,15 +75,31 @@ type investigationKey struct {
 	minute int64
 }
 
-// verdictEntry pairs a cached verdict with the viewmap it scored.
+// verdictEntry is one cached verification outcome.
 type verdictEntry struct {
-	vm      *core.Viewmap
+	// epoch is the content epoch of the extraction the verdict scored;
+	// gen is that extraction's generation (the verdict's score vector
+	// warm-starts later verifications only within the same generation,
+	// whose node-id space extends the scored one as a prefix).
+	epoch, gen uint64
+	// members is the scored viewmap's size, the gauge for the
+	// perturbation cutoff (warmGrowthMax) on later warm starts.
+	members int
 	verdict *core.Verdict
+	// used is the recency stamp (verdictSeq at last hit) the LRU
+	// eviction orders by.
+	used uint64
 }
 
 // verdictCacheMax bounds the verdict cache; investigations target few
 // distinct (site, minute) pairs at a time.
 const verdictCacheMax = 64
+
+// warmGrowthMax caps the graph perturbation a warm start will chase: a
+// viewmap that grew past this multiple of the scored one re-verifies
+// cold (the previous vector carries too little of the mass layout to
+// help, and the certified early-out would rarely fire anyway).
+const warmGrowthMax = 8
 
 // Solicitation is a posted request for the video behind a VP
 // identifier. Only identifiers are public; the system never reveals
@@ -173,33 +193,22 @@ func NewSystem(cfg Config) (*System, error) {
 		slowRequest:    cfg.SlowRequest,
 		solicitations:  make(map[vd.VPID]*Solicitation),
 		rewardsPosted:  make(map[vd.VPID]*RewardOffer),
-		verdicts:       make(map[investigationKey]verdictEntry),
+		verdicts:       make(map[investigationKey]*verdictEntry),
 	}
 	// Pipeline stages recorded below the HTTP layer (ring wait, Stage,
 	// CommitStaged) and the admission gates' queue-depth sampling share
 	// the system's registry.
 	store.metrics = sys.metrics
 	sys.overload.metrics = sys.metrics
-	// An evicted minute drops its viewmap with the shard; the verdicts
-	// computed from it must not outlive it (evict-then-reload equality
-	// is re-established through a fresh extraction and verification).
-	store.onEvict = sys.purgeVerdictsFor
+	// Verdict cache entries deliberately outlive shard eviction: they
+	// are keyed by content epoch, which a segment reload reproduces bit
+	// for bit (the evict-then-reload equality invariant), so a cold
+	// query against an evicted minute reuses its verdicts instead of
+	// re-running TrustRank.
 	// Board and bank mutations journal through the system; no-ops
 	// until OpenDurable attaches a WAL.
 	ev.SetJournal(sys)
 	return sys, nil
-}
-
-// purgeVerdictsFor drops every cached verdict for a minute; the store
-// calls it after evicting the minute's shard.
-func (sys *System) purgeVerdictsFor(minute int64) {
-	sys.verdictMu.Lock()
-	for k := range sys.verdicts {
-		if k.minute == minute {
-			delete(sys.verdicts, k)
-		}
-	}
-	sys.verdictMu.Unlock()
 }
 
 // AuthorityToken returns the token authorities authenticate with.
@@ -416,20 +425,9 @@ func (sys *System) Investigate(token string, site geo.Rect, minute int64) (*Inve
 	if err := sys.checkAuthority(token); err != nil {
 		return nil, err
 	}
-	vm, err := sys.store.ViewmapFor(site, minute)
+	report, _, err := sys.investigateAt(site, minute)
 	if err != nil {
 		return nil, err
-	}
-	verdict, err := sys.verifiedSite(vm, site, minute)
-	if err != nil {
-		return nil, err
-	}
-	report := &InvestigationReport{
-		Minute:     minute,
-		Members:    vm.Len(),
-		Edges:      vm.NumEdges(),
-		InSite:     len(vm.InSite(site)),
-		Legitimate: verdict.LegitimateIDs(vm),
 	}
 	sys.mu.Lock()
 	defer sys.mu.Unlock()
@@ -440,6 +438,41 @@ func (sys *System) Investigate(token string, site geo.Rect, minute int64) (*Inve
 		}
 	}
 	return report, nil
+}
+
+// investigateAt extracts and verifies (site, minute) and builds the
+// report, with no solicitation side effects. It additionally returns
+// the verified extraction's content epoch — the identity the watch
+// endpoint dedups and resumes on.
+func (sys *System) investigateAt(site geo.Rect, minute int64) (*InvestigationReport, uint64, error) {
+	vm, epoch, gen, err := sys.store.SiteViewmap(site, minute)
+	if err != nil {
+		return nil, 0, err
+	}
+	verdict, err := sys.verifiedSite(vm, epoch, gen, site, minute)
+	if err != nil {
+		return nil, 0, err
+	}
+	return &InvestigationReport{
+		Minute:     minute,
+		Members:    vm.Len(),
+		Edges:      vm.NumEdges(),
+		InSite:     len(vm.InSite(site)),
+		Legitimate: verdict.LegitimateIDs(vm),
+	}, epoch, nil
+}
+
+// InvestigateSnapshot verifies (site, minute) like Investigate but
+// posts no solicitations, and returns the extraction's content epoch
+// alongside the report. The watch endpoint streams reports by calling
+// this each time the minute's epoch advances, emitting only when the
+// content epoch moved past the previously delivered one. Authority
+// only.
+func (sys *System) InvestigateSnapshot(token string, site geo.Rect, minute int64) (*InvestigationReport, uint64, error) {
+	if err := sys.checkAuthority(token); err != nil {
+		return nil, 0, err
+	}
+	return sys.investigateAt(site, minute)
 }
 
 // VPVerdict is one viewmap member's wire-visible verdict, as returned
@@ -478,11 +511,11 @@ func (sys *System) InvestigateReport(token string, site geo.Rect, minute int64) 
 	if err := sys.checkAuthority(token); err != nil {
 		return nil, err
 	}
-	vm, err := sys.store.ViewmapFor(site, minute)
+	vm, epoch, gen, err := sys.store.SiteViewmap(site, minute)
 	if err != nil {
 		return nil, err
 	}
-	verdict, err := sys.verifiedSite(vm, site, minute)
+	verdict, err := sys.verifiedSite(vm, epoch, gen, site, minute)
 	if err != nil {
 		return nil, err
 	}
@@ -520,41 +553,114 @@ func (sys *System) InvestigateReport(token string, site geo.Rect, minute int64) 
 }
 
 // verifiedSite returns the TrustRank verdict for a viewmap and site,
-// reusing a cached verdict while the store keeps serving the identical
-// viewmap (the verdict is a deterministic function of the two). With
-// the store's viewmap cache disabled every call sees a fresh viewmap
-// pointer, so this degrades gracefully to verify-per-request.
-func (sys *System) verifiedSite(vm *core.Viewmap, site geo.Rect, minute int64) (*core.Verdict, error) {
+// given the extraction's content epoch and generation (SiteViewmap).
+// A cached verdict for the same content epoch is reused outright — the
+// verdict is a deterministic function of the graph content, so this
+// holds across viewmap re-extraction and across a segment evict/reload
+// of the minute. When the content advanced, the cached entry's
+// converged score vector warm-starts the re-verification (same
+// generation only, and only within the warmGrowthMax perturbation
+// cutoff); core.VerifySiteFrom certifies the warm verdict equal to the
+// cold one or falls back internally. Epoch zero means the extraction
+// carries no identity (the rebuild-per-request baseline), which
+// degrades to verify-per-request exactly as that mode always has.
+func (sys *System) verifiedSite(vm *core.Viewmap, epoch, gen uint64, site geo.Rect, minute int64) (*core.Verdict, error) {
+	if epoch == 0 {
+		verdict, stats, err := vm.VerifySiteFrom(vm.InSite(site), nil, core.TrustRankConfig{})
+		if err != nil {
+			return nil, err
+		}
+		sys.noteTrustRank(stats)
+		return verdict, nil
+	}
 	key := investigationKey{site: site, minute: minute}
 	sys.verdictMu.Lock()
-	if e, ok := sys.verdicts[key]; ok && e.vm == vm {
+	e := sys.verdicts[key]
+	if e != nil && e.epoch == epoch {
+		sys.verdictSeq++
+		e.used = sys.verdictSeq
+		verdict := e.verdict
 		sys.verdictMu.Unlock()
-		return e.verdict, nil
+		return verdict, nil
+	}
+	var prev []float64
+	if e != nil && e.gen == gen && vm.Len() <= e.members*warmGrowthMax {
+		prev = e.verdict.Scores
 	}
 	sys.verdictMu.Unlock()
 
-	verdict, err := vm.VerifySite(vm.InSite(site), core.TrustRankConfig{})
+	verdict, stats, err := vm.VerifySiteFrom(vm.InSite(site), prev, core.TrustRankConfig{})
 	if err != nil {
 		return nil, err
 	}
+	sys.noteTrustRank(stats)
 	sys.verdictMu.Lock()
-	if len(sys.verdicts) >= verdictCacheMax {
-		for k := range sys.verdicts {
-			delete(sys.verdicts, k)
-			break
+	if sys.verdicts[key] == nil && len(sys.verdicts) >= verdictCacheMax {
+		// Deterministic LRU: evict the entry with the oldest recency
+		// stamp, so a burst of >64 concurrent investigations thrashes
+		// predictably (oldest first) instead of by map-iteration order.
+		var stalest investigationKey
+		found := false
+		for k, ent := range sys.verdicts {
+			if !found || ent.used < sys.verdicts[stalest].used {
+				stalest, found = k, true
+			}
 		}
+		delete(sys.verdicts, stalest)
 	}
-	sys.verdicts[key] = verdictEntry{vm: vm, verdict: verdict}
+	sys.verdictSeq++
+	sys.verdicts[key] = &verdictEntry{
+		epoch: epoch, gen: gen, members: vm.Len(),
+		verdict: verdict, used: sys.verdictSeq,
+	}
 	sys.verdictMu.Unlock()
 	return verdict, nil
+}
+
+// noteTrustRank records one verification's convergence into the
+// per-mode iteration histogram (viewmap_trustrank_iterations).
+func (sys *System) noteTrustRank(stats core.VerifyStats) {
+	mode := obs.TrustRankCold
+	if stats.Warm {
+		mode = obs.TrustRankWarm
+	}
+	sys.metrics.TrustRank(mode).Record(int64(stats.Iterations))
+}
+
+// TrustRankModeStats summarizes one verification mode's convergence
+// behavior for GET /v1/stats and tests: how many verifications ran
+// warm (resumed from a cached score vector) or cold, and the
+// iteration-count quantiles they needed.
+type TrustRankModeStats struct {
+	Verifications uint64
+	P50Iterations uint64
+	P99Iterations uint64
+}
+
+// TrustRankStats reads the per-mode verification histograms, keyed by
+// obs.TrustRankWarm / obs.TrustRankCold; modes with no verifications
+// yet are absent. Empty when metrics are disabled.
+func (sys *System) TrustRankStats() map[string]TrustRankModeStats {
+	out := make(map[string]TrustRankModeStats)
+	for mode, s := range sys.metrics.TrustRankSnapshots() {
+		out[mode] = TrustRankModeStats{
+			Verifications: s.Count,
+			P50Iterations: s.Quantile(0.50),
+			P99Iterations: s.Quantile(0.99),
+		}
+	}
+	return out
 }
 
 // InvestigatePeriod runs Investigate for every unit-time window of an
 // incident period ("the system builds a series of viewmaps each
 // corresponding to a single unit-time during the incident period",
 // Section 5.2.1), returning one report per minute. Minutes for which
-// no viewmap can be built (e.g. no trusted VP on record) are skipped
-// with a nil report rather than failing the whole investigation.
+// no viewmap exists to verify — nothing stored, or no trusted VP on
+// record — are skipped with a nil report rather than failing the whole
+// investigation; any other failure (an unreadable segment, a durability
+// fault) aborts with the minute's error, because reporting a broken
+// minute as a benign empty one would misstate what was verified.
 func (sys *System) InvestigatePeriod(token string, site geo.Rect, firstMinute, lastMinute int64) ([]*InvestigationReport, error) {
 	if err := sys.checkAuthority(token); err != nil {
 		return nil, err
@@ -562,17 +668,20 @@ func (sys *System) InvestigatePeriod(token string, site geo.Rect, firstMinute, l
 	if lastMinute < firstMinute {
 		return nil, fmt.Errorf("server: empty period %d..%d", firstMinute, lastMinute)
 	}
-	if lastMinute-firstMinute > 60 {
+	if lastMinute-firstMinute+1 > 60 {
 		return nil, fmt.Errorf("server: period of %d minutes exceeds the 60-minute cap", lastMinute-firstMinute+1)
 	}
 	reports := make([]*InvestigationReport, 0, lastMinute-firstMinute+1)
 	for m := firstMinute; m <= lastMinute; m++ {
 		r, err := sys.Investigate(token, site, m)
-		if err != nil {
+		switch {
+		case err == nil:
+			reports = append(reports, r)
+		case errors.Is(err, core.ErrNoTrusted) || errors.Is(err, ErrNoMinute):
 			reports = append(reports, nil)
-			continue
+		default:
+			return nil, fmt.Errorf("server: investigating minute %d: %w", m, err)
 		}
-		reports = append(reports, r)
 	}
 	return reports, nil
 }
@@ -765,11 +874,11 @@ func (sys *System) OpenSolicitation(token string, site geo.Rect, minute int64, u
 	if err := sys.checkAuthority(token); err != nil {
 		return nil, err
 	}
-	vm, err := sys.store.ViewmapFor(site, minute)
+	vm, epoch, gen, err := sys.store.SiteViewmap(site, minute)
 	if err != nil {
 		return nil, err
 	}
-	verdict, err := sys.verifiedSite(vm, site, minute)
+	verdict, err := sys.verifiedSite(vm, epoch, gen, site, minute)
 	if err != nil {
 		return nil, err
 	}

@@ -29,6 +29,7 @@ func knownEndpoints() []string {
 		"/v1/investigate",
 		"/v1/investigate/period",
 		"/v1/investigate/report",
+		"/v1/investigate/watch",
 		"/v1/solicitations",
 		"/v1/video",
 		"/v1/rewards",

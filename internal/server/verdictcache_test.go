@@ -1,0 +1,188 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+
+	"viewmap/internal/core"
+	"viewmap/internal/geo"
+)
+
+// TestVerdictCacheStalestFirstEviction pins the verdict cache's
+// eviction order: when the cache is full, the entry whose recency
+// stamp is lowest — the stalest one — is deleted, and nothing else.
+// The pre-fix code deleted whatever map entry Go's iteration order
+// produced first, so a hot entry could be evicted while a dead one
+// survived indefinitely.
+func TestVerdictCacheStalestFirstEviction(t *testing.T) {
+	sys, err := NewSystem(Config{AuthorityToken: "t", Bank: durBank(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uploadMinute(t, 0, 20, 5, sys)
+
+	// Fill the cache to capacity with synthetic entries whose recency
+	// stamps are their insertion order; key 0 is the stalest.
+	sys.verdictMu.Lock()
+	for i := 0; i < verdictCacheMax; i++ {
+		key := investigationKey{
+			site:   geo.RectAround(geo.Pt(float64(i)*10, 9e6), 5),
+			minute: 999,
+		}
+		sys.verdictSeq++
+		sys.verdicts[key] = &verdictEntry{
+			epoch: 1, verdict: &core.Verdict{}, used: sys.verdictSeq,
+		}
+	}
+	stalest := investigationKey{site: geo.RectAround(geo.Pt(0, 9e6), 5), minute: 999}
+	second := investigationKey{site: geo.RectAround(geo.Pt(10, 9e6), 5), minute: 999}
+	sys.verdictMu.Unlock()
+
+	// A real investigation inserts a fresh entry, forcing one eviction.
+	if _, err := sys.Investigate("t", durSite, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	sys.verdictMu.Lock()
+	defer sys.verdictMu.Unlock()
+	if len(sys.verdicts) != verdictCacheMax {
+		t.Fatalf("cache holds %d entries, want %d", len(sys.verdicts), verdictCacheMax)
+	}
+	if sys.verdicts[stalest] != nil {
+		t.Fatal("stalest entry survived the eviction")
+	}
+	if sys.verdicts[second] == nil {
+		t.Fatal("second-stalest entry was evicted instead of the stalest")
+	}
+	if sys.verdicts[investigationKey{site: durSite, minute: 0}] == nil {
+		t.Fatal("fresh investigation was not cached")
+	}
+}
+
+// TestVerdictCacheHitAcrossEvictReload pins the cache's identity
+// contract: entries are keyed by content epoch, which a segment
+// replay reproduces bit for bit, so a verdict computed before its
+// minute was evicted is reused — no re-verification — when the
+// reloaded minute is investigated again. The pre-fix identity was the
+// cached viewmap pointer, which an evict/reload necessarily breaks.
+func TestVerdictCacheHitAcrossEvictReload(t *testing.T) {
+	sys := openDurable(t, t.TempDir(), 2)
+	defer sys.Close()
+
+	uploadMinute(t, 0, 20, 5, sys)
+	first, err := sys.Investigate("t", durSite, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verified := func() uint64 {
+		var n uint64
+		for _, s := range sys.TrustRankStats() {
+			n += s.Verifications
+		}
+		return n
+	}
+	before := verified()
+	if before == 0 {
+		t.Fatal("first investigation recorded no verification")
+	}
+
+	// Age minute 0 out past the retention horizon.
+	for m := int64(1); m <= 3; m++ {
+		uploadMinute(t, m, 12, 5+m, sys)
+		if _, err := sys.Store().ApplyRetention(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ret := sys.Store().RetentionStatsSnapshot(); ret.EvictedMinutes == 0 {
+		t.Fatal("minute 0 was never evicted; the test exercises nothing")
+	}
+
+	// Re-investigating the evicted minute reloads the segment; the
+	// replayed builder reproduces the content epoch, so the cached
+	// verdict must be returned without another TrustRank run.
+	again, err := sys.Investigate("t", durSite, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after := verified(); after != before {
+		t.Fatalf("re-investigation after evict/reload re-verified (%d -> %d runs); cache identity broken",
+			before, after)
+	}
+	if fmt.Sprint(first.Legitimate) != fmt.Sprint(again.Legitimate) {
+		t.Fatal("cached verdict diverges across evict/reload")
+	}
+}
+
+// TestInvestigatePeriodCap pins the period bound to exactly 60
+// minutes: the pre-fix comparison admitted 61.
+func TestInvestigatePeriodCap(t *testing.T) {
+	sys, err := NewSystem(Config{AuthorityToken: "t", Bank: durBank(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.InvestigatePeriod("t", durSite, 0, 60); err == nil {
+		t.Fatal("61-minute period accepted; the cap is off by one")
+	}
+	reports, err := sys.InvestigatePeriod("t", durSite, 0, 59)
+	if err != nil {
+		t.Fatalf("60-minute period rejected: %v", err)
+	}
+	if len(reports) != 60 {
+		t.Fatalf("got %d reports, want 60", len(reports))
+	}
+	for m, r := range reports {
+		if r != nil {
+			t.Fatalf("minute %d: empty store produced a non-nil report", m)
+		}
+	}
+}
+
+// TestInvestigatePeriodPropagatesTransientErrors distinguishes the two
+// kinds of per-minute failure: benign absences (nothing stored, no
+// trusted VP) skip with a nil report, but a transient fault — here an
+// evicted minute whose segment file is corrupt — must abort the period
+// with the minute's error. The pre-fix loop swallowed every error into
+// a nil report, silently presenting unreadable minutes as empty ones.
+func TestInvestigatePeriodPropagatesTransientErrors(t *testing.T) {
+	sys := openDurable(t, t.TempDir(), 2)
+	defer sys.Close()
+
+	for m := int64(0); m <= 3; m++ {
+		uploadMinute(t, m, 15, 40+m, sys)
+		if _, err := sys.Store().ApplyRetention(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ret := sys.Store().RetentionStatsSnapshot(); ret.EvictedMinutes == 0 {
+		t.Fatal("no minute was evicted")
+	}
+	if err := os.WriteFile(sys.Store().segmentPath(0), []byte("not a segment"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err := sys.InvestigatePeriod("t", durSite, 0, 3)
+	if err == nil {
+		t.Fatal("period over a corrupt segment reported success")
+	}
+	if !strings.Contains(err.Error(), "minute 0") {
+		t.Fatalf("error does not name the broken minute: %v", err)
+	}
+	if errors.Is(err, ErrNoMinute) {
+		t.Fatalf("corrupt segment classified as a benign absence: %v", err)
+	}
+}
+
+// TestStatusForDurability pins the error mapping docs/operations.md
+// promises: a durability fault answers 503, not a client-fault 4xx.
+func TestStatusForDurability(t *testing.T) {
+	if got := statusFor(ErrDurability); got != http.StatusServiceUnavailable {
+		t.Fatalf("statusFor(ErrDurability) = %d, want 503", got)
+	}
+	if got := statusFor(fmt.Errorf("wal append: %w", ErrDurability)); got != http.StatusServiceUnavailable {
+		t.Fatalf("statusFor(wrapped ErrDurability) = %d, want 503", got)
+	}
+}

@@ -1,0 +1,170 @@
+package server_test
+
+// End-to-end test of GET /v1/investigate/watch: a watcher holds the
+// streaming endpoint open through the wire client while batched
+// uploads land concurrently, and must observe one fresh report per
+// content-epoch advance — current state first, then one per wave —
+// with strictly increasing epochs and a final report identical to a
+// direct snapshot. Run under -race, this is also the data-race check
+// on the shard's commit-notification channel.
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"viewmap/internal/client"
+	"viewmap/internal/core"
+	"viewmap/internal/geo"
+	"viewmap/internal/server"
+	"viewmap/internal/vp"
+)
+
+func TestWatchInvestigationStreamsEpochAdvances(t *testing.T) {
+	sys, err := server.NewSystem(server.Config{AuthorityToken: "tok", Bank: sharedBank(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.Handler(sys))
+	defer ts.Close()
+	api, err := client.NewAPI(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	area := geo.NewRect(geo.Pt(0, 0), geo.Pt(1500, 1500))
+	profiles, err := core.SynthesizeLegitimate(core.SynthConfig{N: 90, Area: area, Seed: 51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ti := core.MarkTrustedNearest(profiles, area.Center())
+	var anon []*vp.Profile
+	for i, p := range profiles {
+		if i != ti {
+			anon = append(anon, p)
+		}
+	}
+	waves := [][]*vp.Profile{anon[:30], anon[30:60], anon[60:]}
+	upload := func(wave []*vp.Profile) {
+		t.Helper()
+		res, err := api.UploadVPBatch(wave)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stored != len(wave) {
+			t.Fatalf("wave stored %d of %d", res.Stored, len(wave))
+		}
+	}
+	if err := api.UploadTrustedVP("tok", profiles[ti]); err != nil {
+		t.Fatal(err)
+	}
+	upload(waves[0])
+
+	site := geo.RectAround(area.Center(), 250)
+	reports := make(chan client.WatchReport, 8)
+	done := make(chan error, 1)
+	go func() {
+		done <- api.WatchInvestigation("tok", site.Min.X, site.Min.Y, site.Max.X, site.Max.Y,
+			0, 0, 3, 30*time.Second, func(r client.WatchReport) error {
+				reports <- r
+				return nil
+			})
+	}()
+	recv := func(label string) client.WatchReport {
+		t.Helper()
+		select {
+		case r := <-reports:
+			return r
+		case err := <-done:
+			t.Fatalf("watch ended before %s report: %v", label, err)
+		case <-time.After(45 * time.Second):
+			t.Fatalf("timed out waiting for %s report", label)
+		}
+		panic("unreachable")
+	}
+
+	r1 := recv("initial")
+	upload(waves[1])
+	r2 := recv("second")
+	upload(waves[2])
+	r3 := recv("third")
+	if err := <-done; err != nil {
+		t.Fatalf("watch did not end cleanly after maxReports: %v", err)
+	}
+
+	if !(r1.Epoch < r2.Epoch && r2.Epoch < r3.Epoch) {
+		t.Fatalf("epochs not strictly increasing: %d, %d, %d", r1.Epoch, r2.Epoch, r3.Epoch)
+	}
+	if !(r1.Members < r3.Members && r1.Members <= r2.Members && r2.Members <= r3.Members) {
+		t.Fatalf("members did not grow across waves: %d, %d, %d", r1.Members, r2.Members, r3.Members)
+	}
+
+	snap, epoch, err := sys.InvestigateSnapshot("tok", site, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != r3.Epoch {
+		t.Fatalf("final streamed epoch %d, snapshot epoch %d", r3.Epoch, epoch)
+	}
+	if fmt.Sprint(r3.Legitimate) != fmt.Sprint(snap.Legitimate) {
+		t.Fatal("final streamed legitimate set diverges from a direct snapshot")
+	}
+}
+
+// TestWatchInvestigationResumesFromEpoch pins the resume contract: a
+// second watch passing the last delivered epoch as fromEpoch receives
+// nothing for unchanged content and ends cleanly at its timeout.
+func TestWatchInvestigationResumesFromEpoch(t *testing.T) {
+	sys, err := server.NewSystem(server.Config{AuthorityToken: "tok", Bank: sharedBank(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.Handler(sys))
+	defer ts.Close()
+	api, err := client.NewAPI(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	area := geo.NewRect(geo.Pt(0, 0), geo.Pt(1500, 1500))
+	profiles, err := core.SynthesizeLegitimate(core.SynthConfig{N: 40, Area: area, Seed: 52})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ti := core.MarkTrustedNearest(profiles, area.Center())
+	if err := api.UploadTrustedVP("tok", profiles[ti]); err != nil {
+		t.Fatal(err)
+	}
+	var anon []*vp.Profile
+	for i, p := range profiles {
+		if i != ti {
+			anon = append(anon, p)
+		}
+	}
+	if _, err := api.UploadVPBatch(anon); err != nil {
+		t.Fatal(err)
+	}
+
+	site := geo.RectAround(area.Center(), 250)
+	var last uint64
+	err = api.WatchInvestigation("tok", site.Min.X, site.Min.Y, site.Max.X, site.Max.Y,
+		0, 0, 1, 10*time.Second, func(r client.WatchReport) error {
+			last = r.Epoch
+			return nil
+		})
+	if err != nil || last == 0 {
+		t.Fatalf("first watch: epoch %d, err %v", last, err)
+	}
+	calls := 0
+	err = api.WatchInvestigation("tok", site.Min.X, site.Min.Y, site.Max.X, site.Max.Y,
+		0, last, 1, 300*time.Millisecond, func(client.WatchReport) error {
+			calls++
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("resumed watch did not end cleanly: %v", err)
+	}
+	if calls != 0 {
+		t.Fatalf("resumed watch re-delivered %d reports for unchanged content", calls)
+	}
+}

@@ -1,0 +1,150 @@
+package sim
+
+// Warm-vs-cold equivalence over the real HTTP surface: the same honest
+// population and the same attack.Online flood waves land on an
+// incremental system and on a viewmap-cache-disabled baseline, and
+// after every wave the per-VP verdict reports fetched through the wire
+// client must match bit for bit. This is the serving-layer counterpart
+// of core's TestSiteViewEquivalenceProperty: it additionally covers
+// the verdict cache, the content-epoch keying, and the interleaved
+// batch ingest the online adversary hides in.
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	"viewmap/internal/attack"
+	"viewmap/internal/client"
+	"viewmap/internal/server"
+	"viewmap/internal/vp"
+)
+
+// reverifyHarness boots one system behind httptest with an aimed
+// online adversary, optionally with the viewmap cache disabled (the
+// cold rebuild-per-request baseline).
+func reverifyHarness(t *testing.T, coldBaseline bool) *onlineHarness {
+	t.Helper()
+	bank, err := benchBank()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := server.Config{AuthorityToken: attackToken, Bank: bank}
+	if coldBaseline {
+		cfg.Store = server.StoreConfig{DisableViewmapCache: true}
+	}
+	sys, err := server.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(server.Handler(sys))
+	t.Cleanup(srv.Close)
+	api, err := client.NewAPI(srv.URL, srv.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &onlineHarness{
+		sys: sys, srv: srv, api: api,
+		online: &attack.Online{API: api, Token: attackToken, BatchSize: 32},
+	}
+}
+
+func TestOnlineFloodWarmColdEquivalence(t *testing.T) {
+	for _, seed := range []int64{7300, 7301} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			warm := reverifyHarness(t, false)
+			cold := reverifyHarness(t, true)
+
+			profiles, site, err := attackArena(120, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, h := range []*onlineHarness{warm, cold} {
+				if _, err := h.online.SeedPopulation(profiles); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			compare := func(stage string) {
+				t.Helper()
+				rw, err := warm.api.InvestigateReport(attackToken,
+					site.Min.X, site.Min.Y, site.Max.X, site.Max.Y, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rc, err := cold.api.InvestigateReport(attackToken,
+					site.Min.X, site.Min.Y, site.Max.X, site.Max.Y, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rw.Members != rc.Members || rw.Edges != rc.Edges || rw.InSite != rc.InSite {
+					t.Fatalf("%s: warm viewmap %d/%d/%d diverges from cold %d/%d/%d (members/edges/inSite)",
+						stage, rw.Members, rw.Edges, rw.InSite, rc.Members, rc.Edges, rc.InSite)
+				}
+				if fmt.Sprint(rw.Verdicts) != fmt.Sprint(rc.Verdicts) {
+					t.Fatalf("%s: warm and cold per-VP verdicts diverge", stage)
+				}
+			}
+			compare("seeded population")
+
+			// Three flood waves into the already-verified minute; each
+			// wave interleaves its fakes with a slice of late honest
+			// traffic, the upload pattern attackers hide in. Owners
+			// rotate so successive campaigns anchor different chains.
+			late, _, err := attackArena(36, seed+5000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var lateAnon, owned []*vp.Profile
+			for _, p := range late {
+				if !p.Trusted {
+					lateAnon = append(lateAnon, p)
+				}
+			}
+			for _, p := range profiles {
+				if !p.Trusted {
+					owned = append(owned, p)
+				}
+			}
+			for w := 0; w < 3; w++ {
+				honest := lateAnon[w*len(lateAnon)/3 : (w+1)*len(lateAnon)/3]
+				camp, err := attack.Launch(owned[w*2:w*2+2],
+					attack.Config{Site: site, FakeCount: 24, Colluding: w%2 == 0,
+						Minute: 0, Seed: seed + int64(w)*17})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, h := range []*onlineHarness{warm, cold} {
+					if _, err := h.online.Inject(camp, honest); err != nil {
+						t.Fatal(err)
+					}
+				}
+				compare(fmt.Sprintf("flood wave %d", w))
+			}
+		})
+	}
+}
+
+// TestReverifyBenchmarkSmoke runs the viewmap-bench reverify
+// experiment end to end at a small scale: it must complete, its
+// equality gates must hold (Reverify errors out on any divergence),
+// and the incremental system must actually have taken the warm path.
+// The >=5x speedup claim is for the bench binary at real scale, not
+// asserted here where timer noise on a loaded CI machine would flake.
+func TestReverifyBenchmarkSmoke(t *testing.T) {
+	res, err := Reverify(ReverifyConfig{Vehicles: 100, Waves: 2, FakesPerWave: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WarmRuns == 0 {
+		t.Fatal("incremental system never warm-started TrustRank")
+	}
+	if res.Speedup <= 0 {
+		t.Fatalf("speedup %v, want positive", res.Speedup)
+	}
+	if res.Members == 0 || res.Legitimate == 0 {
+		t.Fatalf("degenerate final viewmap: %d members, %d legitimate", res.Members, res.Legitimate)
+	}
+}
