@@ -15,7 +15,12 @@
 // violated a scenario-internal SLO. The floor keeps microsecond-scale
 // baselines (investigate, evidence poll) from failing on scheduler
 // jitter alone; the ratio catches order-of-magnitude regressions on
-// every class. See docs/observability.md for the workflow.
+// every class. Baselines that carry fault-family summaries (the
+// "families" array) extend the gate: each family's upload/investigate
+// p99 rides the same band, and a family that disappears, loses acked
+// data, or whose engagement counters (crashes, stale rejects,
+// partition rejects, cold probes, watch reports) drop to zero fails
+// the build outright. See docs/observability.md for the workflow.
 package main
 
 import (
@@ -88,13 +93,37 @@ type classComparison struct {
 }
 
 func classComparisons(base, cand *sim.ScenarioResult) []classComparison {
-	return []classComparison{
+	out := []classComparison{
 		{"upload", base.Upload.P99MS, cand.Upload.P99MS, false, true},
 		{"investigate", base.Investigate.P99MS, cand.Investigate.P99MS, false, true},
 		{"evidence_poll", base.EvidencePoll.P99MS, cand.EvidencePoll.P99MS, false, true},
 		{"server_upload", base.ServerUpload.P99MS, cand.ServerUpload.P99MS, true, base.ServerUpload.Requests > 0},
 		{"server_investigate", base.ServerInvestigate.P99MS, cand.ServerInvestigate.P99MS, true, base.ServerInvestigate.Requests > 0},
 	}
+	// Per-family latency classes: gated only when the baseline carries
+	// the family (older baselines predate them), and only when the
+	// candidate ran it too (a missing candidate family is a structural
+	// failure reported by compareReports, not a latency pass).
+	for _, bf := range base.Families {
+		cf, ok := candFamily(cand, bf.Name)
+		if !ok {
+			continue
+		}
+		out = append(out,
+			classComparison{"family:" + bf.Name + ":upload", bf.Upload.P99MS, cf.Upload.P99MS, true, true},
+			classComparison{"family:" + bf.Name + ":investigate", bf.Investigate.P99MS, cf.Investigate.P99MS, true, true},
+		)
+	}
+	return out
+}
+
+func candFamily(r *sim.ScenarioResult, name string) (sim.FamilySummary, bool) {
+	for _, f := range r.Families {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return sim.FamilySummary{}, false
 }
 
 // compareReports returns every way the candidate fails the gate:
@@ -108,6 +137,38 @@ func compareReports(base, cand *sim.ScenarioResult, maxRatio, floorMS float64) [
 	}
 	for _, v := range cand.Violations {
 		out = append(out, "candidate scenario SLO violation: "+v)
+	}
+	// Fault families present in the baseline must stay present, keep
+	// zero acked loss, and keep engaging their fault: a counter the
+	// baseline proved nonzero (crashes ridden out, stale uploads
+	// bounced, partition rejects, cold probes, watch reports) dropping
+	// to zero means the family silently stopped testing anything.
+	for _, bf := range base.Families {
+		cf, ok := candFamily(cand, bf.Name)
+		if !ok {
+			out = append(out, fmt.Sprintf("fault family %s present in baseline but missing from candidate", bf.Name))
+			continue
+		}
+		if !cf.ZeroAckedLoss {
+			out = append(out, fmt.Sprintf("fault family %s lost acknowledged data", bf.Name))
+		}
+		engaged := []struct {
+			what       string
+			base, cand int
+		}{
+			{"probes compared", bf.ProbesCompared, cf.ProbesCompared},
+			{"crashes ridden out", bf.Crashes, cf.Crashes},
+			{"WAL records replayed", bf.WALReplayed, cf.WALReplayed},
+			{"stale uploads rejected", bf.StaleRejectedVPs, cf.StaleRejectedVPs},
+			{"partition rejects", bf.PartitionRejects, cf.PartitionRejects},
+			{"cold probes", bf.ColdProbes, cf.ColdProbes},
+			{"watch reports", bf.WatchReports, cf.WatchReports},
+		}
+		for _, e := range engaged {
+			if e.base > 0 && e.cand == 0 {
+				out = append(out, fmt.Sprintf("fault family %s: %s fell from %d to 0 — the fault no longer engages", bf.Name, e.what, e.base))
+			}
+		}
 	}
 	for _, c := range classComparisons(base, cand) {
 		if c.optional && !c.baseSeen {

@@ -69,6 +69,77 @@ func TestCompareStructuralInvariants(t *testing.T) {
 	}
 }
 
+func familyBaseline() sim.FamilySummary {
+	return sim.FamilySummary{
+		Name:           "crash",
+		Upload:         sim.EndpointSLO{Requests: 30, P99MS: 5.1},
+		Investigate:    sim.EndpointSLO{Requests: 22, P99MS: 3.8},
+		ZeroAckedLoss:  true,
+		ProbesCompared: 22,
+		Crashes:        1,
+		WALReplayed:    17,
+	}
+}
+
+func TestCompareFamilyWithinBandPasses(t *testing.T) {
+	base := gateBaseline()
+	base.Families = []sim.FamilySummary{familyBaseline()}
+	cand := gateBaseline()
+	cf := familyBaseline()
+	// Counters may move (a different replay tail) as long as they stay
+	// engaged, and p99s ride the same band.
+	cf.WALReplayed = 3
+	cf.Upload.P99MS *= 2
+	cand.Families = []sim.FamilySummary{cf}
+	if v := compareReports(base, cand, 3.0, 50); len(v) != 0 {
+		t.Fatalf("in-band family flagged: %v", v)
+	}
+}
+
+func TestCompareFamilyRegressions(t *testing.T) {
+	base := gateBaseline()
+	base.Families = []sim.FamilySummary{familyBaseline()}
+
+	// A family missing from the candidate is structural.
+	cand := gateBaseline()
+	v := compareReports(base, cand, 3.0, 50)
+	if len(v) != 1 || !strings.Contains(v[0], "missing from candidate") {
+		t.Fatalf("missing family: %v", v)
+	}
+
+	// An engagement counter the baseline proved nonzero dropping to
+	// zero fails even with healthy latencies.
+	cand = gateBaseline()
+	cf := familyBaseline()
+	cf.Crashes = 0
+	cand.Families = []sim.FamilySummary{cf}
+	v = compareReports(base, cand, 3.0, 50)
+	if len(v) != 1 || !strings.Contains(v[0], "crashes ridden out") || !strings.Contains(v[0], "no longer engages") {
+		t.Fatalf("disengaged family: %v", v)
+	}
+
+	// Family acked loss and a per-family p99 blowout both gate.
+	cand = gateBaseline()
+	cf = familyBaseline()
+	cf.ZeroAckedLoss = false
+	cf.Investigate.P99MS = cf.Investigate.P99MS*3 + 50 + 1
+	cand.Families = []sim.FamilySummary{cf}
+	v = compareReports(base, cand, 3.0, 50)
+	if len(v) != 2 {
+		t.Fatalf("family loss + p99 produced %d violations: %v", len(v), v)
+	}
+	if !strings.Contains(v[0], "lost acknowledged data") || !strings.Contains(v[1], "family:crash:investigate p99") {
+		t.Fatalf("violations: %v", v)
+	}
+
+	// A candidate-only family (a new drill) is not a failure.
+	cand = gateBaseline()
+	cand.Families = []sim.FamilySummary{familyBaseline(), {Name: "new_drill", ZeroAckedLoss: true}}
+	if v := compareReports(base, cand, 3.0, 50); len(v) != 0 {
+		t.Fatalf("candidate-only family flagged: %v", v)
+	}
+}
+
 func TestCompareServerSideGatesOnlyWithBaseline(t *testing.T) {
 	// An old baseline without server-side histograms (Requests==0)
 	// must not gate those classes; a new one must.

@@ -8,7 +8,7 @@
 //	viewmap-server [-addr :8440] [-authority-token TOKEN] [-bank-bits 2048]
 //	               [-db PATH] [-state PATH] [-dsrc-range 400] [-no-viewmap-cache]
 //	               [-wal PATH] [-wal-sync 0s] [-snapshot-interval 60s]
-//	               [-retention N] [-resident-minutes N]
+//	               [-retention N] [-resident-minutes N] [-max-upload-lag N]
 //	               [-no-metrics] [-slow-request 1s] [-pprof localhost:6060]
 //
 // If no authority token is supplied a random one is generated and
@@ -26,6 +26,12 @@
 // nothing that was acknowledged. -wal-sync widens the group-commit
 // window (more ingest throughput, higher ack latency — never less
 // durability). See docs/operations.md for the full operator guide.
+//
+// -max-upload-lag N arms wall-clock admission: an anonymous upload
+// whose claimed minute trails the server clock by more than N minutes
+// is refused (422 on the single path, counted rejected on the batch
+// path) before it costs a WAL append. Trusted uploads are exempt —
+// the authority backfills history.
 //
 // -state persists the full system — VP database, reward bank (signing
 // keypair and double-spend ledger), and evidence board — on SIGINT/
@@ -84,16 +90,18 @@ func main() {
 	evidenceSlots := flag.Int("evidence-slots", 0, "concurrent evidence/reward admissions (0 = default of 32)")
 	evidenceQueue := flag.Int("evidence-queue", 0, "bounded evidence wait queue (0 = default of 128)")
 	retryAfter := flag.Duration("retry-after", 0, "backoff hint sent with 429 sheds, rounded up to whole seconds (0 = default of 1s)")
+	maxUploadLag := flag.Int("max-upload-lag", 0, "stale-minute admission window: refuse anonymous uploads whose minute trails the wall clock by more than N minutes (0 = accept any minute)")
 	noMetrics := flag.Bool("no-metrics", false, "disable the observability registry (GET /v1/metrics renders empty; the latency/pipeline stats blocks vanish)")
 	slowRequest := flag.Duration("slow-request", time.Second, "log one structured line, with the per-stage span breakdown, for requests slower than this (0 = off)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060; empty = off)")
 	flag.Parse()
 
 	cfg := server.Config{
-		AuthorityToken: *token,
-		BankBits:       *bankBits,
-		DisableMetrics: *noMetrics,
-		SlowRequest:    *slowRequest,
+		AuthorityToken:      *token,
+		BankBits:            *bankBits,
+		DisableMetrics:      *noMetrics,
+		SlowRequest:         *slowRequest,
+		MaxUploadLagMinutes: *maxUploadLag,
 		Store: server.StoreConfig{
 			DSRCRange:           *dsrcRange,
 			DisableViewmapCache: *noCache,

@@ -211,6 +211,9 @@ type IngestStats struct {
 	WireRejected int `json:"wireRejected"`
 	// Duplicates counts uploads with an already-claimed identifier.
 	Duplicates int `json:"duplicates"`
+	// Stale counts uploads rejected by the server's wall-clock
+	// admission window (zero unless the server arms it).
+	Stale int `json:"stale"`
 	// Quarantined counts stored-but-unlinked profiles (implausible
 	// trajectories), summed over shards.
 	Quarantined int `json:"quarantined"`

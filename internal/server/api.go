@@ -603,6 +603,7 @@ func Handler(sys *System) http.Handler {
 				WireRejected: ingest.WireRejected,
 				Duplicates:   ingest.Duplicates,
 				Quarantined:  ingest.Quarantined,
+				Stale:        ingest.Stale,
 			},
 			Shards: shards,
 			Retention: retentionStatsJSON{
@@ -849,6 +850,7 @@ type ingestStatsJSON struct {
 	WireRejected int `json:"wireRejected"`
 	Duplicates   int `json:"duplicates"`
 	Quarantined  int `json:"quarantined"`
+	Stale        int `json:"stale"`
 }
 
 type shardStatJSON struct {
@@ -975,6 +977,8 @@ func statusFor(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, ErrDuplicate):
 		return http.StatusConflict
+	case errors.Is(err, ErrStaleMinute):
+		return http.StatusUnprocessableEntity
 	case errors.Is(err, reward.ErrDoubleSpend):
 		return http.StatusConflict
 	case errors.Is(err, reward.ErrBadSignature):

@@ -1,0 +1,122 @@
+package server
+
+// Wall-clock upload admission under an injectable clock: with
+// Config.Now and MaxUploadLagMinutes armed, anonymous uploads whose
+// minute window strays beyond the lag are rejected before they cost
+// WAL space, and the same record is admitted once the clock catches
+// up — no test ever sleeps to move a minute boundary. With the gate
+// unarmed (every other configuration in the repo) minutes stay purely
+// content-derived and nothing here applies.
+
+import (
+	"errors"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"viewmap/internal/vd"
+	"viewmap/internal/vp"
+)
+
+// testClock is a hand-driven admission clock ticking in whole minutes.
+type testClock struct{ minute atomic.Int64 }
+
+func (c *testClock) now() time.Time {
+	return time.Unix(c.minute.Load()*vd.SegmentSeconds, 0)
+}
+
+func TestClockSkewAdmissionWindow(t *testing.T) {
+	clk := &testClock{}
+	clk.minute.Store(4)
+	dir := t.TempDir()
+	sys, err := OpenDurable(Config{
+		AuthorityToken: "t", Bank: durBank(t),
+		Now: clk.now, MaxUploadLagMinutes: 1,
+	}, DurabilityConfig{
+		WALPath:           filepath.Join(dir, "ingest.wal"),
+		SnapshotInterval:  0,
+		RetentionInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	// One record per minute window around the clock: 4 is current, 3
+	// within the one-minute lag, 2 stale, 7 from the future.
+	fresh := fabricate(t, 4, 1)
+	lagged := fabricate(t, 3, 2)
+	stale := fabricate(t, 2, 3)
+	future := fabricate(t, 7, 4)
+
+	lsnBefore := sys.DurabilityStatsSnapshot().AppendedLSN
+	res, err := sys.UploadVPBatch(vp.MarshalBatch([]*vp.Profile{stale, future}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stored != 0 || res.Rejected != 2 {
+		t.Fatalf("all-stale batch: %+v, want 0 stored / 2 rejected", res)
+	}
+	if lsn := sys.DurabilityStatsSnapshot().AppendedLSN; lsn != lsnBefore {
+		t.Fatalf("stale batch advanced the WAL from %d to %d; stale records must not be journaled", lsnBefore, lsn)
+	}
+	res, err = sys.UploadVPBatch(vp.MarshalBatch([]*vp.Profile{fresh, lagged, stale}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stored != 2 || res.Rejected != 1 {
+		t.Fatalf("mixed batch: %+v, want 2 stored / 1 rejected", res)
+	}
+
+	// The single-record path names the failure.
+	if err := sys.UploadVP(stale.Marshal()); !errors.Is(err, ErrStaleMinute) {
+		t.Fatalf("single stale upload: %v, want ErrStaleMinute", err)
+	}
+	if got := sys.Store().IngestStatsSnapshot().Stale; got != 4 {
+		t.Fatalf("stale counter = %d, want 4", got)
+	}
+
+	// Trusted uploads are exempt: the authority backfills windows.
+	trusted := fabricate(t, 0, 5)
+	if err := sys.UploadTrustedVP("t", trusted.Marshal()); err != nil {
+		t.Fatalf("trusted backfill of a stale minute: %v", err)
+	}
+
+	// Advancing the injected clock — not sleeping — re-admits the
+	// rejected record: its identifier was never claimed.
+	clk.minute.Store(3)
+	res, err = sys.UploadVPBatch(vp.MarshalBatch([]*vp.Profile{stale}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stored != 1 {
+		t.Fatalf("re-upload after clock advance: %+v, want 1 stored", res)
+	}
+	if got := sys.Store().Len(); got != 4 {
+		t.Fatalf("stored %d profiles, want 4 (fresh, lagged, trusted, re-admitted)", got)
+	}
+}
+
+// TestClockSkewDisabledByDefault pins the unarmed default: without
+// MaxUploadLagMinutes every minute window is admissible, however far
+// from the wall clock — the content-derived minute semantics the rest
+// of the repo (and the paper) assume.
+func TestClockSkewDisabledByDefault(t *testing.T) {
+	sys, err := NewSystem(Config{AuthorityToken: "t", Bank: durBank(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	ancient := fabricate(t, 12, 9)
+	res, err := sys.UploadVPBatch(vp.MarshalBatch([]*vp.Profile{ancient}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stored != 1 || res.Rejected != 0 {
+		t.Fatalf("unarmed gate rejected a distant minute: %+v", res)
+	}
+	if got := sys.Store().IngestStatsSnapshot().Stale; got != 0 {
+		t.Fatalf("stale counter = %d with the gate unarmed", got)
+	}
+}

@@ -419,6 +419,28 @@ func (sys *System) Abort() {
 	sys.store.Close()
 }
 
+// CrashAppendAbort simulates a power cut in the exact window the
+// ack-after-append contract must cover: each batch (vp.MarshalBatch
+// wire bytes) is appended to the WAL as the live batch path would
+// journal it, and then the process state is aborted before any of the
+// records commit to a shard. The records exist only in the log — a
+// following OpenDurable must replay them into the store. Fault
+// harnesses (the scenario engine's crash-and-recover family, the
+// recovery-matrix tests) use this to crash a system mid-upload
+// deterministically; it errors on a non-durable system.
+func (sys *System) CrashAppendAbort(batches [][]byte) error {
+	if sys.wal == nil {
+		return errors.New("server: system is not durable")
+	}
+	for _, b := range batches {
+		if _, err := sys.wal.Append(walRecVPBatch, b, nil); err != nil {
+			return fmt.Errorf("%w: %v", ErrDurability, err)
+		}
+	}
+	sys.Abort()
+	return nil
+}
+
 // journalIngest appends an ingest record on the append-before-commit
 // path and registers it with the snapshot barrier. The returned
 // release must be called once the store commit (or its failure) is

@@ -1,0 +1,208 @@
+package server
+
+// Table-driven recovery matrix: every crash point the durability layer
+// distinguishes (clean abort, crash between WAL append and shard
+// commit, torn final record) crossed with retention off/on and with
+// the snapshot's age at the crash (never taken, stale, fresh). Each
+// cell recovers and must match an always-resident in-memory control
+// bit for bit on every minute's verdict report, then recovers a
+// second time to pin replay idempotence. The scenario engine's
+// crash-and-recover fault family composes exactly these pieces over
+// HTTP; this matrix is the ground truth it leans on.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"viewmap/internal/core"
+	"viewmap/internal/vp"
+)
+
+type crashMode int
+
+const (
+	crashAbort       crashMode = iota // clean kill: no in-flight work
+	crashAppendAbort                  // batch reached the WAL, never committed
+	crashTornTail                     // final record half-written
+)
+
+func (c crashMode) String() string {
+	switch c {
+	case crashAbort:
+		return "abort"
+	case crashAppendAbort:
+		return "append-abort"
+	case crashTornTail:
+		return "torn-tail"
+	}
+	return "unknown"
+}
+
+type snapAge int
+
+const (
+	snapNone  snapAge = iota // never checkpointed: WAL holds everything
+	snapStale                // checkpointed mid-run: snapshot + WAL tail
+	snapFresh                // checkpointed at the crash: WAL is empty
+)
+
+func (s snapAge) String() string {
+	switch s {
+	case snapNone:
+		return "none"
+	case snapStale:
+		return "stale"
+	case snapFresh:
+		return "fresh"
+	}
+	return "unknown"
+}
+
+type recoveryCell struct {
+	crash     crashMode
+	retention int
+	snap      snapAge
+}
+
+func TestRecoveryMatrix(t *testing.T) {
+	var cells []recoveryCell
+	for _, crash := range []crashMode{crashAbort, crashAppendAbort, crashTornTail} {
+		for _, retention := range []int{0, 2} {
+			for _, snap := range []snapAge{snapNone, snapStale, snapFresh} {
+				cells = append(cells, recoveryCell{crash, retention, snap})
+			}
+		}
+	}
+	if testing.Short() {
+		// One representative per crash mode plus the retention × fresh
+		// snapshot corner the full grid exists for.
+		cells = []recoveryCell{
+			{crashAbort, 0, snapNone},
+			{crashAppendAbort, 0, snapStale},
+			{crashTornTail, 0, snapNone},
+			{crashAppendAbort, 2, snapFresh},
+		}
+	}
+	for _, cell := range cells {
+		cell := cell
+		t.Run(fmt.Sprintf("%s/ret=%d/snap=%s", cell.crash, cell.retention, cell.snap), func(t *testing.T) {
+			t.Parallel()
+			runRecoveryCell(t, cell)
+		})
+	}
+}
+
+func runRecoveryCell(t *testing.T, cell recoveryCell) {
+	dir := t.TempDir()
+	sys := openDurable(t, dir, cell.retention)
+	control := controlSystem(t)
+	defer control.Close()
+
+	const minutes = 4
+	for m := int64(0); m < minutes; m++ {
+		uploadMinute(t, m, 10, 70+m, sys, control)
+		if cell.retention > 0 {
+			if _, err := sys.Store().ApplyRetention(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if cell.snap == snapStale && m == 1 {
+			if err := sys.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if cell.snap == snapFresh {
+		if err := sys.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Crash. The append-abort mode parks a batch in the log that no
+	// shard ever committed — the ack-after-append window — and hands
+	// the same batch to the control, which commits it normally.
+	var extra []*vp.Profile
+	switch cell.crash {
+	case crashAbort:
+		sys.Abort()
+	case crashAppendAbort:
+		var err error
+		extra, err = core.SynthesizeLegitimate(core.SynthConfig{
+			N: 3, Area: durArea, Minute: minutes - 1, Seed: 99,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch := vp.MarshalBatch(extra)
+		if err := sys.CrashAppendAbort([][]byte{batch}); err != nil {
+			t.Fatal(err)
+		}
+		res, err := control.UploadVPBatch(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stored != len(extra) {
+			t.Fatalf("control stored %d of the %d crash-window records", res.Stored, len(extra))
+		}
+	case crashTornTail:
+		sys.Abort()
+		f, err := os.OpenFile(filepath.Join(dir, "ingest.wal"), os.O_APPEND|os.O_WRONLY, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write([]byte{0x00, 0x00, 0x02, 0xAB, 0xBE, 0xEF, 0x01}); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+
+	rec := openDurable(t, dir, cell.retention)
+	defer func() { rec.Close() }()
+	d := rec.DurabilityStatsSnapshot()
+	switch {
+	case cell.crash == crashAppendAbort:
+		// Replayed counts WAL records; the crash window parked one
+		// batch record carrying len(extra) profiles.
+		if d.Replayed < 1 {
+			t.Fatalf("recovery replayed %d records, want at least the crash-window batch", d.Replayed)
+		}
+		for _, p := range extra {
+			if _, ok := rec.Store().Get(p.ID()); !ok {
+				t.Fatalf("crash-window profile %v missing after recovery", p.ID())
+			}
+		}
+	case cell.snap == snapFresh:
+		if d.Replayed != 0 {
+			t.Fatalf("recovery replayed %d records past a fresh checkpoint, want 0", d.Replayed)
+		}
+	case cell.snap == snapNone && cell.retention == 0 && cell.crash == crashAbort:
+		// Each uploaded minute journals two records: the trusted VP and
+		// the anonymous batch.
+		if d.Replayed != int(minutes)*2 {
+			t.Fatalf("snapshot-free recovery replayed %d records, want %d", d.Replayed, minutes*2)
+		}
+	}
+	verifyRecoveredCell(t, rec, control, minutes, "first recovery")
+
+	// Crash the recovered system and recover again: replay must be
+	// idempotent — the same records land once, the verdicts hold.
+	rec.Abort()
+	rec2 := openDurable(t, dir, cell.retention)
+	defer rec2.Close()
+	verifyRecoveredCell(t, rec2, control, minutes, "second recovery")
+}
+
+func verifyRecoveredCell(t *testing.T, rec, control *System, minutes int64, label string) {
+	t.Helper()
+	if got, want := rec.Store().Len(), control.Store().Len(); got != want {
+		t.Fatalf("%s: recovered %d VPs, control has %d", label, got, want)
+	}
+	for m := int64(0); m < minutes; m++ {
+		if got, want := report(t, rec, m), report(t, control, m); !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: minute %d verdicts diverge from the control", label, m)
+		}
+	}
+}

@@ -81,6 +81,9 @@ type Store struct {
 	rejectedCount  atomic.Int64
 	duplicateCount atomic.Int64
 	wireRejected   atomic.Int64
+	// staleRejected counts uploads turned away by the wall-clock
+	// admission window (counted by the System with the gate armed).
+	staleRejected atomic.Int64
 
 	// metrics, when non-nil, receives the pipeline-stage histograms
 	// recorded by the link workers (ring wait, Stage, CommitStaged).
@@ -561,6 +564,9 @@ type IngestStats struct {
 	// Quarantined counts stored profiles the incremental linker
 	// refused to link (implausible trajectories), summed over shards.
 	Quarantined int
+	// Stale counts uploads rejected by the wall-clock admission
+	// window (Config.MaxUploadLagMinutes); zero with the gate unarmed.
+	Stale int
 }
 
 // IngestStatsSnapshot reads the current ingest counters.
@@ -577,6 +583,7 @@ func (s *Store) IngestStatsFrom(shards []ShardStat) IngestStats {
 		Rejected:     int(s.rejectedCount.Load()),
 		WireRejected: int(s.wireRejected.Load()),
 		Duplicates:   int(s.duplicateCount.Load()),
+		Stale:        int(s.staleRejected.Load()),
 	}
 	for _, sh := range shards {
 		st.Quarantined += sh.Quarantined
@@ -590,6 +597,14 @@ func (s *Store) IngestStatsFrom(shards []ShardStat) IngestStats {
 func (s *Store) noteWireRejected(n int) {
 	if n > 0 {
 		s.wireRejected.Add(int64(n))
+	}
+}
+
+// noteStaleRejected counts uploads refused by the wall-clock
+// admission window.
+func (s *Store) noteStaleRejected(n int) {
+	if n > 0 {
+		s.staleRejected.Add(int64(n))
 	}
 }
 

@@ -46,6 +46,10 @@ type System struct {
 	// metrics is the observability registry (telemetry.go); always
 	// non-nil, disabled (nil histograms) under Config.DisableMetrics.
 	metrics *obs.Registry
+	// now is the admission clock (Config.Now, defaulted to time.Now);
+	// maxUploadLag arms the stale-minute upload gate when positive.
+	now          func() time.Time
+	maxUploadLag int
 	// slowRequest is the tracing threshold: a request slower than this
 	// logs one structured line with its span breakdown; zero disables.
 	slowRequest time.Duration
@@ -154,6 +158,20 @@ type Config struct {
 	// Zero disables slow-request logging (the default; viewmap-server
 	// arms it with -slow-request).
 	SlowRequest time.Duration
+	// Now, when non-nil, replaces time.Now as the system's admission
+	// clock. Everything time-dependent on the upload admission path
+	// reads the clock through this seam, so clock-skew tests drive
+	// simulated minutes without sleeping.
+	Now func() time.Time
+	// MaxUploadLagMinutes arms wall-clock admission on the anonymous
+	// upload paths: a profile whose minute window differs from the
+	// admission clock's current minute by more than this is rejected
+	// as stale before it costs WAL space or an fsync. Zero (the
+	// default) disables the check — minutes stay purely
+	// content-derived, as the offline reproduction assumes. Trusted
+	// uploads are exempt: the authority backfills windows
+	// deliberately.
+	MaxUploadLagMinutes int
 }
 
 // NewSystem creates a system service.
@@ -183,6 +201,10 @@ func NewSystem(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
 	sys := &System{
 		store:          store,
 		bank:           bank,
@@ -191,6 +213,8 @@ func NewSystem(cfg Config) (*System, error) {
 		overload:       newOverloadLimiter(cfg.Overload),
 		metrics:        obs.NewRegistry(!cfg.DisableMetrics, knownEndpoints(), admissionClassNames()),
 		slowRequest:    cfg.SlowRequest,
+		now:            now,
+		maxUploadLag:   cfg.MaxUploadLagMinutes,
 		solicitations:  make(map[vd.VPID]*Solicitation),
 		rewardsPosted:  make(map[vd.VPID]*RewardOffer),
 		verdicts:       make(map[investigationKey]*verdictEntry),
@@ -223,6 +247,25 @@ func (sys *System) Bank() *reward.Bank { return sys.bank }
 // ErrUnauthorized is returned for requests with a bad authority token.
 var ErrUnauthorized = errors.New("server: invalid authority token")
 
+// ErrStaleMinute is returned when wall-clock admission is armed
+// (Config.MaxUploadLagMinutes) and an anonymous upload's minute window
+// falls outside the tolerated lag around the admission clock.
+var ErrStaleMinute = errors.New("server: profile minute outside the upload admission window")
+
+// staleMinute reports whether a profile minute falls outside the
+// armed admission window around the clock's current minute. Always
+// false when MaxUploadLagMinutes is unset.
+func (sys *System) staleMinute(m int64) bool {
+	if sys.maxUploadLag <= 0 {
+		return false
+	}
+	d := sys.now().Unix()/vd.SegmentSeconds - m
+	if d < 0 {
+		d = -d
+	}
+	return d > int64(sys.maxUploadLag)
+}
+
 // checkAuthority validates an authority token in constant time.
 func (sys *System) checkAuthority(token string) error {
 	if subtle.ConstantTimeCompare([]byte(token), []byte(sys.authorityToken)) != 1 {
@@ -247,6 +290,10 @@ func (sys *System) UploadVP(data []byte) error {
 		// doomed record; Put would fail identically.
 		sys.store.rejectedCount.Add(1)
 		return fmt.Errorf("server: rejecting VP: %w", err)
+	}
+	if sys.staleMinute(p.Minute()) {
+		sys.store.noteStaleRejected(1)
+		return fmt.Errorf("%w (minute %d)", ErrStaleMinute, p.Minute())
 	}
 	if sys.store.hasID(p.ID()) {
 		// Already claimed: the store below rejects deterministically, so
@@ -303,6 +350,14 @@ func (sys *System) uploadVPBatch(data []byte, tr *obs.Trace) (BatchResult, error
 		var p *vp.Profile
 		var err error
 		if m, ok := vp.PeekRecordMinute(rec); ok {
+			if sys.staleMinute(m) {
+				// Stale-minute admission (armed via MaxUploadLagMinutes):
+				// a skewed record is turned away on the wire peek alone —
+				// no decode, no arena space, no WAL append.
+				res.Rejected++
+				sys.store.noteStaleRejected(1)
+				continue
+			}
 			a := arenas[m]
 			if a == nil {
 				a = vp.NewBatchArena(counts[m])
@@ -433,7 +488,7 @@ func (sys *System) Investigate(token string, site geo.Rect, minute int64) (*Inve
 	defer sys.mu.Unlock()
 	for _, id := range report.Legitimate {
 		if _, dup := sys.solicitations[id]; !dup {
-			sys.solicitations[id] = &Solicitation{ID: id, PostedAt: time.Now()}
+			sys.solicitations[id] = &Solicitation{ID: id, PostedAt: sys.now()}
 			report.NewlySolicited++
 		}
 	}

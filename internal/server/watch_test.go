@@ -77,6 +77,16 @@ func TestWatchInvestigationStreamsEpochAdvances(t *testing.T) {
 		case r := <-reports:
 			return r
 		case err := <-done:
+			// Every report is buffered before the watch returns, so a
+			// report still queued when done fires is delivery order,
+			// not a premature end. Re-arm done for the clean-exit
+			// check after the last recv.
+			select {
+			case r := <-reports:
+				done <- err
+				return r
+			default:
+			}
 			t.Fatalf("watch ended before %s report: %v", label, err)
 		case <-time.After(45 * time.Second):
 			t.Fatalf("timed out waiting for %s report", label)

@@ -88,28 +88,86 @@ func TestScenarioQuick(t *testing.T) {
 	}
 }
 
-// TestScenarioDeterministic pins the engine's fingerprint: two runs
-// with the same seed must converge on a bit-identical served state —
-// shedding, retries, and fault timing may differ, but the acked
-// profile set and every probe verdict may not.
+// TestScenarioDeterministic pins the engine's fingerprint across the
+// quick configuration and every fault family: two runs with the same
+// seed must converge on a bit-identical served state — shedding,
+// retries, crash recovery timing, and partition canaries may differ,
+// but the acked profile set and every probe verdict may not.
 func TestScenarioDeterministic(t *testing.T) {
-	cfg := QuickScenarioConfig(11)
+	quick := QuickScenarioConfig(11)
 	// Drop the saturation storm to keep the repeat run fast; the
 	// stall and partition remain.
-	cfg.Faults.SaturateFactor = 0
-	cfg.Faults.FsyncStallDelay = 10 * 1e6 // 10ms
-	a, err := Scenario(cfg)
+	quick.Faults.SaturateFactor = 0
+	quick.Faults.FsyncStallDelay = 10 * 1e6 // 10ms
+	cases := []struct {
+		name string
+		cfg  ScenarioConfig
+	}{{"quick", quick}}
+	for _, f := range FaultFamilies(11) {
+		cases = append(cases, struct {
+			name string
+			cfg  ScenarioConfig
+		}{f.Name, f.Config})
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			a, err := Scenario(tc.cfg)
+			if err != nil {
+				t.Fatalf("run A: %v", err)
+			}
+			b, err := Scenario(tc.cfg)
+			if err != nil {
+				t.Fatalf("run B: %v", err)
+			}
+			if a.Fingerprint() != b.Fingerprint() {
+				t.Fatalf("same-seed scenarios diverged:\nA %s\nB %s", a.Fingerprint(), b.Fingerprint())
+			}
+			if a.OfferedVPs != b.OfferedVPs || a.ProbeDigest != b.ProbeDigest {
+				t.Fatalf("offered %d/%d digest %s/%s", a.OfferedVPs, b.OfferedVPs, a.ProbeDigest, b.ProbeDigest)
+			}
+		})
+	}
+}
+
+// TestFaultFamilies exercises every fault family end to end and pins
+// the family-specific outcomes: the crash family recovers a parked
+// WAL batch mid-scenario, the clock-skew family bounces the too-slow
+// city's anonymous uploads, the partition family refuses at the front
+// and resumes watches after the heal, and the retention family serves
+// evicted minutes bit-for-bit while storms land on hot ones. The
+// engine's universal invariants (zero acked loss, probe equality)
+// gate every family before the counters are even consulted.
+func TestFaultFamilies(t *testing.T) {
+	fams, err := RunFaultFamilies(42)
 	if err != nil {
-		t.Fatalf("run A: %v", err)
+		t.Fatalf("RunFaultFamilies: %v", err)
 	}
-	b, err := Scenario(cfg)
-	if err != nil {
-		t.Fatalf("run B: %v", err)
+	byName := map[string]FamilySummary{}
+	for _, f := range fams {
+		if !f.ZeroAckedLoss {
+			t.Fatalf("family %s lost acked uploads", f.Name)
+		}
+		if f.ProbesCompared == 0 {
+			t.Fatalf("family %s compared no probes", f.Name)
+		}
+		byName[f.Name] = f
 	}
-	if a.Fingerprint() != b.Fingerprint() {
-		t.Fatalf("same-seed scenarios diverged:\nA %s\nB %s", a.Fingerprint(), b.Fingerprint())
+	if f := byName["crash"]; f.Crashes != 1 || f.WALReplayed < 1 {
+		t.Fatalf("crash family: %d crashes, %d replayed", f.Crashes, f.WALReplayed)
 	}
-	if a.OfferedVPs != b.OfferedVPs || a.ProbeDigest != b.ProbeDigest {
-		t.Fatalf("offered %d/%d digest %s/%s", a.OfferedVPs, b.OfferedVPs, a.ProbeDigest, b.ProbeDigest)
+	if f := byName["clock_skew"]; f.StaleRejectedVPs == 0 {
+		t.Fatalf("clock-skew family rejected nothing")
+	}
+	if f := byName["partition"]; f.PartitionRejects < 4 || f.WatchReports < 1 {
+		t.Fatalf("partition family: %d rejects, %d watch reports", f.PartitionRejects, f.WatchReports)
+	}
+	if f := byName["retention"]; f.ColdProbes == 0 || f.WatchReports < 1 {
+		t.Fatalf("retention family: %d cold probes, %d watch reports", f.ColdProbes, f.WatchReports)
+	}
+	// The summaries must serialize: they ride the CI artifact.
+	if _, err := json.Marshal(fams); err != nil {
+		t.Fatalf("marshal family summaries: %v", err)
 	}
 }

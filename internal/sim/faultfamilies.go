@@ -1,0 +1,191 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Fault families: named scenario configurations that each isolate one
+// failure mode the city engine must ride out — crash-and-recover,
+// clock skew against the wall-clock admission window, asymmetric
+// per-endpoint-class partitions, and long-horizon retention. The
+// bench binary runs them after the main scenario and folds their
+// summaries into the SLO report; the CI gate regresses on the
+// per-family counters and p99s.
+
+// FaultFamily is one named fault-injection scenario plus the
+// structural outcomes it exists to prove.
+type FaultFamily struct {
+	// Name identifies the family in reports and CI gates.
+	Name string
+	// Config is the family's scenario.
+	Config ScenarioConfig
+	// Check validates the family-specific counters of a passing run
+	// (the engine's universal invariants — zero acked loss, probe
+	// equality — have already held by the time Check runs).
+	Check func(*ScenarioResult) error
+}
+
+// FaultFamilies returns the four fault-family scenarios for a seed.
+// Each is sized to finish in seconds; the structural invariants do
+// the proving, not the scale.
+func FaultFamilies(seed int64) []FaultFamily {
+	return []FaultFamily{
+		{
+			Name: "crash",
+			Config: ScenarioConfig{
+				Cities: []CityConfig{
+					{Vehicles: 10, BlocksX: 5, BlocksY: 5, SpacingM: 150},
+					{Vehicles: 8, BlocksX: 4, BlocksY: 4, SpacingM: 150},
+				},
+				Minutes:   4,
+				BatchSize: 3,
+				Uploaders: 6,
+				Faults: FaultPlan{
+					CrashAtMinute: 2,
+				},
+				SnapshotEvery: 3,
+				Seed:          seed,
+			},
+			Check: func(r *ScenarioResult) error {
+				if r.Crashes != 1 {
+					return fmt.Errorf("crash family rode out %d crashes, want 1", r.Crashes)
+				}
+				if r.WALReplayed < 1 {
+					return fmt.Errorf("crash family replayed %d WAL records, want >= 1 (the parked crash-window batch)", r.WALReplayed)
+				}
+				return nil
+			},
+		},
+		{
+			Name: "clock_skew",
+			Config: ScenarioConfig{
+				Cities: []CityConfig{
+					{Vehicles: 8, BlocksX: 4, BlocksY: 4, SpacingM: 150},
+					{Vehicles: 8, BlocksX: 4, BlocksY: 4, SpacingM: 150},
+					{Vehicles: 6, BlocksX: 4, BlocksY: 4, SpacingM: 150},
+				},
+				Minutes:   6,
+				BatchSize: 3,
+				Uploaders: 6,
+				Faults: FaultPlan{
+					SkewMaxLagMinutes: 1,
+					// City 0 is on time, city 1 lags within the window
+					// (admitted), city 2 lags beyond it (every anonymous
+					// record must bounce as stale).
+					CityClockSkew: []int{0, 1, 3},
+				},
+				SnapshotEvery: 3,
+				Seed:          seed,
+			},
+			Check: func(r *ScenarioResult) error {
+				if r.StaleRejectedVPs == 0 {
+					return fmt.Errorf("clock-skew family rejected nothing; the admission window never engaged")
+				}
+				return nil
+			},
+		},
+		{
+			Name: "partition",
+			Config: ScenarioConfig{
+				Cities: []CityConfig{
+					{Vehicles: 10, BlocksX: 5, BlocksY: 5, SpacingM: 150},
+					{Vehicles: 8, BlocksX: 4, BlocksY: 4, SpacingM: 150},
+				},
+				Minutes:   6,
+				BatchSize: 3,
+				Uploaders: 6,
+				Faults: FaultPlan{
+					// Investigations dark at minute 2, uploads dark at
+					// minute 4 — the two asymmetric halves, with a healed
+					// minute between them.
+					InvestigatePartitionFrom:    2,
+					InvestigatePartitionMinutes: 1,
+					UploadPartitionFrom:         4,
+					UploadPartitionMinutes:      1,
+				},
+				SnapshotEvery: 3,
+				Seed:          seed,
+			},
+			Check: func(r *ScenarioResult) error {
+				if r.PartitionRejects == 0 {
+					return fmt.Errorf("partition family refused nothing; the front never partitioned")
+				}
+				if r.WatchReports < 1 {
+					return fmt.Errorf("partition family streamed %d watch reports, want >= 1 (the post-heal resume)", r.WatchReports)
+				}
+				return nil
+			},
+		},
+		{
+			Name: "retention",
+			Config: ScenarioConfig{
+				Cities: []CityConfig{
+					{Vehicles: 4, BlocksX: 4, BlocksY: 4, SpacingM: 150},
+					{Vehicles: 4, BlocksX: 4, BlocksY: 4, SpacingM: 150},
+				},
+				Minutes:   62,
+				BatchSize: 4,
+				Uploaders: 4,
+				Incidents: []IncidentPlan{
+					// Evidence demand aimed at a long-evicted minute.
+					{Minute: 40, City: 0, Units: 2, Polls: 3, TargetMinuteOffset: 30},
+				},
+				Faults: FaultPlan{
+					// A slow-disk storm over hot minutes while cold
+					// probes race the drain.
+					FsyncStallFrom: 30, FsyncStallMinutes: 2,
+					FsyncStallDelay: 5 * time.Millisecond,
+					SaturateFactor:  1,
+				},
+				RetentionMinutes:    3,
+				ResidentColdMinutes: 1,
+				SnapshotEvery:       5,
+				Seed:                seed,
+			},
+			Check: func(r *ScenarioResult) error {
+				if r.ColdProbes == 0 {
+					return fmt.Errorf("retention family probed no evicted minutes; retention never engaged")
+				}
+				if r.WatchReports < 1 {
+					return fmt.Errorf("retention family streamed %d watch reports, want >= 1", r.WatchReports)
+				}
+				if r.Incidents < 1 {
+					return fmt.Errorf("retention family fired %d incidents, want >= 1 (the evicted-minute evidence spike)", r.Incidents)
+				}
+				return nil
+			},
+		},
+	}
+}
+
+// RunFaultFamilies executes every family for the seed and returns
+// their summaries; the first failing family (engine invariant or
+// family check) aborts with an error naming it.
+func RunFaultFamilies(seed int64) ([]FamilySummary, error) {
+	var out []FamilySummary
+	for _, f := range FaultFamilies(seed) {
+		res, err := Scenario(f.Config)
+		if err != nil {
+			return nil, fmt.Errorf("sim: fault family %s: %w", f.Name, err)
+		}
+		if err := f.Check(res); err != nil {
+			return nil, fmt.Errorf("sim: fault family %s: %w", f.Name, err)
+		}
+		out = append(out, FamilySummary{
+			Name:             f.Name,
+			Upload:           res.Upload,
+			Investigate:      res.Investigate,
+			ZeroAckedLoss:    res.ZeroAckedLoss,
+			ProbesCompared:   res.ProbesCompared,
+			Crashes:          res.Crashes,
+			WALReplayed:      res.WALReplayed,
+			StaleRejectedVPs: res.StaleRejectedVPs,
+			PartitionRejects: res.PartitionRejects,
+			ColdProbes:       res.ColdProbes,
+			WatchReports:     res.WatchReports,
+			ProbeDigest:      res.ProbeDigest,
+		})
+	}
+	return out, nil
+}
